@@ -1,0 +1,70 @@
+// Command fpbench regenerates every figure and measurable claim of the
+// Fuzzy Prophet paper (SIGMOD 2011 demonstration). See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// outcomes.
+//
+//	fpbench -exp all            # run everything
+//	fpbench -exp fig3 -worlds 400
+//
+// Experiments:
+//
+//	fig2  Figure 2: the example scenario parses verbatim and compiles
+//	fig3  Figure 3: the online interface graph (per-week series + chart)
+//	fig4  Figure 4: 2-D slice of fingerprint mappings for the Capacity model
+//	e1    §3.2: time to first accurate statistics, cold vs warm session
+//	e2    §3.2: fraction of the graph recomputed after slider adjustments
+//	e3    §3.3: offline sweep, naive vs fingerprint (invocations, time, optimum)
+//	e4    ablation: fingerprint length k vs reuse rate and estimate error
+//	e5    ablation: Markovian non-Markovian estimators on the capacity chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|all")
+		worlds = flag.Int("worlds", 300, "Monte Carlo worlds per point")
+		step   = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
+	)
+	flag.Parse()
+
+	runs := map[string]func(int, int) error{
+		"fig2": func(w, s int) error { return runFig2() },
+		"fig3": func(w, s int) error { return runFig3(w) },
+		"fig4": func(w, s int) error { return runFig4(w, s) },
+		"e1":   func(w, s int) error { return runE1(w) },
+		"e2":   func(w, s int) error { return runE2(w) },
+		"e3":   func(w, s int) error { return runE3(w, s) },
+		"e4":   func(w, s int) error { return runE4(w) },
+		"e5":   func(w, s int) error { return runE5() },
+	}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5"}
+
+	selected := strings.Split(*exp, ",")
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		fn, ok := runs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fpbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := fn(*worlds, *step); err != nil {
+			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}

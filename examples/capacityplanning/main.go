@@ -1,0 +1,126 @@
+// Capacity planning: the paper's demonstration scenario (§3, "Risk vs Cost
+// of Ownership") end to end — the online mode with slider adjustments and
+// partial re-rendering, then the offline mode finding the latest safe
+// hardware purchase dates.
+//
+// Run with: go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fp "fuzzyprophet"
+)
+
+// Figure 2 of the paper, on a step-8 purchase grid to keep the offline
+// sweep interactive; the threshold is the prose's 5%.
+const scenarioSQL = `
+-- DEFINITION --
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 48 STEP BY 8;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 48 STEP BY 8;
+DECLARE PARAMETER @feature AS SET (12,36,44);
+
+SELECT DemandModel(@current, @feature)
+       AS demand,
+       CapacityModel(@current, @purchase1, @purchase2)
+       AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END
+       AS overload
+INTO results;
+
+-- ONLINE MODE --
+GRAPH OVER @current
+      EXPECT overload WITH bold red,
+      EXPECT capacity WITH blue y2,
+      EXPECT_STDDEV demand WITH orange y2;
+
+-- OFFLINE MODE --
+-- The extra @purchase1 <= @purchase2 term keeps the two purchases ordered;
+-- without it the lexicographic MAX @purchase1 goal would push the *first*
+-- purchase late and cover early demand with the second.
+OPTIMIZE SELECT @feature, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.05 AND @purchase1 <= @purchase2
+GROUP BY feature, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2
+`
+
+func main() {
+	sys, err := fp.New(fp.WithDemoModels())
+	if err != nil {
+		log.Fatal(err)
+	}
+	scn, err := sys.Compile(scenarioSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Online mode (paper §3.2) --------------------------------------
+	session, err := scn.OpenSession(fp.Config{Worlds: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(session.SetParam("purchase1", 16))
+	must(session.SetParam("purchase2", 32))
+	must(session.SetParam("feature", 36))
+
+	fmt.Println("=== online mode: first render (everything computed) ===")
+	g, err := session.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chart, err := session.Ascii(g, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(chart)
+
+	fmt.Println("=== adjust @purchase1 16 -> 24: only portions re-render ===")
+	must(session.SetParam("purchase1", 24))
+	g, err = session.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chart, err = session.Ascii(g, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(chart)
+	fmt.Printf("recomputed %d/%d weeks (%.0f%%), remapped %d, unchanged %d\n\n",
+		g.Stats.Recomputed, g.Stats.Points, 100*g.Stats.RecomputedFraction(),
+		g.Stats.Remapped, g.Stats.Unchanged)
+
+	// ---- Offline mode (paper §3.3) --------------------------------------
+	fmt.Println("=== offline mode: latest purchase dates with overload risk < 5% ===")
+	sys.ResetVGInvocations()
+	res, err := scn.Optimize(fp.Config{Worlds: 200}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d points in %v  (VG invocations: %d, reuse: %v)\n",
+		res.PointsEvaluated, res.Elapsed.Round(1e6), sys.VGInvocations(), res.ReuseCounts)
+	fmt.Printf("feasible groups: %d / %d\n", countFeasible(res), len(res.Rows))
+	for _, best := range res.Best {
+		fmt.Printf("latest safe schedule: purchase1=%v purchase2=%v (feature=%v)  max weekly overload = %.4f\n",
+			best.Group["purchase1"], best.Group["purchase2"], best.Group["feature"],
+			best.Metrics["MAX(EXPECT(overload))"])
+	}
+}
+
+func countFeasible(res *fp.OptimizeResult) int {
+	n := 0
+	for _, r := range res.Rows {
+		if r.Feasible {
+			n++
+		}
+	}
+	return n
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,707 @@
+// Package fuzzyprophet is a probabilistic database tool for constructing,
+// simulating and analyzing business scenarios with uncertain data — a Go
+// reproduction of "Fuzzy Prophet: Parameter Exploration in Uncertain
+// Enterprise Scenarios" (Kennedy, Lee, Loboz, Smyl, Nath; SIGMOD 2011).
+//
+// Scenarios are written in a Transact-SQL dialect with probabilistic
+// extensions (see Figure 2 of the paper, reproduced in the README).
+// Stochastic inputs come from black-box VG-Functions; Monte Carlo
+// simulation turns a scenario plus a parameter point into output
+// distributions. The system's core contribution is *fingerprinting*:
+// parameter points whose VG-Function outputs are correlated are detected by
+// comparing output vectors under a fixed seed sequence, and already-
+// computed sample sets are re-mapped onto new points instead of
+// re-simulated. The effect is interactive-speed what-if exploration (online
+// mode) and much cheaper full-space optimization (offline mode).
+//
+// # Quick start
+//
+//	sys, _ := fuzzyprophet.New(fuzzyprophet.WithDemoModels())
+//	scn, _ := sys.Compile(scenarioSQL)
+//	session, _ := scn.OpenSession(fuzzyprophet.Config{Worlds: 1000})
+//	session.SetParam("purchase1", 12)
+//	graph, _ := session.Render()
+//
+// See the examples directory for complete programs.
+package fuzzyprophet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fuzzyprophet/internal/aggregate"
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/guide"
+	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/models"
+	"fuzzyprophet/internal/online"
+	"fuzzyprophet/internal/optimize"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/value"
+	"fuzzyprophet/internal/vg"
+)
+
+// System owns a VG-Function registry and compiles scenarios against it.
+type System struct {
+	registry *vg.Registry
+}
+
+// Option configures a System.
+type Option func(*System) error
+
+// WithDemoModels registers the paper's demonstration models (DemandModel,
+// CapacityModel) and the pricing models (RevenueModel, UnitsModel) used by
+// the examples.
+func WithDemoModels() Option {
+	return func(s *System) error {
+		return models.RegisterDefaults(s.registry)
+	}
+}
+
+// Calibration overrides the demo models' headline constants — the
+// simulation characteristics the paper's §3.3 demo invites guests to vary
+// ("starting the simulation with a different initial capacity or a
+// different user growth"). Zero fields keep the defaults.
+type Calibration struct {
+	// InitialCapacity is the fleet's week-0 capacity in cores.
+	InitialCapacity float64
+	// BatchCores is the capacity one hardware purchase adds.
+	BatchCores float64
+	// DemandBase is the expected demand at week 0.
+	DemandBase float64
+	// DemandGrowth is the expected weekly demand increase.
+	DemandGrowth float64
+	// FeatureBoost is the fully-ramped demand added by the feature release.
+	FeatureBoost float64
+}
+
+// WithCalibratedDemoModels registers the demonstration models with the
+// given overrides instead of the default calibration.
+func WithCalibratedDemoModels(c Calibration) Option {
+	return func(s *System) error {
+		dc := models.DefaultDemandConfig()
+		cc := models.DefaultCapacityConfig()
+		if c.InitialCapacity > 0 {
+			cc.Initial = c.InitialCapacity
+		}
+		if c.BatchCores > 0 {
+			cc.BatchCores = c.BatchCores
+		}
+		if c.DemandBase > 0 {
+			dc.Base = c.DemandBase
+		}
+		if c.DemandGrowth > 0 {
+			dc.Growth = c.DemandGrowth
+		}
+		if c.FeatureBoost > 0 {
+			dc.FeatureBoost = c.FeatureBoost
+		}
+		if err := s.registry.Register(models.NewDemandModel(dc)); err != nil {
+			return err
+		}
+		if err := s.registry.Register(models.NewCapacityModel(cc)); err != nil {
+			return err
+		}
+		rev := models.NewRevenueModel(models.DefaultRevenueConfig())
+		if err := s.registry.Register(rev); err != nil {
+			return err
+		}
+		return s.registry.Register(rev.UnitsFunction())
+	}
+}
+
+// New creates a System with the standard distribution VG-Functions
+// (Gaussian, Poisson, Uniform, Exponential, LogNormal, Bernoulli, Binomial,
+// Weibull, Gamma) registered.
+func New(opts ...Option) (*System, error) {
+	s := &System{registry: vg.NewRegistry()}
+	if err := vg.RegisterBuiltins(s.registry); err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// VGFunc is a user-supplied black-box stochastic function. It MUST be
+// deterministic in (seed, args): the fingerprinting machinery compares
+// outputs under fixed seeds, and a nondeterministic function silently
+// poisons reuse. Use the seed to initialize your generator; never use
+// global randomness or time.
+type VGFunc func(seed uint64, args []float64) (float64, error)
+
+// RegisterVG adds a scalar VG-Function callable from scenario SQL.
+func (s *System) RegisterVG(name string, arity int, fn VGFunc) error {
+	return s.registry.Register(vg.NewFunc(name, arity, func(seed uint64, args []value.Value) (value.Value, error) {
+		fs := make([]float64, len(args))
+		for i, a := range args {
+			f, err := a.AsFloat()
+			if err != nil {
+				return value.Null, fmt.Errorf("fuzzyprophet: %s argument %d: %w", name, i, err)
+			}
+			fs[i] = f
+		}
+		out, err := fn(seed, fs)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(out), nil
+	}))
+}
+
+// VGInvocations returns the total number of VG-Function invocations since
+// the system was created (or counters were last reset) — the cost metric
+// the paper's reuse machinery optimizes.
+func (s *System) VGInvocations() int64 { return s.registry.TotalInvocations() }
+
+// ResetVGInvocations zeroes the invocation counters.
+func (s *System) ResetVGInvocations() { s.registry.ResetCounters() }
+
+// CheckDeterminism probes the named VG-Function for seed-determinism, the
+// contract fingerprinting depends on.
+func (s *System) CheckDeterminism(name string, seed uint64, args []any) error {
+	vals, err := toValues(args)
+	if err != nil {
+		return err
+	}
+	return s.registry.CheckDeterminism(name, seed, vals)
+}
+
+// Scenario is a compiled scenario script bound to its system.
+type Scenario struct {
+	sys *System
+	scn *scenario.Scenario
+}
+
+// Compile parses and validates a scenario script.
+func (s *System) Compile(src string) (*Scenario, error) {
+	scn, err := scenario.Compile(src, s.registry)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{sys: s, scn: scn}, nil
+}
+
+// AddTable attaches a deterministic side table that the scenario query's
+// FROM clause may reference (e.g. a dimension table of datacenter regions
+// joined against the Monte Carlo worlds). Values may be int/int64/float64/
+// string/bool/nil.
+func (sc *Scenario) AddTable(name string, cols []string, rows [][]any) error {
+	converted := make([][]value.Value, len(rows))
+	for i, row := range rows {
+		vals, err := toValues(row)
+		if err != nil {
+			return fmt.Errorf("fuzzyprophet: table %s row %d: %w", name, i, err)
+		}
+		converted[i] = vals
+	}
+	t, err := sqlengine.NewTable(name, cols, converted)
+	if err != nil {
+		return err
+	}
+	return sc.scn.AddTable(t)
+}
+
+// ParamInfo describes one declared parameter.
+type ParamInfo struct {
+	Name   string
+	Values []any
+}
+
+// Params returns the declared parameters in declaration order.
+func (sc *Scenario) Params() []ParamInfo {
+	out := make([]ParamInfo, 0, len(sc.scn.Space.Params))
+	for _, def := range sc.scn.Space.Params {
+		vals := make([]any, len(def.Values))
+		for i, v := range def.Values {
+			vals[i] = fromValue(v)
+		}
+		out = append(out, ParamInfo{Name: def.Name, Values: vals})
+	}
+	return out
+}
+
+// OutputColumns returns the scenario query's output column names.
+func (sc *Scenario) OutputColumns() []string {
+	return append([]string(nil), sc.scn.OutputCols...)
+}
+
+// SpaceSize returns the total number of parameter-space grid points.
+func (sc *Scenario) SpaceSize() int { return sc.scn.Space.Size() }
+
+// GeneratedSQL returns the pure TSQL the Query Generator emits for a
+// parameter point (diagnostics; the GUI of the paper displays this).
+func (sc *Scenario) GeneratedSQL(point map[string]any) (string, error) {
+	pt, err := toPoint(point)
+	if err != nil {
+		return "", err
+	}
+	return sc.scn.GenerateSQL(pt)
+}
+
+// Config tunes evaluation.
+type Config struct {
+	// Worlds is the Monte Carlo world count per point (default 1000).
+	Worlds int
+	// SeedBase fixes the world seed sequence (default 20110612).
+	SeedBase uint64
+	// Workers bounds VG-invocation parallelism (default GOMAXPROCS).
+	Workers int
+	// DisableReuse turns fingerprint reuse off (naive re-simulation;
+	// baseline mode for benchmarks).
+	DisableReuse bool
+	// FingerprintLength is the fingerprint seed count k (default 16).
+	FingerprintLength int
+	// AffineTol is the relative residual budget for affine mappings
+	// (default 0.02).
+	AffineTol float64
+	// StoreBudget bounds the basis-distribution store in bytes (0 =
+	// unbounded).
+	StoreBudget int64
+	// GroupBudget, when positive, makes Optimize explore only that many
+	// randomly sampled groups instead of the whole grouped space (the
+	// result is then approximate; see OptimizeResult.Exhaustive).
+	GroupBudget int
+}
+
+func (c Config) fingerprint() core.Config {
+	fp := core.DefaultConfig()
+	if c.FingerprintLength > 0 {
+		fp.Length = c.FingerprintLength
+	}
+	if c.AffineTol > 0 {
+		fp.AffineTol = c.AffineTol
+	}
+	return fp
+}
+
+func (c Config) mcOptions() (mc.Options, error) {
+	opts := mc.Options{Worlds: c.Worlds, SeedBase: c.SeedBase, Workers: c.Workers}
+	if !c.DisableReuse {
+		reuse, err := mc.NewReuse(c.fingerprint(), c.StoreBudget)
+		if err != nil {
+			return opts, err
+		}
+		opts.Reuse = reuse
+	}
+	return opts, nil
+}
+
+// ColumnSummary summarizes one output column's distribution at one point.
+type ColumnSummary struct {
+	N      int64
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	CI95   float64
+}
+
+// Evaluate runs the scenario once at a single parameter point and returns
+// per-column distribution summaries. For repeated evaluation, open a
+// Session (online) or call Optimize (offline) so fingerprint reuse can do
+// its job.
+func (sc *Scenario) Evaluate(point map[string]any, cfg Config) (map[string]ColumnSummary, error) {
+	pt, err := toPoint(point)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
+	ev := mc.NewEvaluator(sc.scn, opts)
+	res, err := ev.EvaluatePoint(pt)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]ColumnSummary, len(res.Columns))
+	for col, samples := range res.Columns {
+		cs := aggregate.NewColumnStats()
+		cs.AddAll(samples)
+		out[col] = ColumnSummary{
+			N:      cs.Count(),
+			Mean:   cs.Expect(),
+			StdDev: cs.StdDev(),
+			Min:    cs.Moments.Min(),
+			Max:    cs.Moments.Max(),
+			Median: cs.Median(),
+			P95:    cs.P95(),
+			CI95:   cs.CI95(),
+		}
+	}
+	return out, nil
+}
+
+// Session is an online-mode exploration (paper §3.2): sliders plus a live
+// graph with fingerprint reuse across adjustments.
+type Session struct {
+	inner *online.Session
+	reuse *mc.Reuse
+}
+
+// OpenSession starts the online mode. The scenario must declare a GRAPH
+// statement.
+func (sc *Scenario) OpenSession(cfg Config) (*Session, error) {
+	opts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := online.NewSession(sc.scn, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner, reuse: opts.Reuse}, nil
+}
+
+// OpenSessionFrom starts the online mode with reuse state previously saved
+// by Session.SaveReuse — the basis distributions and fingerprints carry
+// over, so previously explored slider positions render without fresh
+// simulation even in a new process. The scenario, models and seed base must
+// match the saving session's; a seed-base mismatch is detected and
+// reported on first use.
+func (sc *Scenario) OpenSessionFrom(rd io.Reader, cfg Config) (*Session, error) {
+	if cfg.DisableReuse {
+		return nil, fmt.Errorf("fuzzyprophet: OpenSessionFrom requires reuse enabled")
+	}
+	reuse, err := mc.LoadReuse(rd, cfg.StoreBudget)
+	if err != nil {
+		return nil, err
+	}
+	opts := mc.Options{Worlds: cfg.Worlds, SeedBase: cfg.SeedBase, Workers: cfg.Workers, Reuse: reuse}
+	inner, err := online.NewSession(sc.scn, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner, reuse: reuse}, nil
+}
+
+// SaveReuse serializes the session's reuse state (basis distributions plus
+// fingerprint index) so a later session — possibly in another process — can
+// resume with OpenSessionFrom.
+func (s *Session) SaveReuse(w io.Writer) error {
+	if s.reuse == nil {
+		return fmt.Errorf("fuzzyprophet: session has reuse disabled; nothing to save")
+	}
+	return s.reuse.Save(w)
+}
+
+// Axis returns the graph's X-axis parameter.
+func (s *Session) Axis() string { return s.inner.Axis() }
+
+// SetParam moves a slider to the given value (which must belong to the
+// parameter's declared space).
+func (s *Session) SetParam(name string, val any) error {
+	v, err := toValue(val)
+	if err != nil {
+		return err
+	}
+	return s.inner.SetParam(name, v)
+}
+
+// RenderStats quantifies how much of a render was served by reuse.
+type RenderStats struct {
+	Points     int
+	Recomputed int
+	Remapped   int
+	Unchanged  int
+	Elapsed    time.Duration
+}
+
+// RecomputedFraction is the fraction of X positions that needed fresh
+// simulation.
+func (r RenderStats) RecomputedFraction() float64 {
+	if r.Points == 0 {
+		return 0
+	}
+	return float64(r.Recomputed) / float64(r.Points)
+}
+
+// Series is one rendered graph series.
+type Series struct {
+	Name       string
+	Agg        string
+	Column     string
+	Style      []string
+	SecondAxis bool
+	X          []float64
+	Y          []float64
+	CI95       []float64
+}
+
+// Graph is one rendered frame of the online interface (Figure 3).
+type Graph struct {
+	Axis   string
+	X      []float64
+	Series []Series
+	Stats  RenderStats
+}
+
+// Render evaluates the graph at the current slider positions.
+func (s *Session) Render() (*Graph, error) {
+	g, err := s.inner.Render()
+	if err != nil {
+		return nil, err
+	}
+	return convertGraph(g), nil
+}
+
+// Ascii renders the last graph as a Figure 3-style text chart.
+func (s *Session) Ascii(g *Graph, height int) (string, error) {
+	// Rebuild the internal representation for the renderer.
+	ig := &online.Graph{Axis: g.Axis, X: g.X}
+	ig.Stats.Points = g.Stats.Points
+	ig.Stats.Recomputed = g.Stats.Recomputed
+	ig.Stats.Remapped = g.Stats.Remapped
+	ig.Stats.Unchanged = g.Stats.Unchanged
+	ig.Stats.Elapsed = g.Stats.Elapsed
+	for _, srs := range g.Series {
+		is := online.GraphSeries{Name: srs.Name, Agg: srs.Agg, Column: srs.Column, Style: srs.Style}
+		for i := range srs.Y {
+			is.Points = append(is.Points, online.SeriesPoint{X: srs.X[i], Y: srs.Y[i]})
+		}
+		ig.Series = append(ig.Series, is)
+	}
+	return online.Chart(ig, height)
+}
+
+// Prefetch proactively evaluates neighboring slider positions (radius
+// index steps along the given axes; nil = all sliders), anticipating the
+// user's next adjustments.
+func (s *Session) Prefetch(axes []string, radius int) (int, error) {
+	return s.inner.Prefetch(axes, radius)
+}
+
+// RenderProgressive renders the graph at doubling world counts from
+// startWorlds up to the configured maximum, invoking frame with each
+// refined graph — the paper's "live, progressively refined view". Return
+// false from frame to stop early; the last frame is returned.
+func (s *Session) RenderProgressive(startWorlds int, frame func(g *Graph, worlds int) bool) (*Graph, error) {
+	g, err := s.inner.RenderProgressive(startWorlds, func(ig *online.Graph, worlds int) bool {
+		return frame(convertGraph(ig), worlds)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertGraph(g), nil
+}
+
+// ExplorationMap renders the paper's parameter-space exploration grid over
+// two slider parameters: '#' marks rendered positions, 'o' prefetched ones,
+// '.' unexplored ones (other sliders held at their current values).
+func (s *Session) ExplorationMap(rowParam, colParam string) (string, error) {
+	grid, err := s.inner.ExplorationMap(rowParam, colParam)
+	if err != nil {
+		return "", err
+	}
+	return grid.Render(), nil
+}
+
+// TimeToFirstAccurateGuess measures how long the session needs to produce
+// converged statistics at the current sliders (experiment E1).
+func (s *Session) TimeToFirstAccurateGuess(eps float64, minWorlds int) (time.Duration, int, error) {
+	return s.inner.TimeToFirstAccurateGuess(eps, minWorlds)
+}
+
+// ReuseCounts returns per-outcome point counts ("computed", "cached",
+// "identity", "affine") since the session opened.
+func (s *Session) ReuseCounts() map[string]int {
+	out := map[string]int{}
+	if s.reuse == nil {
+		return out
+	}
+	for k, v := range s.reuse.Counts() {
+		out[k.String()] = v
+	}
+	return out
+}
+
+func convertGraph(g *online.Graph) *Graph {
+	out := &Graph{
+		Axis: g.Axis,
+		X:    append([]float64(nil), g.X...),
+		Stats: RenderStats{
+			Points:     g.Stats.Points,
+			Recomputed: g.Stats.Recomputed,
+			Remapped:   g.Stats.Remapped,
+			Unchanged:  g.Stats.Unchanged,
+			Elapsed:    g.Stats.Elapsed,
+		},
+	}
+	for _, srs := range g.Series {
+		s := Series{
+			Name: srs.Name, Agg: srs.Agg, Column: srs.Column,
+			Style: append([]string(nil), srs.Style...), SecondAxis: srs.SecondAxis(),
+		}
+		for _, p := range srs.Points {
+			s.X = append(s.X, p.X)
+			s.Y = append(s.Y, p.Y)
+			s.CI95 = append(s.CI95, p.CI95)
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// OptimizeRow is one grouped-parameter assignment's outcome.
+type OptimizeRow struct {
+	Group    map[string]any
+	Feasible bool
+	Metrics  map[string]float64
+}
+
+// OptimizeResult is the offline mode's outcome.
+type OptimizeResult struct {
+	GroupParams     []string
+	FreeParams      []string
+	Rows            []OptimizeRow
+	Best            []OptimizeRow
+	PointsEvaluated int
+	GroupsTotal     int
+	GroupsExplored  int
+	Elapsed         time.Duration
+	ReuseCounts     map[string]int
+}
+
+// Exhaustive reports whether the whole grouped space was explored (false
+// under a GroupBudget).
+func (r *OptimizeResult) Exhaustive() bool { return r.GroupsExplored == r.GroupsTotal }
+
+// Progress reports offline-mode progress: done/total points plus the
+// reuse outcome of the last point's sites (keyed by site ID).
+type Progress func(done, total int, point map[string]any, siteOutcome map[string]string)
+
+// Optimize runs the offline mode (paper §3.3): a full parameter-space
+// sweep, the OPTIMIZE constraint per group, and the lexicographic FOR
+// goals. The scenario must declare an OPTIMIZE statement.
+func (sc *Scenario) Optimize(cfg Config, progress Progress) (*OptimizeResult, error) {
+	opts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
+	runOpts := optimize.Options{MC: opts, GroupBudget: cfg.GroupBudget}
+	if progress != nil {
+		runOpts.Progress = func(done, total int, pt guide.Point, res *mc.PointResult) {
+			outcome := make(map[string]string, len(res.SiteOutcome))
+			for site, kind := range res.SiteOutcome {
+				outcome[site] = kind.String()
+			}
+			progress(done, total, fromPoint(pt), outcome)
+		}
+	}
+	res, err := optimize.Run(sc.scn, runOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := &OptimizeResult{
+		GroupParams:     res.GroupParams,
+		FreeParams:      res.FreeParams,
+		PointsEvaluated: res.PointsEvaluated,
+		GroupsTotal:     res.GroupsTotal,
+		GroupsExplored:  res.GroupsExplored,
+		Elapsed:         res.Elapsed,
+		ReuseCounts:     map[string]int{},
+	}
+	if opts.Reuse != nil {
+		for k, v := range opts.Reuse.Counts() {
+			out.ReuseCounts[k.String()] = v
+		}
+	}
+	convert := func(rows []optimize.GroupRow) []OptimizeRow {
+		converted := make([]OptimizeRow, len(rows))
+		for i, r := range rows {
+			converted[i] = OptimizeRow{
+				Group:    fromPoint(r.Group),
+				Feasible: r.Feasible,
+				Metrics:  r.Metrics,
+			}
+		}
+		return converted
+	}
+	out.Rows = convert(res.Rows)
+	out.Best = convert(res.Best)
+	return out, nil
+}
+
+// toValue converts a native Go value into the engine's value system.
+func toValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int32:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float32:
+		return value.Float(float64(x)), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.Str(x), nil
+	case bool:
+		return value.Bool(x), nil
+	default:
+		return value.Null, fmt.Errorf("fuzzyprophet: unsupported value type %T", v)
+	}
+}
+
+func toValues(vs []any) ([]value.Value, error) {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		var err error
+		out[i], err = toValue(v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func toPoint(m map[string]any) (guide.Point, error) {
+	pt := make(guide.Point, len(m))
+	for k, v := range m {
+		val, err := toValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzyprophet: parameter %s: %w", k, err)
+		}
+		pt[k] = val
+	}
+	return pt, nil
+}
+
+// fromValue converts an engine value to a native Go value (int64, float64,
+// string, bool or nil).
+func fromValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		n, _ := v.AsInt()
+		return n
+	case value.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		b, _ := v.AsBool()
+		return b
+	default:
+		return nil
+	}
+}
+
+func fromPoint(pt guide.Point) map[string]any {
+	out := make(map[string]any, len(pt))
+	for k, v := range pt {
+		out[k] = fromValue(v)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package aggregate implements Fuzzy Prophet's Result Aggregator (paper §2,
+// architecture cycle step 4): it reduces per-world query outputs to the
+// metrics scenarios ask for — expectations, standard deviations, overload
+// probabilities, quantiles — and decides when an estimate has converged
+// enough to show the user (the online mode's "accurate guess").
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fuzzyprophet/internal/stats"
+)
+
+// ColumnStats aggregates the samples of one output column at one parameter
+// point.
+type ColumnStats struct {
+	Moments stats.Moments
+	median  *stats.P2Quantile
+	p95     *stats.P2Quantile
+}
+
+// NewColumnStats returns an empty aggregator.
+func NewColumnStats() *ColumnStats {
+	med, err := stats.NewP2Quantile(0.5)
+	if err != nil {
+		panic(err) // 0.5 is always valid
+	}
+	p95, err := stats.NewP2Quantile(0.95)
+	if err != nil {
+		panic(err)
+	}
+	return &ColumnStats{median: med, p95: p95}
+}
+
+// Add folds in one world's value.
+func (c *ColumnStats) Add(x float64) {
+	c.Moments.Add(x)
+	c.median.Add(x)
+	c.p95.Add(x)
+}
+
+// AddAll folds in a whole sample vector.
+func (c *ColumnStats) AddAll(xs []float64) {
+	for _, x := range xs {
+		c.Add(x)
+	}
+}
+
+// Expect returns the estimated expectation (EXPECT in scenario SQL).
+func (c *ColumnStats) Expect() float64 { return c.Moments.Mean() }
+
+// StdDev returns the estimated standard deviation (EXPECT_STDDEV).
+func (c *ColumnStats) StdDev() float64 { return c.Moments.StdDev() }
+
+// Prob returns the estimated probability, assuming the column is a 0/1
+// indicator (PROB); it equals the mean.
+func (c *ColumnStats) Prob() float64 { return c.Moments.Mean() }
+
+// Median returns the running median estimate.
+func (c *ColumnStats) Median() float64 { return c.median.Value() }
+
+// P95 returns the running 95th-percentile estimate.
+func (c *ColumnStats) P95() float64 { return c.p95.Value() }
+
+// Count returns the number of worlds aggregated.
+func (c *ColumnStats) Count() int64 { return c.Moments.Count() }
+
+// CI95 returns the 95% confidence half-width of the mean.
+func (c *ColumnStats) CI95() float64 { return c.Moments.CI95() }
+
+// Metric extracts the named aggregate: EXPECT, EXPECT_STDDEV or PROB
+// (scenario GRAPH items), plus MEDIAN and P95 for diagnostics.
+func (c *ColumnStats) Metric(agg string) (float64, error) {
+	switch agg {
+	case "EXPECT":
+		return c.Expect(), nil
+	case "EXPECT_STDDEV":
+		return c.StdDev(), nil
+	case "PROB":
+		return c.Prob(), nil
+	case "MEDIAN":
+		return c.Median(), nil
+	case "P95":
+		return c.P95(), nil
+	default:
+		return 0, fmt.Errorf("aggregate: unknown metric %q", agg)
+	}
+}
+
+// PointStats aggregates all output columns at one parameter point. It is
+// safe for concurrent Add from Monte Carlo workers.
+type PointStats struct {
+	mu   sync.Mutex
+	cols map[string]*ColumnStats
+}
+
+// NewPointStats returns an aggregator with the given output columns.
+func NewPointStats(columns []string) *PointStats {
+	p := &PointStats{cols: make(map[string]*ColumnStats, len(columns))}
+	for _, c := range columns {
+		p.cols[c] = NewColumnStats()
+	}
+	return p
+}
+
+// Add folds one world's value into the named column.
+func (p *PointStats) Add(column string, x float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.cols[column]
+	if !ok {
+		return fmt.Errorf("aggregate: unknown column %q", column)
+	}
+	c.Add(x)
+	return nil
+}
+
+// AddSamples folds a whole sample vector into the named column.
+func (p *PointStats) AddSamples(column string, xs []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.cols[column]
+	if !ok {
+		return fmt.Errorf("aggregate: unknown column %q", column)
+	}
+	c.AddAll(xs)
+	return nil
+}
+
+// Column returns the named column's aggregator.
+func (p *PointStats) Column(name string) (*ColumnStats, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.cols[name]
+	return c, ok
+}
+
+// Columns returns the column names, sorted.
+func (p *PointStats) Columns() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.cols))
+	for n := range p.cols {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Converged reports whether every column's 95% CI half-width is within eps
+// (relative to max(1, |mean|)), with at least minSamples worlds. This is
+// the online mode's "first accurate guess" criterion.
+func (p *PointStats) Converged(eps float64, minSamples int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.cols {
+		if c.Moments.Count() < minSamples {
+			return false
+		}
+		scale := c.Moments.Mean()
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		if c.Moments.CI95() > eps*scale {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package aggregate
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fuzzyprophet/internal/rng"
+)
+
+func TestColumnStatsBasics(t *testing.T) {
+	c := NewColumnStats()
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		c.Add(x)
+	}
+	if c.Count() != 5 {
+		t.Errorf("count = %d", c.Count())
+	}
+	if c.Expect() != 3 {
+		t.Errorf("expect = %g", c.Expect())
+	}
+	if math.Abs(c.StdDev()-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %g", c.StdDev())
+	}
+	if c.Median() != 3 {
+		t.Errorf("median = %g", c.Median())
+	}
+}
+
+func TestColumnStatsProbIndicator(t *testing.T) {
+	c := NewColumnStats()
+	for i := 0; i < 100; i++ {
+		if i < 25 {
+			c.Add(1)
+		} else {
+			c.Add(0)
+		}
+	}
+	if math.Abs(c.Prob()-0.25) > 1e-12 {
+		t.Errorf("prob = %g", c.Prob())
+	}
+}
+
+func TestColumnStatsQuantiles(t *testing.T) {
+	c := NewColumnStats()
+	s := rng.New(3)
+	for i := 0; i < 50000; i++ {
+		c.Add(s.Normal(0, 1))
+	}
+	if math.Abs(c.Median()) > 0.03 {
+		t.Errorf("median = %g, want ~0", c.Median())
+	}
+	if math.Abs(c.P95()-1.6449) > 0.06 {
+		t.Errorf("p95 = %g, want ~1.645", c.P95())
+	}
+}
+
+func TestMetric(t *testing.T) {
+	c := NewColumnStats()
+	c.AddAll([]float64{0, 1, 1, 0})
+	for _, agg := range []string{"EXPECT", "EXPECT_STDDEV", "PROB", "MEDIAN", "P95"} {
+		if _, err := c.Metric(agg); err != nil {
+			t.Errorf("Metric(%s): %v", agg, err)
+		}
+	}
+	v, _ := c.Metric("EXPECT")
+	if v != 0.5 {
+		t.Errorf("EXPECT = %g", v)
+	}
+	if _, err := c.Metric("BOGUS"); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+func TestPointStats(t *testing.T) {
+	p := NewPointStats([]string{"demand", "capacity", "overload"})
+	if err := p.Add("demand", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSamples("overload", []float64{1, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("nope", 1); err == nil {
+		t.Error("unknown column should error")
+	}
+	if err := p.AddSamples("nope", nil); err == nil {
+		t.Error("unknown column should error")
+	}
+	c, ok := p.Column("overload")
+	if !ok || c.Count() != 4 {
+		t.Errorf("column = %v, %v", c, ok)
+	}
+	if _, ok := p.Column("zzz"); ok {
+		t.Error("missing column lookup should fail")
+	}
+	cols := p.Columns()
+	if len(cols) != 3 || cols[0] != "capacity" {
+		t.Errorf("columns = %v", cols)
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	p := NewPointStats([]string{"x"})
+	if p.Converged(0.1, 10) {
+		t.Error("empty aggregator cannot be converged")
+	}
+	s := rng.New(5)
+	for i := 0; i < 5; i++ {
+		p.Add("x", s.Normal(100, 1))
+	}
+	if p.Converged(0.1, 10) {
+		t.Error("below minSamples cannot be converged")
+	}
+	for i := 0; i < 5000; i++ {
+		p.Add("x", s.Normal(100, 1))
+	}
+	if !p.Converged(0.01, 10) {
+		t.Error("tight distribution with many samples should converge")
+	}
+	// A huge-variance column blocks convergence at small eps.
+	q := NewPointStats([]string{"y"})
+	for i := 0; i < 100; i++ {
+		q.Add("y", s.Normal(0, 1000))
+	}
+	if q.Converged(0.0001, 10) {
+		t.Error("noisy column should not converge at tight eps")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	p := NewPointStats([]string{"x"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := p.Add("x", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, _ := p.Column("x")
+	if c.Count() != 8000 {
+		t.Errorf("count = %d", c.Count())
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fuzzyprophet/internal/rng"
+	"fuzzyprophet/internal/value"
+)
+
+// gauss simulates a VG function: a normal variate whose mean and stddev are
+// the "parameters".
+func gauss(mean, stddev float64) func(seed uint64) (float64, error) {
+	return func(seed uint64) (float64, error) {
+		return rng.New(seed).Normal(mean, stddev), nil
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Compute(cfg, gauss(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(cfg, gauss(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Outputs) != cfg.Length {
+		t.Fatalf("fingerprint length = %d", len(a.Outputs))
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			t.Fatal("fingerprints of identical functions must be identical")
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	sentinel := errors.New("model exploded")
+	_, err := Compute(cfg, func(uint64) (float64, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	_, err = Compute(cfg, func(uint64) (float64, error) { return math.NaN(), nil })
+	if err == nil {
+		t.Error("NaN output should error")
+	}
+	_, err = Compute(cfg, func(uint64) (float64, error) { return math.Inf(1), nil })
+	if err == nil {
+		t.Error("Inf output should error")
+	}
+	bad := cfg
+	bad.Length = 1
+	if _, err := Compute(bad, gauss(0, 1)); err == nil {
+		t.Error("too-short config should error")
+	}
+}
+
+func TestMatchIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Compute(cfg, gauss(5, 1))
+	b, _ := Compute(cfg, gauss(5, 1))
+	m, err := Match(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != MappingIdentity {
+		t.Fatalf("kind = %v, want identity", m.Kind)
+	}
+	samples := []float64{1, 2, 3}
+	mapped, err := m.Apply(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if mapped[i] != samples[i] {
+			t.Error("identity mapping must preserve samples")
+		}
+	}
+	// Apply must copy, not alias.
+	mapped[0] = 99
+	if samples[0] == 99 {
+		t.Error("identity Apply must not alias input")
+	}
+	y, err := m.ApplyOne(7)
+	if err != nil || y != 7 {
+		t.Errorf("ApplyOne identity = %g, %v", y, err)
+	}
+}
+
+func TestMatchAffine(t *testing.T) {
+	cfg := DefaultConfig()
+	base, _ := Compute(cfg, gauss(0, 1))
+	// Shifted and scaled versions of the same underlying variate: exact
+	// affine relation y = 3x + 10.
+	shifted, _ := Compute(cfg, func(seed uint64) (float64, error) {
+		return 3*rng.New(seed).Normal(0, 1) + 10, nil
+	})
+	m, err := Match(cfg, base, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != MappingAffine {
+		t.Fatalf("kind = %v, want affine", m.Kind)
+	}
+	if math.Abs(m.Fit.A-3) > 1e-9 || math.Abs(m.Fit.B-10) > 1e-9 {
+		t.Errorf("fit = %+v", m.Fit)
+	}
+	if m.Correlation < 0.999 {
+		t.Errorf("correlation = %g", m.Correlation)
+	}
+	y, err := m.ApplyOne(2)
+	if err != nil || math.Abs(y-16) > 1e-9 {
+		t.Errorf("ApplyOne = %g", y)
+	}
+}
+
+func TestMatchNone(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Compute(cfg, gauss(0, 1))
+	// An unrelated stream: different seed derivation breaks correlation.
+	b, _ := Compute(cfg, func(seed uint64) (float64, error) {
+		return rng.Derive(seed, "other", 1).Normal(0, 1), nil
+	})
+	m, err := Match(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != MappingNone {
+		t.Fatalf("kind = %v, want none (corr=%g)", m.Kind, m.Correlation)
+	}
+	if _, err := m.Apply([]float64{1}); err == nil {
+		t.Error("applying a none mapping should error")
+	}
+	if _, err := m.ApplyOne(1); err == nil {
+		t.Error("ApplyOne on none mapping should error")
+	}
+}
+
+func TestMatchLengthMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Compute(cfg, gauss(0, 1))
+	short := Fingerprint{Outputs: []float64{1, 2}}
+	if _, err := Match(cfg, a, short); err == nil {
+		t.Error("length mismatch should error")
+	}
+	tiny := Fingerprint{Outputs: []float64{1}}
+	if _, err := Match(cfg, tiny, tiny); err == nil {
+		t.Error("too-short fingerprints should error")
+	}
+}
+
+// Property: for any affine transformation of a common underlying variate,
+// Match finds the planted (A, B) and re-mapped Monte Carlo samples equal
+// direct simulation exactly.
+func TestQuickAffineRemapExact(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(ai, bi int16) bool {
+		a := 0.5 + math.Abs(float64(ai))/2048 // keep away from degenerate a=0
+		b := float64(bi) / 128
+		basisFn := gauss(0, 1)
+		targetFn := func(seed uint64) (float64, error) {
+			x, _ := basisFn(seed)
+			return a*x + b, nil
+		}
+		fpB, err := Compute(cfg, basisFn)
+		if err != nil {
+			return false
+		}
+		fpT, err := Compute(cfg, targetFn)
+		if err != nil {
+			return false
+		}
+		m, err := Match(cfg, fpB, fpT)
+		if err != nil || m.Kind == MappingNone {
+			return false
+		}
+		// Simulate 100 worlds at the basis, remap, compare with direct.
+		worlds := rng.NewSeedSequence(99, "worlds").First(100)
+		basisSamples := make([]float64, len(worlds))
+		directSamples := make([]float64, len(worlds))
+		for i, s := range worlds {
+			basisSamples[i], _ = basisFn(s)
+			directSamples[i], _ = targetFn(s)
+		}
+		mapped, err := m.Apply(basisSamples)
+		if err != nil {
+			return false
+		}
+		for i := range mapped {
+			scale := 1 + math.Abs(directSamples[i])
+			if math.Abs(mapped[i]-directSamples[i]) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointKey(t *testing.T) {
+	a := PointKey(map[string]value.Value{
+		"current": value.Int(5), "feature": value.Int(12),
+	})
+	b := PointKey(map[string]value.Value{
+		"feature": value.Int(12), "current": value.Int(5),
+	})
+	if a != b {
+		t.Error("PointKey must be order-independent")
+	}
+	c := PointKey(map[string]value.Value{
+		"current": value.Int(6), "feature": value.Int(12),
+	})
+	if a == c {
+		t.Error("distinct points must get distinct keys")
+	}
+	if PointKey(nil) != "" {
+		t.Error("empty point key should be empty")
+	}
+	if a != "current=5,feature=12" {
+		t.Errorf("key = %q", a)
+	}
+}
+
+func TestIndexPutGetAndFind(t *testing.T) {
+	cfg := DefaultConfig()
+	ix, err := NewIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, _ := Compute(cfg, gauss(0, 1))
+	fpB, _ := Compute(cfg, gauss(100, 30))
+	ix.Put("capacity", "p=0", fpA)
+	ix.Put("capacity", "p=1", fpB)
+	if ix.Size("capacity") != 2 {
+		t.Errorf("size = %d", ix.Size("capacity"))
+	}
+	got, ok := ix.Get("capacity", "p=0")
+	if !ok || got.Outputs[0] != fpA.Outputs[0] {
+		t.Error("Get failed")
+	}
+	if _, ok := ix.Get("capacity", "p=9"); ok {
+		t.Error("missing key should not resolve")
+	}
+	// Replacement.
+	ix.Put("capacity", "p=0", fpB)
+	got, _ = ix.Get("capacity", "p=0")
+	if got.Outputs[0] != fpB.Outputs[0] {
+		t.Error("Put should replace")
+	}
+	if ix.Size("capacity") != 2 {
+		t.Error("replace should not grow the index")
+	}
+
+	// Identity lookup.
+	target, _ := Compute(cfg, gauss(100, 30))
+	res, ok := ix.FindMapping("capacity", target)
+	if !ok || res.Mapping.Kind != MappingIdentity {
+		t.Fatalf("find = %+v, %v", res, ok)
+	}
+	st := ix.Stats()
+	if st.Identity != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestIndexPrefersIdentityOverAffine(t *testing.T) {
+	cfg := DefaultConfig()
+	ix, _ := NewIndex(cfg)
+	base := gauss(0, 1)
+	affineFp, _ := Compute(cfg, func(seed uint64) (float64, error) {
+		x, _ := base(seed)
+		return 2*x + 1, nil
+	})
+	exactFp, _ := Compute(cfg, base)
+	ix.Put("out", "affine-basis", affineFp)
+	ix.Put("out", "exact-basis", exactFp)
+	target, _ := Compute(cfg, base)
+	res, ok := ix.FindMapping("out", target)
+	if !ok || res.Mapping.Kind != MappingIdentity || res.BasisKey != "exact-basis" {
+		t.Errorf("res = %+v, ok=%v", res, ok)
+	}
+}
+
+func TestIndexNoMatchCountsComputed(t *testing.T) {
+	cfg := DefaultConfig()
+	ix, _ := NewIndex(cfg)
+	fpA, _ := Compute(cfg, gauss(0, 1))
+	ix.Put("out", "a", fpA)
+	unrelated, _ := Compute(cfg, func(seed uint64) (float64, error) {
+		return rng.Derive(seed, "unrelated", 7).Normal(0, 1), nil
+	})
+	_, ok := ix.FindMapping("out", unrelated)
+	if ok {
+		t.Fatal("unrelated fingerprint should not match")
+	}
+	st := ix.Stats()
+	if st.Computed != 1 || st.Rejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	ix.ResetStats()
+	if ix.Stats().Total() != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestIndexEmptyLabel(t *testing.T) {
+	cfg := DefaultConfig()
+	ix, _ := NewIndex(cfg)
+	fp, _ := Compute(cfg, gauss(0, 1))
+	if _, ok := ix.FindMapping("nothing", fp); ok {
+		t.Error("empty label should not match")
+	}
+	if ix.Size("nothing") != 0 {
+		t.Error("size of empty label should be 0")
+	}
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Length = 0
+	if _, err := NewIndex(bad); err == nil {
+		t.Error("invalid config should error")
+	}
+	bad = DefaultConfig()
+	bad.AffineTol = -1
+	if _, err := NewIndex(bad); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestMappingKindString(t *testing.T) {
+	if MappingIdentity.String() != "identity" || MappingAffine.String() != "affine" ||
+		MappingNone.String() != "none" {
+		t.Error("kind strings wrong")
+	}
+	if MappingKind(9).String() != "MappingKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestReuseStats(t *testing.T) {
+	s := ReuseStats{Computed: 2, Identity: 5, Affine: 3, Rejected: 4}
+	if s.Reused() != 8 || s.Total() != 10 {
+		t.Errorf("reused/total = %d/%d", s.Reused(), s.Total())
+	}
+	if math.Abs(s.ReuseRate()-0.8) > 1e-12 {
+		t.Errorf("rate = %g", s.ReuseRate())
+	}
+	if (ReuseStats{}).ReuseRate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestConfigSeedsStable(t *testing.T) {
+	cfg := DefaultConfig()
+	a := cfg.Seeds()
+	b := cfg.Seeds()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fingerprint seeds must be stable")
+		}
+	}
+	other := cfg
+	other.SeedBase = 1
+	c := other.Seeds()
+	if a[0] == c[0] {
+		t.Error("different bases must give different seeds")
+	}
+}

@@ -1,0 +1,459 @@
+// Package mc implements the Monte Carlo executor: it turns one parameter
+// point of a compiled scenario into per-world output samples by invoking
+// VG-Functions (or re-mapping stored basis distributions via fingerprints),
+// materializing the possible-worlds table, and running the Query
+// Generator's pure TSQL through the relational engine.
+//
+// This is the inner loop of the paper's architecture cycle: Guide →
+// instances → Query Generator → TSQL → engine → Storage Manager → Result
+// Aggregator.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/guide"
+	"fuzzyprophet/internal/rng"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/storage"
+	"fuzzyprophet/internal/value"
+)
+
+// Options configures an Evaluator.
+type Options struct {
+	// Worlds is the number of Monte Carlo worlds per point (default 1000).
+	Worlds int
+	// SeedBase seeds the fixed world sequence (default 20110612, the
+	// paper's demo week). Changing it changes every sample.
+	SeedBase uint64
+	// Workers bounds VG-invocation parallelism (default: GOMAXPROCS).
+	Workers int
+	// Reuse enables fingerprint-based computation reuse when non-nil.
+	Reuse *Reuse
+}
+
+func (o Options) withDefaults() Options {
+	if o.Worlds <= 0 {
+		o.Worlds = 1000
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 20110612
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ReuseKind records how a site's sample vector was obtained.
+type ReuseKind uint8
+
+// Reuse kinds.
+const (
+	// Computed: fresh VG invocations, one per world.
+	Computed ReuseKind = iota
+	// CachedExact: the exact (site, args) pair was already stored.
+	CachedExact
+	// Identity: re-mapped from a basis with an identity mapping.
+	Identity
+	// Affine: re-mapped from a basis through an affine mapping.
+	Affine
+)
+
+func (k ReuseKind) String() string {
+	switch k {
+	case Computed:
+		return "computed"
+	case CachedExact:
+		return "cached"
+	case Identity:
+		return "identity"
+	case Affine:
+		return "affine"
+	default:
+		return fmt.Sprintf("ReuseKind(%d)", uint8(k))
+	}
+}
+
+// Reuse is the fingerprint-reuse state shared across point evaluations: the
+// fingerprint index plus the basis-distribution store. Safe for concurrent
+// use.
+type Reuse struct {
+	cfg   core.Config
+	index *core.Index
+	store *storage.Store
+
+	mu        sync.Mutex
+	counts    map[ReuseKind]int
+	seedBase  uint64
+	seedBound bool
+}
+
+// NewReuse returns a reuse engine with the given fingerprint configuration
+// and basis-store budget (bytes; <= 0 means unbounded).
+func NewReuse(cfg core.Config, storeBudget int64) (*Reuse, error) {
+	ix, err := core.NewIndex(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reuse{
+		cfg:    cfg,
+		index:  ix,
+		store:  storage.NewStore(storeBudget),
+		counts: make(map[ReuseKind]int),
+	}, nil
+}
+
+// Config returns the fingerprint configuration.
+func (r *Reuse) Config() core.Config { return r.cfg }
+
+// Index exposes the fingerprint index (read access for visualization).
+func (r *Reuse) Index() *core.Index { return r.index }
+
+// StoreStats returns the basis store's counters.
+func (r *Reuse) StoreStats() storage.Stats { return r.store.Stats() }
+
+// Counts returns a snapshot of per-kind outcome counts.
+func (r *Reuse) Counts() map[ReuseKind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ReuseKind]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetCounts zeroes the outcome counters (not the stored bases).
+func (r *Reuse) ResetCounts() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts = make(map[ReuseKind]int)
+}
+
+func (r *Reuse) record(k ReuseKind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts[k]++
+}
+
+// Evaluator evaluates scenario points.
+type Evaluator struct {
+	scn     *scenario.Scenario
+	opts    Options
+	catalog *sqlengine.Catalog
+	engine  *sqlengine.Engine
+}
+
+// NewEvaluator returns an evaluator for the compiled scenario. The
+// scenario's static side tables are installed into the evaluator's catalog.
+func NewEvaluator(scn *scenario.Scenario, opts Options) *Evaluator {
+	cat := sqlengine.NewCatalog()
+	for _, t := range scn.StaticTables {
+		cat.Put(t)
+	}
+	return &Evaluator{
+		scn:     scn,
+		opts:    opts.withDefaults(),
+		catalog: cat,
+		engine:  sqlengine.New(cat),
+	}
+}
+
+// Catalog exposes the evaluator's catalog so callers can install static
+// side tables the scenario query joins against.
+func (ev *Evaluator) Catalog() *sqlengine.Catalog { return ev.catalog }
+
+// Options returns the effective options.
+func (ev *Evaluator) Options() Options { return ev.opts }
+
+// Scenario returns the compiled scenario.
+func (ev *Evaluator) Scenario() *scenario.Scenario { return ev.scn }
+
+// worldSeed returns the fixed seed for (site, world i). World seeds are
+// disjoint from fingerprint seeds by construction (different derivation
+// labels).
+func (ev *Evaluator) worldSeed(siteID string, i int) uint64 {
+	return rng.Derive(ev.opts.SeedBase, "world."+siteID, uint64(i)).Uint64()
+}
+
+// PointResult holds one point's per-world outputs.
+type PointResult struct {
+	// Point is the evaluated parameter point.
+	Point guide.Point
+	// Columns maps each output column to its per-world sample vector.
+	Columns map[string][]float64
+	// Worlds is the number of worlds evaluated.
+	Worlds int
+	// SiteOutcome records, per site ID, how its samples were obtained.
+	SiteOutcome map[string]ReuseKind
+	// SQL is the pure TSQL the Query Generator emitted for this point.
+	SQL string
+}
+
+// FreshSites returns how many sites required fresh VG simulation.
+func (p *PointResult) FreshSites() int {
+	n := 0
+	for _, k := range p.SiteOutcome {
+		if k == Computed {
+			n++
+		}
+	}
+	return n
+}
+
+// EvaluatePoint runs the full pipeline for one parameter point.
+func (ev *Evaluator) EvaluatePoint(pt guide.Point) (*PointResult, error) {
+	res := &PointResult{
+		Point:       pt,
+		Worlds:      ev.opts.Worlds,
+		Columns:     make(map[string][]float64, len(ev.scn.OutputCols)),
+		SiteOutcome: make(map[string]ReuseKind, len(ev.scn.Sites)),
+	}
+
+	// 1. Obtain per-site sample vectors (fresh or re-mapped).
+	siteSamples := make([][]float64, len(ev.scn.Sites))
+	for si := range ev.scn.Sites {
+		site := &ev.scn.Sites[si]
+		samples, kind, err := ev.samplesFor(site, pt)
+		if err != nil {
+			return nil, err
+		}
+		siteSamples[si] = samples
+		res.SiteOutcome[site.ID] = kind
+	}
+
+	// 2. Materialize the possible-worlds table.
+	cols := make([]string, 0, len(ev.scn.Sites)+1)
+	cols = append(cols, scenario.WorldColumn)
+	for _, s := range ev.scn.Sites {
+		cols = append(cols, s.Column)
+	}
+	rows := make([][]value.Value, ev.opts.Worlds)
+	for i := 0; i < ev.opts.Worlds; i++ {
+		row := make([]value.Value, len(cols))
+		row[0] = value.Int(int64(i))
+		for si := range siteSamples {
+			row[si+1] = value.Float(siteSamples[si][i])
+		}
+		rows[i] = row
+	}
+	worlds, err := sqlengine.NewTable(scenario.WorldsTable, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	ev.catalog.Put(worlds)
+
+	// 3. Query Generator: emit pure TSQL, re-parse, execute.
+	sql, err := ev.scn.GenerateSQL(pt)
+	if err != nil {
+		return nil, err
+	}
+	res.SQL = sql
+	script, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("mc: generated SQL does not parse: %w\n%s", err, sql)
+	}
+	out, err := ev.engine.ExecScript(script, nil)
+	if err != nil {
+		return nil, fmt.Errorf("mc: executing generated SQL: %w", err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("mc: generated SQL produced no result")
+	}
+
+	// 4. Collect output samples. Purely categorical (string) columns are
+	// carried in the SQL result but have no distribution to aggregate, so
+	// they are skipped here; NULLs or mixed types in a numeric column are
+	// errors.
+	for _, colName := range ev.scn.OutputCols {
+		vals, err := out.Column(colName)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) > 0 && vals[0].Kind() == value.KindString {
+			categorical := true
+			for _, v := range vals {
+				if v.Kind() != value.KindString {
+					categorical = false
+					break
+				}
+			}
+			if categorical {
+				continue
+			}
+		}
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			f, err := v.AsFloat()
+			if err != nil {
+				return nil, fmt.Errorf("mc: output column %q row %d: %w", colName, i, err)
+			}
+			fs[i] = f
+		}
+		res.Columns[colName] = fs
+	}
+	return res, nil
+}
+
+// probeCount returns k, the number of world-seed probes used as the
+// fingerprint, clamped so probing never exceeds half the full simulation.
+func (ev *Evaluator) probeCount() int {
+	k := ev.opts.Reuse.cfg.Length
+	if max := ev.opts.Worlds / 2; k > max {
+		k = max
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// samplesFor produces the per-world sample vector for one site at one
+// point, consulting the reuse engine when configured.
+//
+// The fingerprint of a point is its output under the first k *world* seeds
+// — a prefix of the very sample vector the point would produce. This keeps
+// the paper's "fixed sequence of random inputs" definition while making
+// probes double as validation on real output worlds: a computed point's
+// fingerprint costs nothing extra, and a re-mapped vector is exact at every
+// probed index (the probes overwrite the mapped values).
+func (ev *Evaluator) samplesFor(site *scenario.Site, pt guide.Point) ([]float64, ReuseKind, error) {
+	args, key, err := site.ArgValues(pt)
+	if err != nil {
+		return nil, Computed, err
+	}
+	r := ev.opts.Reuse
+	if r == nil {
+		samples, err := ev.simulate(site, args, 0, ev.opts.Worlds, nil)
+		return samples, Computed, err
+	}
+	if err := r.bindSeedBase(ev.opts.SeedBase); err != nil {
+		return nil, Computed, err
+	}
+
+	// Exact cache hit: this (site, args) pair was already evaluated.
+	if cached, ok := r.store.Get(site.ID, key); ok {
+		if len(cached) >= ev.opts.Worlds {
+			r.record(CachedExact)
+			return cached[:ev.opts.Worlds], CachedExact, nil
+		}
+		// Stored run was smaller than requested; fall through to recompute.
+	}
+
+	// Probe the target at the first k world seeds (k VG invocations).
+	k := ev.probeCount()
+	probes, err := ev.simulate(site, args, 0, k, nil)
+	if err != nil {
+		return nil, Computed, fmt.Errorf("mc: fingerprinting %s%s: %w", site.ID, key, err)
+	}
+	fp := core.Fingerprint{Outputs: probes}
+	for i, v := range probes {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, Computed, fmt.Errorf("mc: fingerprinting %s%s: non-finite probe %g at world %d", site.ID, key, v, i)
+		}
+	}
+
+	// Try to re-map from an explored basis.
+	if match, ok := r.index.FindMapping(site.ID, fp); ok {
+		if basis, ok := r.store.Get(site.ID, match.BasisKey); ok && len(basis) >= ev.opts.Worlds {
+			mapped, err := match.Mapping.Apply(basis[:ev.opts.Worlds])
+			if err == nil {
+				// The probed worlds are exact; splice them in.
+				copy(mapped[:k], probes)
+				// Cache the mapped vector for exact re-hits, but do NOT
+				// register it as a basis: all mappings stay single-hop from
+				// computed points, so affine error cannot compound.
+				r.store.Put(site.ID, key, mapped)
+				kind := Identity
+				if match.Mapping.Kind == core.MappingAffine {
+					kind = Affine
+				}
+				r.record(kind)
+				return mapped, kind, nil
+			}
+		}
+		// Basis evicted or unusable: simulate below.
+	}
+
+	// Simulate the remaining worlds; the probes are worlds 0..k-1.
+	samples, err := ev.simulate(site, args, k, ev.opts.Worlds, probes)
+	if err != nil {
+		return nil, Computed, err
+	}
+	r.store.Put(site.ID, key, samples)
+	r.index.Put(site.ID, key, fp)
+	r.record(Computed)
+	return samples, Computed, nil
+}
+
+// simulate invokes the site's VG-Function for worlds [from, to), in
+// parallel, returning the full [0, to) vector. prefix supplies the already-
+// computed worlds [0, from) (nil when from is 0).
+func (ev *Evaluator) simulate(site *scenario.Site, args []value.Value, from, to int, prefix []float64) ([]float64, error) {
+	samples := make([]float64, to)
+	copy(samples, prefix[:from])
+	n := to - from
+	workers := ev.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := from; i < to; i++ {
+			v, err := ev.scn.Registry.Invoke(site.Name, ev.worldSeed(site.ID, i), args)
+			if err != nil {
+				return nil, fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+			}
+			f, err := v.AsFloat()
+			if err != nil {
+				return nil, fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+			}
+			samples[i] = f
+		}
+		return samples, nil
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := from + w*chunk
+		hi := lo + chunk
+		if hi > to {
+			hi = to
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				v, err := ev.scn.Registry.Invoke(site.Name, ev.worldSeed(site.ID, i), args)
+				if err != nil {
+					errCh <- fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+					return
+				}
+				f, err := v.AsFloat()
+				if err != nil {
+					errCh <- fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+					return
+				}
+				samples[i] = f
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return samples, nil
+}

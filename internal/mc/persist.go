@@ -1,0 +1,93 @@
+package mc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/storage"
+)
+
+// Persistence for the reuse state. The paper notes models live in the
+// database so "she can update all Fuzzy Prophet instances using the model";
+// the reuse engine's basis distributions and fingerprints are similarly
+// shareable state: because every sample is deterministic in (seed base,
+// site, world), a saved snapshot stays valid across processes as long as
+// the scenario, models and seed base are unchanged.
+//
+// The snapshot embeds the fingerprint configuration and the bound seed
+// base; loading validates both, refusing to mix incompatible state.
+
+// snapshotVersion guards the gob layout.
+const snapshotVersion = 1
+
+type reuseSnapshot struct {
+	Version  int
+	Config   core.Config
+	SeedBase uint64
+	Bound    bool
+	Bases    []storage.Entry
+	Index    []core.IndexEntry
+}
+
+// Save serializes the reuse engine's basis store and fingerprint index.
+// Counters are not persisted (they describe a run, not the state).
+func (r *Reuse) Save(w io.Writer) error {
+	r.mu.Lock()
+	snap := reuseSnapshot{
+		Version:  snapshotVersion,
+		Config:   r.cfg,
+		SeedBase: r.seedBase,
+		Bound:    r.seedBound,
+	}
+	r.mu.Unlock()
+	snap.Bases = r.store.Snapshot()
+	snap.Index = r.index.Export()
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("mc: saving reuse state: %w", err)
+	}
+	return nil
+}
+
+// LoadReuse reads a snapshot previously written by Save, returning a reuse
+// engine with the given store budget. The snapshot's fingerprint
+// configuration is restored verbatim.
+func LoadReuse(rd io.Reader, storeBudget int64) (*Reuse, error) {
+	var snap reuseSnapshot
+	if err := gob.NewDecoder(rd).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mc: loading reuse state: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("mc: reuse snapshot version %d not supported (want %d)", snap.Version, snapshotVersion)
+	}
+	r, err := NewReuse(snap.Config, storeBudget)
+	if err != nil {
+		return nil, err
+	}
+	r.seedBase = snap.SeedBase
+	r.seedBound = snap.Bound
+	r.store.Restore(snap.Bases)
+	if err := r.index.Import(snap.Index); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// bindSeedBase pins the reuse state to one world-seed base. All evaluators
+// sharing a reuse engine must agree on it — basis samples drawn under a
+// different base would be silently wrong.
+func (r *Reuse) bindSeedBase(base uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.seedBound {
+		r.seedBase = base
+		r.seedBound = true
+		return nil
+	}
+	if r.seedBase != base {
+		return fmt.Errorf("mc: reuse state is bound to seed base %d; evaluator uses %d (shared reuse requires a single seed base)",
+			r.seedBase, base)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package mc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fuzzyprophet/internal/core"
+)
+
+func TestReuseSaveLoadRoundTrip(t *testing.T) {
+	scn := compileFigure2(t)
+	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(scn, Options{Worlds: 80, Reuse: reuse})
+	pt := point(10, 16, 32, 36)
+	original, err := ev.EvaluatePoint(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reuse.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadReuse(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config().Length != reuse.Config().Length {
+		t.Error("config not restored")
+	}
+	// A fresh process with the loaded state: the same point is a pure
+	// cache hit with zero VG invocations.
+	reg := scn.Registry
+	before := reg.TotalInvocations()
+	ev2 := NewEvaluator(scn, Options{Worlds: 80, Reuse: loaded})
+	res, err := ev2.EvaluatePoint(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.TotalInvocations() != before {
+		t.Errorf("loaded state should serve the point without invocations (spent %d)",
+			reg.TotalInvocations()-before)
+	}
+	for site, kind := range res.SiteOutcome {
+		if kind != CachedExact {
+			t.Errorf("site %s = %v after load, want cached", site, kind)
+		}
+	}
+	for col := range original.Columns {
+		for i := range original.Columns[col] {
+			if res.Columns[col][i] != original.Columns[col][i] {
+				t.Fatalf("column %s world %d differs after reload", col, i)
+			}
+		}
+	}
+	// Fingerprint mappings also survive: a moved purchase still maps.
+	res2, err := ev2.EvaluatePoint(point(10, 20, 32, 36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.SiteOutcome["CapacityModel#0"]; got != Identity && got != Affine {
+		t.Errorf("mapping after reload = %v, want identity or affine", got)
+	}
+}
+
+func TestLoadReuseRejectsGarbage(t *testing.T) {
+	if _, err := LoadReuse(strings.NewReader("not a snapshot"), 0); err == nil {
+		t.Error("garbage input should error")
+	}
+	if _, err := LoadReuse(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestSeedBaseBindingGuard(t *testing.T) {
+	scn := compileFigure2(t)
+	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewEvaluator(scn, Options{Worlds: 20, SeedBase: 111, Reuse: reuse})
+	if _, err := a.EvaluatePoint(point(5, 16, 32, 36)); err != nil {
+		t.Fatal(err)
+	}
+	// A second evaluator with a different seed base must be rejected: its
+	// worlds would not correspond to the stored bases.
+	b := NewEvaluator(scn, Options{Worlds: 20, SeedBase: 222, Reuse: reuse})
+	_, err = b.EvaluatePoint(point(5, 16, 32, 36))
+	if err == nil {
+		t.Fatal("mismatched seed base must be rejected")
+	}
+	if !strings.Contains(err.Error(), "seed base") {
+		t.Errorf("error should explain the seed-base conflict: %v", err)
+	}
+	// Same base keeps working.
+	c := NewEvaluator(scn, Options{Worlds: 20, SeedBase: 111, Reuse: reuse})
+	if _, err := c.EvaluatePoint(point(6, 16, 32, 36)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedBaseBindingSurvivesSaveLoad(t *testing.T) {
+	scn := compileFigure2(t)
+	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	ev := NewEvaluator(scn, Options{Worlds: 20, SeedBase: 111, Reuse: reuse})
+	if _, err := ev.EvaluatePoint(point(5, 16, 32, 36)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reuse.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReuse(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewEvaluator(scn, Options{Worlds: 20, SeedBase: 999, Reuse: loaded})
+	if _, err := wrong.EvaluatePoint(point(5, 16, 32, 36)); err == nil {
+		t.Fatal("loaded state must keep its seed-base binding")
+	}
+}
+
+func TestSnapshotRestoreStoreOrder(t *testing.T) {
+	// The snapshot preserves LRU recency so a restored bounded store evicts
+	// the same entries first.
+	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse.store.Put("s", "old", []float64{1})
+	reuse.store.Put("s", "new", []float64{2})
+	if _, ok := reuse.store.Get("s", "old"); !ok { // touch: old becomes MRU
+		t.Fatal("old missing")
+	}
+	var buf bytes.Buffer
+	if err := reuse.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReuse(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := loaded.store.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "old" || snap[1].Key != "new" {
+		t.Errorf("restored order = %v", []string{snap[0].Key, snap[1].Key})
+	}
+}
+
+func TestPersistedMappingCorrectness(t *testing.T) {
+	// End to end: state saved in one "process", loaded in another, must
+	// produce samples identical to direct simulation.
+	scn := compileFigure2(t)
+	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	ev := NewEvaluator(scn, Options{Worlds: 60, Reuse: reuse})
+	if _, err := ev.EvaluatePoint(point(5, 20, 40, 36)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reuse.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReuse(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := NewEvaluator(scn, Options{Worlds: 60, Reuse: loaded})
+	got, err := ev2.EvaluatePoint(point(5, 28, 40, 36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewEvaluator(scn, Options{Worlds: 60})
+	want, err := direct.EvaluatePoint(point(5, 28, 40, 36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := range want.Columns {
+		for i := range want.Columns[col] {
+			if got.Columns[col][i] != want.Columns[col][i] {
+				t.Fatalf("reloaded mapping differs from direct at %s[%d]", col, i)
+			}
+		}
+	}
+}

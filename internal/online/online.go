@@ -1,0 +1,467 @@
+// Package online implements Fuzzy Prophet's online mode (paper §3.2): an
+// interactive session where the user adjusts parameter "sliders" and sees a
+// live graph of the scenario's per-X-value statistics.
+//
+// The session keeps the fingerprint-reuse engine warm across adjustments,
+// so after the first render "only portions of the graph changed by the
+// adjustment are re-rendered (implying that only a small portion of the
+// output statistics is recomputed)" — the RenderStats returned with each
+// graph quantify exactly that claim. The session can also prefetch points
+// around the current slider positions, the paper's "values [that] are
+// proactively being explored anticipating their future usage".
+package online
+
+import (
+	"fmt"
+	"time"
+
+	"fuzzyprophet/internal/aggregate"
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/guide"
+	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/value"
+	"fuzzyprophet/internal/viz"
+)
+
+// Session is one interactive exploration of a scenario's graph.
+type Session struct {
+	scn  *scenario.Scenario
+	ev   *mc.Evaluator
+	axis string
+	pins guide.Point
+	// explored records pin combinations that have been rendered or
+	// prefetched, keyed by core.PointKey of the pins; the value marks how
+	// ('R' rendered, 'p' prefetched). It feeds the exploration map the
+	// paper's GUI shows next to the chart.
+	explored map[string]byte
+}
+
+// NewSession opens a session over a compiled scenario that declares a GRAPH
+// statement. Slider positions start at each parameter's first declared
+// value. Pass an mc.Options with a Reuse engine to enable fingerprint reuse
+// (strongly recommended; it is the point of the system).
+func NewSession(scn *scenario.Scenario, opts mc.Options) (*Session, error) {
+	if scn.Graph == nil {
+		return nil, fmt.Errorf("online: scenario has no GRAPH statement")
+	}
+	s := &Session{
+		scn:      scn,
+		ev:       mc.NewEvaluator(scn, opts),
+		axis:     scn.Graph.Over,
+		pins:     guide.Point{},
+		explored: map[string]byte{},
+	}
+	for _, def := range scn.Space.Params {
+		if def.Name != s.axis {
+			s.pins[def.Name] = def.Values[0]
+		}
+	}
+	return s, nil
+}
+
+// Axis returns the graph's X-axis parameter name.
+func (s *Session) Axis() string { return s.axis }
+
+// Param returns the current position of a slider.
+func (s *Session) Param(name string) (value.Value, bool) {
+	v, ok := s.pins[name]
+	return v, ok
+}
+
+// SetParam moves one slider. The axis parameter cannot be pinned, the value
+// must belong to the parameter's declared space.
+func (s *Session) SetParam(name string, v value.Value) error {
+	if name == s.axis {
+		return fmt.Errorf("online: @%s is the graph axis, not a slider", name)
+	}
+	if s.scn.Space.Index(name) < 0 {
+		return fmt.Errorf("online: unknown parameter @%s", name)
+	}
+	if s.scn.Space.IndexOfValue(name, v) < 0 {
+		return fmt.Errorf("online: value %s is outside @%s's declared space", v.SQLLiteral(), name)
+	}
+	s.pins[name] = v
+	return nil
+}
+
+// RenderStats quantifies one render: how much of the graph had to be
+// recomputed versus served from the reuse machinery.
+type RenderStats struct {
+	// Points is the number of X-axis positions rendered.
+	Points int
+	// Recomputed counts positions where at least one VG site required
+	// fresh Monte Carlo simulation.
+	Recomputed int
+	// Remapped counts positions fully served by fingerprint mappings
+	// (identity or affine; no fresh simulation, only fingerprint probes).
+	Remapped int
+	// Unchanged counts positions where every site was an exact cache hit.
+	Unchanged int
+	// Elapsed is the wall-clock render time.
+	Elapsed time.Duration
+}
+
+// RecomputedFraction is the fraction of the graph that needed fresh
+// simulation — the paper's "set of weeks for which the query must be
+// recomputed".
+func (r RenderStats) RecomputedFraction() float64 {
+	if r.Points == 0 {
+		return 0
+	}
+	return float64(r.Recomputed) / float64(r.Points)
+}
+
+// SeriesPoint is one X position of one rendered series.
+type SeriesPoint struct {
+	X float64
+	Y float64
+	// CI95 is the 95% confidence half-width of Y.
+	CI95 float64
+}
+
+// GraphSeries is one rendered series (one GRAPH item).
+type GraphSeries struct {
+	// Name is "AGG column", e.g. "EXPECT overload".
+	Name string
+	// Agg and Column identify the aggregate and source column.
+	Agg    string
+	Column string
+	// Style carries the scenario's style words verbatim.
+	Style []string
+	// Points holds the series values in X order.
+	Points []SeriesPoint
+}
+
+// SecondAxis reports whether the scenario styled this series onto y2.
+func (g *GraphSeries) SecondAxis() bool {
+	for _, w := range g.Style {
+		if w == "y2" {
+			return true
+		}
+	}
+	return false
+}
+
+// Graph is one rendered frame of the online interface.
+type Graph struct {
+	// Axis is the X-axis parameter name.
+	Axis string
+	// X holds the axis values in order.
+	X []float64
+	// Series holds one entry per GRAPH item, in scenario order.
+	Series []GraphSeries
+	// Stats quantifies the render.
+	Stats RenderStats
+	// Pins is a copy of the slider positions the frame was rendered at.
+	Pins guide.Point
+}
+
+// Render evaluates the graph at the current slider positions. With a warm
+// reuse engine, only X positions genuinely affected by prior adjustments
+// cost fresh simulation.
+func (s *Session) Render() (*Graph, error) {
+	start := time.Now()
+	points, err := s.scn.Space.Sweep(s.axis, s.pins)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Axis: s.axis, Pins: clonePoint(s.pins)}
+	for _, item := range s.scn.Graph.Items {
+		g.Series = append(g.Series, GraphSeries{
+			Name:   item.Agg + " " + item.Column,
+			Agg:    item.Agg,
+			Column: item.Column,
+			Style:  item.Style,
+		})
+	}
+	for _, pt := range points {
+		x, err := pt[s.axis].AsFloat()
+		if err != nil {
+			return nil, fmt.Errorf("online: non-numeric axis value %s", pt[s.axis].SQLLiteral())
+		}
+		res, err := s.ev.EvaluatePoint(pt)
+		if err != nil {
+			return nil, err
+		}
+		g.X = append(g.X, x)
+		s.classify(res, &g.Stats)
+		stats := aggregate.NewPointStats(numericColumns(res))
+		for col, samples := range res.Columns {
+			if err := stats.AddSamples(col, samples); err != nil {
+				return nil, err
+			}
+		}
+		for i := range g.Series {
+			col, ok := stats.Column(g.Series[i].Column)
+			if !ok {
+				return nil, fmt.Errorf("online: missing column %q", g.Series[i].Column)
+			}
+			y, err := col.Metric(g.Series[i].Agg)
+			if err != nil {
+				return nil, err
+			}
+			g.Series[i].Points = append(g.Series[i].Points, SeriesPoint{X: x, Y: y, CI95: col.CI95()})
+		}
+	}
+	g.Stats.Points = len(points)
+	g.Stats.Elapsed = time.Since(start)
+	s.explored[core.PointKey(s.pins)] = 'R'
+	return g, nil
+}
+
+// RenderProgressive delivers the paper's "live, progressively refined view":
+// it renders the graph at increasing world counts (starting at startWorlds,
+// doubling up to the session's configured world count), invoking frame
+// after each pass with the refined graph and the world count used. Return
+// false from frame to stop early. The final rendered frame is returned.
+func (s *Session) RenderProgressive(startWorlds int, frame func(g *Graph, worlds int) bool) (*Graph, error) {
+	if frame == nil {
+		return nil, fmt.Errorf("online: RenderProgressive needs a frame callback")
+	}
+	maxWorlds := s.ev.Options().Worlds
+	worlds := startWorlds
+	if worlds <= 0 {
+		worlds = 64
+	}
+	if worlds > maxWorlds {
+		worlds = maxWorlds
+	}
+	var last *Graph
+	for {
+		probe := &Session{
+			scn:      s.scn,
+			ev:       mc.NewEvaluator(s.scn, mc.Options{Worlds: worlds, SeedBase: s.ev.Options().SeedBase, Workers: s.ev.Options().Workers, Reuse: s.ev.Options().Reuse}),
+			axis:     s.axis,
+			pins:     s.pins,
+			explored: s.explored,
+		}
+		g, err := probe.Render()
+		if err != nil {
+			return nil, err
+		}
+		last = g
+		if !frame(g, worlds) || worlds >= maxWorlds {
+			return last, nil
+		}
+		worlds *= 2
+		if worlds > maxWorlds {
+			worlds = maxWorlds
+		}
+	}
+}
+
+// ExplorationCell classifies one cell of the exploration map.
+type ExplorationCell byte
+
+// Exploration map cell states.
+const (
+	// CellUnexplored: never evaluated.
+	CellUnexplored ExplorationCell = '.'
+	// CellRendered: the user rendered the graph at these pins.
+	CellRendered ExplorationCell = 'R'
+	// CellPrefetched: evaluated proactively, anticipating future use.
+	CellPrefetched ExplorationCell = 'p'
+)
+
+// ExplorationMap renders the paper's parameter-space grid ("with which
+// parameter values have already been explored and which values are
+// proactively being explored"): a 2-D slice over two slider parameters,
+// every other slider held at its current position.
+func (s *Session) ExplorationMap(rowParam, colParam string) (*viz.MapGrid, error) {
+	if rowParam == s.axis || colParam == s.axis {
+		return nil, fmt.Errorf("online: the graph axis @%s cannot be a map dimension", s.axis)
+	}
+	ri := s.scn.Space.Index(rowParam)
+	ci := s.scn.Space.Index(colParam)
+	if ri < 0 || ci < 0 || rowParam == colParam {
+		return nil, fmt.Errorf("online: exploration map needs two distinct slider parameters")
+	}
+	rowVals := s.scn.Space.Params[ri].Values
+	colVals := s.scn.Space.Params[ci].Values
+	rowLabels := make([]string, len(rowVals))
+	colLabels := make([]string, len(colVals))
+	for i, v := range rowVals {
+		rowLabels[i] = v.SQLLiteral()
+	}
+	for j, v := range colVals {
+		colLabels[j] = v.SQLLiteral()
+	}
+	grid := viz.NewMapGrid(
+		fmt.Sprintf("explored parameter space (@%s × @%s)", rowParam, colParam),
+		"@"+rowParam, "@"+colParam, rowLabels, colLabels)
+	for i, rv := range rowVals {
+		for j, cv := range colVals {
+			pins := clonePoint(s.pins)
+			pins[rowParam] = rv
+			pins[colParam] = cv
+			switch s.explored[core.PointKey(pins)] {
+			case 'R':
+				grid.Set(i, j, viz.CellComputed)
+			case 'p':
+				grid.Set(i, j, viz.CellCached)
+			default:
+				grid.Set(i, j, viz.CellUnexplored)
+			}
+		}
+	}
+	return grid, nil
+}
+
+func (s *Session) classify(res *mc.PointResult, stats *RenderStats) {
+	fresh, mapped := false, false
+	for _, kind := range res.SiteOutcome {
+		switch kind {
+		case mc.Computed:
+			fresh = true
+		case mc.Identity, mc.Affine:
+			mapped = true
+		}
+	}
+	switch {
+	case fresh:
+		stats.Recomputed++
+	case mapped:
+		stats.Remapped++
+	default:
+		stats.Unchanged++
+	}
+}
+
+// numericColumns lists the point result's aggregatable columns (categorical
+// string columns are excluded by the executor).
+func numericColumns(res *mc.PointResult) []string {
+	out := make([]string, 0, len(res.Columns))
+	for col := range res.Columns {
+		out = append(out, col)
+	}
+	return out
+}
+
+func clonePoint(p guide.Point) guide.Point {
+	out := make(guide.Point, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Prefetch proactively evaluates the graph at slider positions adjacent to
+// the current ones (radius index steps along the given axes; nil means all
+// sliders), warming the reuse store for the user's likely next adjustments.
+// It returns the number of (point, week) evaluations performed.
+func (s *Session) Prefetch(axes []string, radius int) (int, error) {
+	focus := clonePoint(s.pins)
+	// Complete the focus with an arbitrary axis value; the axis itself is
+	// excluded from the movable dimensions.
+	focus[s.axis] = s.scn.Space.Params[s.scn.Space.Index(s.axis)].Values[0]
+	movable := axes
+	if movable == nil {
+		for _, def := range s.scn.Space.Params {
+			if def.Name != s.axis {
+				movable = append(movable, def.Name)
+			}
+		}
+	}
+	strategy, err := guide.NewNeighborhood(s.scn.Space, focus, radius, movable)
+	if err != nil {
+		return 0, err
+	}
+	evaluated := 0
+	for {
+		neighbor, ok := strategy.Next()
+		if !ok {
+			break
+		}
+		pins := clonePoint(neighbor)
+		delete(pins, s.axis)
+		sweep, err := s.scn.Space.Sweep(s.axis, pins)
+		if err != nil {
+			return evaluated, err
+		}
+		for _, pt := range sweep {
+			if _, err := s.ev.EvaluatePoint(pt); err != nil {
+				return evaluated, err
+			}
+			evaluated++
+		}
+		if key := core.PointKey(pins); s.explored[key] != 'R' {
+			s.explored[key] = 'p'
+		}
+	}
+	return evaluated, nil
+}
+
+// TimeToFirstAccurateGuess runs progressively larger world counts at the
+// current sliders until every series converges (CI95 within eps relative),
+// returning the elapsed time and the world count used. It measures the
+// paper's "a few dozen seconds to generate accurate statistics" claim
+// (experiment E1).
+func (s *Session) TimeToFirstAccurateGuess(eps float64, minWorlds int) (time.Duration, int, error) {
+	start := time.Now()
+	points, err := s.scn.Space.Sweep(s.axis, s.pins)
+	if err != nil {
+		return 0, 0, err
+	}
+	worlds := minWorlds
+	if worlds <= 0 {
+		worlds = 100
+	}
+	maxWorlds := s.ev.Options().Worlds
+	for {
+		probe := mc.NewEvaluator(s.scn, mc.Options{
+			Worlds:   worlds,
+			SeedBase: s.ev.Options().SeedBase,
+			Workers:  s.ev.Options().Workers,
+			Reuse:    s.ev.Options().Reuse,
+		})
+		allConverged := true
+		for _, pt := range points {
+			res, err := probe.EvaluatePoint(pt)
+			if err != nil {
+				return 0, 0, err
+			}
+			stats := aggregate.NewPointStats(numericColumns(res))
+			for col, samples := range res.Columns {
+				if err := stats.AddSamples(col, samples); err != nil {
+					return 0, 0, err
+				}
+			}
+			if !stats.Converged(eps, int64(worlds/2)) {
+				allConverged = false
+				break
+			}
+		}
+		if allConverged || worlds >= maxWorlds {
+			return time.Since(start), worlds, nil
+		}
+		worlds *= 2
+		if worlds > maxWorlds {
+			worlds = maxWorlds
+		}
+	}
+}
+
+// Chart renders a graph frame as an ASCII chart in the style of Figure 3.
+func Chart(g *Graph, height int) (string, error) {
+	symbols := []byte{'*', 'c', 'd', '+', 'x', 'o'}
+	chart := &viz.LineChart{
+		Title: fmt.Sprintf("GRAPH OVER @%s   [recomputed %d/%d weeks, remapped %d, unchanged %d, %v]",
+			g.Axis, g.Stats.Recomputed, g.Stats.Points, g.Stats.Remapped, g.Stats.Unchanged, g.Stats.Elapsed.Round(time.Millisecond)),
+		XLabel: "@" + g.Axis,
+		Height: height,
+	}
+	for i, series := range g.Series {
+		ys := make([]float64, len(series.Points))
+		for j, p := range series.Points {
+			ys[j] = p.Y
+		}
+		chart.Series = append(chart.Series, viz.Series{
+			Name:       series.Name,
+			Y:          ys,
+			Symbol:     symbols[i%len(symbols)],
+			SecondAxis: series.SecondAxis(),
+		})
+	}
+	return chart.Render()
+}

@@ -1,0 +1,138 @@
+package online
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzyprophet/internal/value"
+)
+
+func TestRenderProgressiveRefines(t *testing.T) {
+	s := newSession(t, 256)
+	var worldsSeen []int
+	g, err := s.RenderProgressive(32, func(g *Graph, worlds int) bool {
+		worldsSeen = append(worldsSeen, worlds)
+		if len(g.X) != 53 {
+			t.Errorf("frame at %d worlds has %d points", worlds, len(g.X))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{32, 64, 128, 256}
+	if len(worldsSeen) != len(want) {
+		t.Fatalf("frames = %v, want %v", worldsSeen, want)
+	}
+	for i := range want {
+		if worldsSeen[i] != want[i] {
+			t.Fatalf("frames = %v, want %v", worldsSeen, want)
+		}
+	}
+	if g == nil || len(g.Series) != 3 {
+		t.Fatal("final frame missing")
+	}
+}
+
+func TestRenderProgressiveEarlyStop(t *testing.T) {
+	s := newSession(t, 256)
+	frames := 0
+	_, err := s.RenderProgressive(32, func(g *Graph, worlds int) bool {
+		frames++
+		return frames < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 2 {
+		t.Errorf("frames = %d, want 2", frames)
+	}
+}
+
+func TestRenderProgressiveValidation(t *testing.T) {
+	s := newSession(t, 64)
+	if _, err := s.RenderProgressive(32, nil); err == nil {
+		t.Error("nil callback should error")
+	}
+	// startWorlds above the cap clamps to a single frame.
+	frames := 0
+	if _, err := s.RenderProgressive(9999, func(*Graph, int) bool {
+		frames++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if frames != 1 {
+		t.Errorf("frames = %d, want 1", frames)
+	}
+}
+
+func TestExplorationMap(t *testing.T) {
+	s := newSession(t, 30)
+	// Nothing explored yet.
+	grid, err := s.ExplorationMap("purchase1", "purchase2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := grid.Counts()
+	if counts['.'] != 14*14 {
+		t.Fatalf("fresh map counts = %v", counts)
+	}
+
+	// A render marks the current pins.
+	if _, err := s.Render(); err != nil {
+		t.Fatal(err)
+	}
+	// A prefetch marks neighbors.
+	if _, err := s.Prefetch([]string{"purchase1"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	grid, err = s.ExplorationMap("purchase1", "purchase2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts = grid.Counts()
+	if counts['#'] != 1 { // rendered cell
+		t.Errorf("rendered cells = %d, want 1 (%v)", counts['#'], counts)
+	}
+	if counts['o'] != 1 { // prefetched neighbor (focus itself is rendered)
+		t.Errorf("prefetched cells = %d, want 1 (%v)", counts['o'], counts)
+	}
+	out := grid.Render()
+	if !strings.Contains(out, "@purchase1") || !strings.Contains(out, "@purchase2") {
+		t.Errorf("map labels missing:\n%s", out)
+	}
+}
+
+func TestExplorationMapValidation(t *testing.T) {
+	s := newSession(t, 10)
+	if _, err := s.ExplorationMap("current", "purchase1"); err == nil {
+		t.Error("axis as dimension should error")
+	}
+	if _, err := s.ExplorationMap("purchase1", "purchase1"); err == nil {
+		t.Error("duplicate dimension should error")
+	}
+	if _, err := s.ExplorationMap("purchase1", "nope"); err == nil {
+		t.Error("unknown dimension should error")
+	}
+}
+
+func TestExplorationMapTracksMoves(t *testing.T) {
+	s := newSession(t, 20)
+	if _, err := s.Render(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetParam("purchase1", value.Int(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Render(); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := s.ExplorationMap("purchase1", "purchase2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grid.Counts()['#']; got != 2 {
+		t.Errorf("rendered cells = %d, want 2", got)
+	}
+}

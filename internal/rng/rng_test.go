@@ -1,0 +1,439 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different streams matched %d/100 outputs", same)
+	}
+}
+
+func TestDeriveDeterministicAndDistinct(t *testing.T) {
+	a := Derive(42, "world", 3)
+	b := Derive(42, "world", 3)
+	c := Derive(42, "world", 4)
+	d := Derive(42, "other", 3)
+	for i := 0; i < 100; i++ {
+		av := a.Uint64()
+		if av != b.Uint64() {
+			t.Fatal("same derivation must match")
+		}
+		if av == c.Uint64() || av == d.Uint64() {
+			t.Fatal("distinct derivations should not match")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(10)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(11)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) bucket %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(10, 3)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %g, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("normal stddev = %g, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestNormalPanicsOnNegativeStddev(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative stddev should panic")
+		}
+	}()
+	New(1).Normal(0, -1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(14)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("exp(rate=2) mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	s := New(15)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Poisson(3.5))
+	}
+	mean := sum / n
+	if math.Abs(mean-3.5) > 0.05 {
+		t.Errorf("poisson(3.5) mean = %g", mean)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	s := New(16)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := float64(s.Poisson(100))
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-100) > 0.5 {
+		t.Errorf("poisson(100) mean = %g", mean)
+	}
+	if math.Abs(variance-100) > 3 {
+		t.Errorf("poisson(100) variance = %g", variance)
+	}
+}
+
+func TestPoissonZeroAndPanic(t *testing.T) {
+	if New(1).Poisson(0) != 0 {
+		t.Error("poisson(0) must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mean should panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestGammaMoments(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	shape, scale := 2.5, 1.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gamma(shape, scale)
+	}
+	mean := sum / n
+	if math.Abs(mean-shape*scale) > 0.05 {
+		t.Errorf("gamma mean = %g, want %g", mean, shape*scale)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	s := New(18)
+	const n = 100000
+	shape, scale := 0.5, 2.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := s.Gamma(shape, scale)
+		if x < 0 {
+			t.Fatalf("gamma variate negative: %g", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-shape*scale) > 0.05 {
+		t.Errorf("gamma(0.5,2) mean = %g, want 1", mean)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	s := New(19)
+	const n = 100000
+	// shape=1 reduces to exponential with mean = scale.
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(1, 2)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Errorf("weibull(1,2) mean = %g, want 2", mean)
+	}
+}
+
+func TestBinomialSmallAndLarge(t *testing.T) {
+	s := New(20)
+	const n = 50000
+	var sumSmall, sumLarge float64
+	for i := 0; i < n; i++ {
+		sumSmall += float64(s.Binomial(10, 0.3))
+		sumLarge += float64(s.Binomial(1000, 0.01))
+	}
+	if m := sumSmall / n; math.Abs(m-3) > 0.05 {
+		t.Errorf("binomial(10,0.3) mean = %g, want 3", m)
+	}
+	if m := sumLarge / n; math.Abs(m-10) > 0.15 {
+		t.Errorf("binomial(1000,0.01) mean = %g, want 10", m)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	s := New(21)
+	if s.Binomial(0, 0.5) != 0 {
+		t.Error("binomial(0,·) must be 0")
+	}
+	if s.Binomial(5, 0) != 0 {
+		t.Error("binomial(·,0) must be 0")
+	}
+	if s.Binomial(5, 1) != 5 {
+		t.Error("binomial(5,1) must be 5")
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(22)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) must be true")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) rate = %g", p)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(23)
+	for i := 0; i < 10000; i++ {
+		x := s.Uniform(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform(-2,5) = %g", x)
+		}
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	s := New(24)
+	counts := make([]int, 3)
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[s.Pick([]float64{1, 2, 3})]++
+	}
+	for i, want := range []float64{n / 6.0, n / 3.0, n / 2.0} {
+		if math.Abs(float64(counts[i])-want) > 0.05*n {
+			t.Errorf("Pick bucket %d count %d, want ~%g", i, counts[i], want)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Pick should panic")
+		}
+	}()
+	New(1).Pick(nil)
+}
+
+func TestSeedSequenceStable(t *testing.T) {
+	a := NewSeedSequence(99, "fingerprint")
+	b := NewSeedSequence(99, "fingerprint")
+	for i := 0; i < 64; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("seed sequence not stable at %d", i)
+		}
+	}
+	c := NewSeedSequence(99, "worlds")
+	diff := false
+	for i := 0; i < 16; i++ {
+		if a.At(i) != c.At(i) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("labelled sequences should differ")
+	}
+	first := a.First(8)
+	if len(first) != 8 {
+		t.Fatalf("First(8) len = %d", len(first))
+	}
+	for i := range first {
+		if first[i] != a.At(i) {
+			t.Fatalf("First mismatch at %d", i)
+		}
+	}
+}
+
+// Property: Derive is a pure function of its inputs.
+func TestQuickDerivePure(t *testing.T) {
+	f := func(seed, idx uint64, label string) bool {
+		if len(label) > 32 {
+			label = label[:32]
+		}
+		a := Derive(seed, label, idx)
+		b := Derive(seed, label, idx)
+		return a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SeedSequence.At is pure.
+func TestQuickSeedSequencePure(t *testing.T) {
+	f := func(base uint64, i uint16) bool {
+		q := NewSeedSequence(base, "x")
+		return q.At(int(i)) == q.At(int(i))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Golden stream values: these pin the exact generator output forever. If
+// this test ever fails, fingerprint reuse across versions is broken, which
+// is a reuse-contract violation — do not update the constants casually.
+func TestGoldenStream(t *testing.T) {
+	s := New(20110612) // SIGMOD'11 demo week
+	got := []uint64{s.Uint64(), s.Uint64(), s.Uint64()}
+	want := []uint64{10468283027615151658, 3249371686644954416, 16195355249611632053}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("golden stream mismatch at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	q := NewSeedSequence(0x66757a7a79, "fingerprint")
+	if q.At(0) != 12947133982488511479 || q.At(1) != 17936968149242823031 {
+		t.Fatalf("golden fingerprint seeds changed: %d, %d", q.At(0), q.At(1))
+	}
+	d := Derive(1, "world.CapacityModel#0", 0)
+	if got := d.Uint64(); got != 10662317824455351390 {
+		t.Fatalf("golden derived stream changed: %d", got)
+	}
+	// Distribution of bits sanity: popcount average near 32.
+	s = New(7)
+	var bits int
+	for i := 0; i < 1000; i++ {
+		bits += popcount(s.Uint64())
+	}
+	avg := float64(bits) / 1000
+	if avg < 31 || avg > 33 {
+		t.Errorf("average popcount %g, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Normal(0, 1)
+	}
+}
+
+func BenchmarkPoisson100(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Poisson(100)
+	}
+}

@@ -1,0 +1,157 @@
+// Package sqlengine is the relational substrate standing in for the paper's
+// Microsoft SQL Server install: an in-memory engine that evaluates the pure
+// TSQL batches Fuzzy Prophet's Query Generator produces.
+//
+// The engine supports the dialect subset of package sqlparser: SELECT with
+// projection (including the dialect's left-to-right alias visibility),
+// FROM over catalog tables with cross and inner joins, WHERE, GROUP BY with
+// the standard aggregates plus the probabilistic aggregates EXPECT,
+// EXPECT_STDDEV and PROB, HAVING, ORDER BY, LIMIT and INTO materialization.
+//
+// The probabilistic aggregates are defined over a *worlds* axis: the Query
+// Generator lays Monte Carlo worlds out as rows, so within the engine
+// EXPECT(x) ≡ AVG(x), EXPECT_STDDEV(x) ≡ STDDEV(x) and PROB(x) ≡ AVG(x) of
+// a 0/1 indicator — the engine implements them under their own names so
+// queries stay faithful to the paper's surface syntax.
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fuzzyprophet/internal/value"
+)
+
+// Table is a named in-memory relation.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]value.Value
+}
+
+// NewTable constructs a table, validating that all rows match the column
+// count.
+func NewTable(name string, cols []string, rows [][]value.Value) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sqlengine: table needs a name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqlengine: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c] {
+			return nil, fmt.Errorf("sqlengine: table %q has duplicate column %q", name, c)
+		}
+		seen[c] = true
+	}
+	for i, r := range rows {
+		if len(r) != len(cols) {
+			return nil, fmt.Errorf("sqlengine: table %q row %d has %d values, want %d", name, i, len(r), len(cols))
+		}
+	}
+	return &Table{Name: name, Cols: cols, Rows: rows}, nil
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a row, validating its width.
+func (t *Table) Append(row []value.Value) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("sqlengine: table %q append: %d values, want %d", t.Name, len(row), len(t.Cols))
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// Catalog is a thread-safe name → table map.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Put stores or replaces a table.
+func (c *Catalog) Put(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Drop removes the named table; it is a no-op when absent.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, name)
+}
+
+// Names returns the table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// colBinding names one column of an intermediate relation, qualified by the
+// table alias it came from ("" for computed columns).
+type colBinding struct {
+	table string
+	name  string
+}
+
+// relation is an intermediate result: a schema plus rows.
+type relation struct {
+	schema []colBinding
+	rows   [][]value.Value
+}
+
+// lookup resolves a (table, name) reference against the schema. Unqualified
+// names must be unambiguous.
+func (r *relation) lookup(table, name string) (int, error) {
+	found := -1
+	for i, b := range r.schema {
+		if b.name != name {
+			continue
+		}
+		if table != "" && b.table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("sqlengine: ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return -1, fmt.Errorf("sqlengine: unknown column %s.%s", table, name)
+		}
+		return -1, fmt.Errorf("sqlengine: unknown column %q", name)
+	}
+	return found, nil
+}

@@ -1,0 +1,517 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/value"
+)
+
+// FuncResolver resolves scalar function calls during expression evaluation.
+// The scenario layer supplies one that dispatches VG-Functions with the
+// current world's seed; the engine falls back to its scalar builtins for
+// names the resolver declines (second return false).
+type FuncResolver interface {
+	Call(name string, args []value.Value) (callResult value.Value, handled bool, err error)
+}
+
+// FuncResolverFunc adapts a closure to FuncResolver.
+type FuncResolverFunc func(name string, args []value.Value) (value.Value, bool, error)
+
+// Call implements FuncResolver.
+func (f FuncResolverFunc) Call(name string, args []value.Value) (value.Value, bool, error) {
+	return f(name, args)
+}
+
+// EvalConst evaluates an expression outside any row context: it may
+// reference parameters, literals and scalar functions (resolver first, then
+// builtins) but not columns or aggregates. The scenario compiler uses it to
+// resolve VG call-site arguments for a parameter point.
+func EvalConst(x sqlparser.Expr, params map[string]value.Value, resolver FuncResolver) (value.Value, error) {
+	ev := &env{params: params, resolver: resolver}
+	return ev.eval(x)
+}
+
+// env is the evaluation environment for one expression: parameter bindings,
+// an optional row (with schema), extra computed bindings (select-item
+// aliases) and the function resolver chain.
+type env struct {
+	params   map[string]value.Value
+	rel      *relation
+	row      []value.Value
+	extra    map[string]value.Value // alias → value, visible unqualified
+	resolver FuncResolver
+}
+
+func (e *env) lookupColumn(table, name string) (value.Value, error) {
+	if table == "" && e.extra != nil {
+		if v, ok := e.extra[name]; ok {
+			return v, nil
+		}
+	}
+	if e.rel == nil || e.row == nil {
+		return value.Null, fmt.Errorf("sqlengine: column %q referenced outside a row context", name)
+	}
+	idx, err := e.rel.lookup(table, name)
+	if err != nil {
+		return value.Null, err
+	}
+	return e.row[idx], nil
+}
+
+// eval evaluates a non-aggregate expression. Aggregate calls reaching this
+// path are an error; the grouped executor intercepts them earlier.
+func (e *env) eval(x sqlparser.Expr) (value.Value, error) {
+	switch n := x.(type) {
+	case sqlparser.Literal:
+		return n.Val, nil
+	case sqlparser.ParamRef:
+		if e.params != nil {
+			if v, ok := e.params[n.Name]; ok {
+				return v, nil
+			}
+		}
+		return value.Null, fmt.Errorf("sqlengine: unbound parameter @%s", n.Name)
+	case sqlparser.ColumnRef:
+		return e.lookupColumn(n.Table, n.Name)
+	case sqlparser.Unary:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return value.Null, err
+		}
+		if n.Op == "NOT" {
+			if v.IsNull() {
+				return value.Null, nil
+			}
+			b, err := v.AsBool()
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Bool(!b), nil
+		}
+		return value.Neg(v)
+	case sqlparser.Binary:
+		return e.evalBinary(n)
+	case sqlparser.Case:
+		for _, w := range n.Whens {
+			c, err := e.eval(w.Cond)
+			if err != nil {
+				return value.Null, err
+			}
+			if c.Truthy() {
+				return e.eval(w.Then)
+			}
+		}
+		if n.Else != nil {
+			return e.eval(n.Else)
+		}
+		return value.Null, nil
+	case sqlparser.Between:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return value.Null, err
+		}
+		lo, err := e.eval(n.Lo)
+		if err != nil {
+			return value.Null, err
+		}
+		hi, err := e.eval(n.Hi)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return value.Null, nil
+		}
+		cl, err := value.Compare(v, lo)
+		if err != nil {
+			return value.Null, err
+		}
+		ch, err := value.Compare(v, hi)
+		if err != nil {
+			return value.Null, err
+		}
+		in := cl >= 0 && ch <= 0
+		if n.Not {
+			in = !in
+		}
+		return value.Bool(in), nil
+	case sqlparser.InList:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		found := false
+		for _, item := range n.Items {
+			iv, err := e.eval(item)
+			if err != nil {
+				return value.Null, err
+			}
+			if !iv.IsNull() && v.Equal(iv) {
+				found = true
+				break
+			}
+		}
+		if n.Not {
+			found = !found
+		}
+		return value.Bool(found), nil
+	case sqlparser.IsNull:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return value.Null, err
+		}
+		if n.Not {
+			return value.Bool(!v.IsNull()), nil
+		}
+		return value.Bool(v.IsNull()), nil
+	case sqlparser.FuncCall:
+		if isAggregateName(n.Name) {
+			return value.Null, fmt.Errorf("sqlengine: aggregate %s used outside an aggregation context", n.Name)
+		}
+		args := make([]value.Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := e.eval(a)
+			if err != nil {
+				return value.Null, err
+			}
+			args[i] = v
+		}
+		if e.resolver != nil {
+			v, handled, err := e.resolver.Call(n.Name, args)
+			if err != nil {
+				return value.Null, err
+			}
+			if handled {
+				return v, nil
+			}
+		}
+		return callBuiltin(n.Name, args)
+	default:
+		return value.Null, fmt.Errorf("sqlengine: unsupported expression %T", x)
+	}
+}
+
+func (e *env) evalBinary(n sqlparser.Binary) (value.Value, error) {
+	// AND/OR use SQL three-valued logic with short-circuiting on the
+	// determined side.
+	if n.Op == "AND" || n.Op == "OR" {
+		l, err := e.eval(n.L)
+		if err != nil {
+			return value.Null, err
+		}
+		if n.Op == "AND" && !l.IsNull() {
+			if b, err := l.AsBool(); err != nil {
+				return value.Null, err
+			} else if !b {
+				return value.Bool(false), nil
+			}
+		}
+		if n.Op == "OR" && !l.IsNull() {
+			if b, err := l.AsBool(); err != nil {
+				return value.Null, err
+			} else if b {
+				return value.Bool(true), nil
+			}
+		}
+		r, err := e.eval(n.R)
+		if err != nil {
+			return value.Null, err
+		}
+		if l.IsNull() || r.IsNull() {
+			// AND: false∧NULL handled above; true∧NULL = NULL.
+			// OR: true∨NULL handled above; false∨NULL = NULL.
+			if n.Op == "AND" {
+				if !r.IsNull() {
+					if b, _ := r.AsBool(); !b {
+						return value.Bool(false), nil
+					}
+				}
+			} else if !r.IsNull() {
+				if b, _ := r.AsBool(); b {
+					return value.Bool(true), nil
+				}
+			}
+			return value.Null, nil
+		}
+		rb, err := r.AsBool()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Bool(rb), nil
+	}
+
+	l, err := e.eval(n.L)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := e.eval(n.R)
+	if err != nil {
+		return value.Null, err
+	}
+	switch n.Op {
+	case "+":
+		return value.Add(l, r)
+	case "-":
+		return value.Sub(l, r)
+	case "*":
+		return value.Mul(l, r)
+	case "/":
+		return value.Div(l, r)
+	case "%":
+		return value.Mod(l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return value.Null, nil
+		}
+		c, err := value.Compare(l, r)
+		if err != nil {
+			return value.Null, err
+		}
+		switch n.Op {
+		case "=":
+			return value.Bool(c == 0), nil
+		case "<>":
+			return value.Bool(c != 0), nil
+		case "<":
+			return value.Bool(c < 0), nil
+		case "<=":
+			return value.Bool(c <= 0), nil
+		case ">":
+			return value.Bool(c > 0), nil
+		default:
+			return value.Bool(c >= 0), nil
+		}
+	default:
+		return value.Null, fmt.Errorf("sqlengine: unknown operator %q", n.Op)
+	}
+}
+
+// callBuiltin implements the engine's scalar builtin functions.
+func callBuiltin(name string, args []value.Value) (value.Value, error) {
+	oneFloat := func() (float64, bool, error) {
+		if len(args) != 1 {
+			return 0, false, fmt.Errorf("sqlengine: %s expects 1 argument, got %d", name, len(args))
+		}
+		if args[0].IsNull() {
+			return 0, true, nil
+		}
+		f, err := args[0].AsFloat()
+		return f, false, err
+	}
+	switch name {
+	case "ABS":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		return value.Float(math.Abs(f)), nil
+	case "SQRT":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		if f < 0 {
+			return value.Null, fmt.Errorf("sqlengine: SQRT of negative value %g", f)
+		}
+		return value.Float(math.Sqrt(f)), nil
+	case "EXP":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		return value.Float(math.Exp(f)), nil
+	case "LN":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		if f <= 0 {
+			return value.Null, fmt.Errorf("sqlengine: LN of non-positive value %g", f)
+		}
+		return value.Float(math.Log(f)), nil
+	case "FLOOR":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		return value.Float(math.Floor(f)), nil
+	case "CEILING":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		return value.Float(math.Ceil(f)), nil
+	case "ROUND":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		return value.Float(math.Round(f)), nil
+	case "SIGN":
+		f, isNull, err := oneFloat()
+		if err != nil || isNull {
+			return value.Null, err
+		}
+		switch {
+		case f > 0:
+			return value.Int(1), nil
+		case f < 0:
+			return value.Int(-1), nil
+		default:
+			return value.Int(0), nil
+		}
+	case "POWER":
+		if len(args) != 2 {
+			return value.Null, fmt.Errorf("sqlengine: POWER expects 2 arguments, got %d", len(args))
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.Null, nil
+		}
+		a, err := args[0].AsFloat()
+		if err != nil {
+			return value.Null, err
+		}
+		b, err := args[1].AsFloat()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(math.Pow(a, b)), nil
+	case "LEAST", "GREATEST":
+		if len(args) == 0 {
+			return value.Null, fmt.Errorf("sqlengine: %s expects at least 1 argument", name)
+		}
+		best := value.Null
+		for _, a := range args {
+			if a.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = a
+				continue
+			}
+			c, err := value.Compare(a, best)
+			if err != nil {
+				return value.Null, err
+			}
+			if (name == "LEAST" && c < 0) || (name == "GREATEST" && c > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return value.Null, nil
+	case "UPPER", "LOWER", "LTRIM", "RTRIM", "TRIM":
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("sqlengine: %s expects 1 argument, got %d", name, len(args))
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		s := args[0].AsString()
+		switch name {
+		case "UPPER":
+			return value.Str(strings.ToUpper(s)), nil
+		case "LOWER":
+			return value.Str(strings.ToLower(s)), nil
+		case "LTRIM":
+			return value.Str(strings.TrimLeft(s, " \t")), nil
+		case "RTRIM":
+			return value.Str(strings.TrimRight(s, " \t")), nil
+		default:
+			return value.Str(strings.TrimSpace(s)), nil
+		}
+	case "LEN":
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("sqlengine: LEN expects 1 argument, got %d", len(args))
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.Int(int64(len(args[0].AsString()))), nil
+	case "SUBSTRING":
+		// SUBSTRING(s, start, length) with 1-based start (T-SQL).
+		if len(args) != 3 {
+			return value.Null, fmt.Errorf("sqlengine: SUBSTRING expects 3 arguments, got %d", len(args))
+		}
+		if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+			return value.Null, nil
+		}
+		s := args[0].AsString()
+		start, err := args[1].AsInt()
+		if err != nil {
+			return value.Null, err
+		}
+		length, err := args[2].AsInt()
+		if err != nil {
+			return value.Null, err
+		}
+		if length < 0 {
+			return value.Null, fmt.Errorf("sqlengine: SUBSTRING length must be non-negative, got %d", length)
+		}
+		lo := start - 1
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > int64(len(s)) {
+			lo = int64(len(s))
+		}
+		hi := lo + length
+		if hi > int64(len(s)) {
+			hi = int64(len(s))
+		}
+		return value.Str(s[lo:hi]), nil
+	case "CONCAT":
+		// T-SQL CONCAT: NULL arguments become empty strings.
+		var sb strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				continue
+			}
+			sb.WriteString(a.AsString())
+		}
+		return value.Str(sb.String()), nil
+	case "REPLACE":
+		if len(args) != 3 {
+			return value.Null, fmt.Errorf("sqlengine: REPLACE expects 3 arguments, got %d", len(args))
+		}
+		if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+			return value.Null, nil
+		}
+		return value.Str(strings.ReplaceAll(args[0].AsString(), args[1].AsString(), args[2].AsString())), nil
+	default:
+		return value.Null, fmt.Errorf("sqlengine: unknown function %q", name)
+	}
+}
+
+// isAggregateName reports whether name is one of the engine's aggregates
+// (standard or probabilistic).
+func isAggregateName(name string) bool {
+	switch name {
+	case "SUM", "AVG", "COUNT", "MIN", "MAX", "STDDEV",
+		"EXPECT", "EXPECT_STDDEV", "PROB":
+		return true
+	default:
+		return false
+	}
+}
+
+// hasAggregate reports whether the expression contains an aggregate call.
+func hasAggregate(x sqlparser.Expr) bool {
+	found := false
+	sqlparser.WalkExpr(x, func(e sqlparser.Expr) {
+		if f, ok := e.(sqlparser.FuncCall); ok && isAggregateName(f.Name) {
+			found = true
+		}
+	})
+	return found
+}

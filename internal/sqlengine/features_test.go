@@ -1,0 +1,162 @@
+package sqlengine
+
+import (
+	"testing"
+
+	"fuzzyprophet/internal/value"
+)
+
+// Tests for the dialect features beyond Figure 2's needs: DISTINCT, LEFT
+// JOIN and the string builtins.
+
+func featureEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat := NewCatalog()
+	cat.Put(mustTable(t, "orders", []string{"id", "customer", "amount"}, [][]value.Value{
+		{value.Int(1), value.Str("acme"), value.Float(100)},
+		{value.Int(2), value.Str("acme"), value.Float(250)},
+		{value.Int(3), value.Str("globex"), value.Float(75)},
+		{value.Int(4), value.Str("initech"), value.Float(75)},
+	}))
+	cat.Put(mustTable(t, "customers", []string{"name", "region"}, [][]value.Value{
+		{value.Str("acme"), value.Str("west")},
+		{value.Str("globex"), value.Str("east")},
+		// initech intentionally missing for LEFT JOIN tests.
+	}))
+	return New(cat)
+}
+
+func TestSelectDistinct(t *testing.T) {
+	e := featureEngine(t)
+	res := runQuery(t, e, "SELECT DISTINCT customer FROM orders ORDER BY customer;", nil)
+	if len(res.Rows) != 3 {
+		t.Fatalf("distinct rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsString() != "acme" {
+		t.Errorf("first = %v", res.Rows[0])
+	}
+	// DISTINCT over multiple columns keeps distinct tuples.
+	res = runQuery(t, e, "SELECT DISTINCT customer, amount FROM orders;", nil)
+	if len(res.Rows) != 4 {
+		t.Errorf("tuple-distinct rows = %d", len(res.Rows))
+	}
+	// Numerically equal INT/FLOAT collapse.
+	res = runQuery(t, e, "SELECT DISTINCT amount FROM orders;", nil)
+	if len(res.Rows) != 3 {
+		t.Errorf("amount-distinct rows = %d", len(res.Rows))
+	}
+}
+
+func TestDistinctWithOrderByAndLimit(t *testing.T) {
+	e := featureEngine(t)
+	res := runQuery(t, e, "SELECT DISTINCT amount FROM orders ORDER BY amount DESC LIMIT 2;", nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if floatAt(t, res, 0, "amount") != 250 || floatAt(t, res, 1, "amount") != 100 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestLeftJoinKeepsUnmatched(t *testing.T) {
+	e := featureEngine(t)
+	res := runQuery(t, e, `SELECT customer, region
+		FROM orders LEFT JOIN customers ON orders.customer = customers.name
+		ORDER BY id;`, nil)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// initech has no customers row: region is NULL.
+	last := res.Rows[3]
+	if last[0].AsString() != "initech" {
+		t.Errorf("last row = %v", last)
+	}
+	if !last[1].IsNull() {
+		t.Errorf("unmatched region should be NULL, got %v", last[1])
+	}
+	// LEFT OUTER JOIN spelling works too.
+	res2 := runQuery(t, e, `SELECT COUNT(*) AS c
+		FROM orders LEFT OUTER JOIN customers ON orders.customer = customers.name;`, nil)
+	if intAt(t, res2, 0, "c") != 4 {
+		t.Errorf("outer join count = %d", intAt(t, res2, 0, "c"))
+	}
+}
+
+func TestInnerJoinStillFilters(t *testing.T) {
+	e := featureEngine(t)
+	res := runQuery(t, e, `SELECT COUNT(*) AS c
+		FROM orders JOIN customers ON orders.customer = customers.name;`, nil)
+	if intAt(t, res, 0, "c") != 3 {
+		t.Errorf("inner join count = %d", intAt(t, res, 0, "c"))
+	}
+}
+
+func TestLeftJoinNullHandling(t *testing.T) {
+	e := featureEngine(t)
+	// Unmatched rows can be selected via IS NULL.
+	res := runQuery(t, e, `SELECT customer
+		FROM orders LEFT JOIN customers ON orders.customer = customers.name
+		WHERE region IS NULL;`, nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "initech" {
+		t.Errorf("anti-join rows = %v", res.Rows)
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	e := featureEngine(t)
+	res := runQuery(t, e, `SELECT UPPER('abc') AS u, LOWER('ABC') AS l,
+		LEN('hello') AS n, SUBSTRING('hello', 2, 3) AS sub,
+		CONCAT('a', NULL, 'b', 1) AS cat, REPLACE('aaa', 'a', 'b') AS rep,
+		TRIM('  x  ') AS tr, LTRIM('  x') AS lt, RTRIM('x  ') AS rt;`, nil)
+	checks := map[string]string{
+		"u": "ABC", "l": "abc", "sub": "ell", "cat": "ab1",
+		"rep": "bbb", "tr": "x", "lt": "x", "rt": "x",
+	}
+	for col, want := range checks {
+		i := res.ColIndex(col)
+		if got := res.Rows[0][i].AsString(); got != want {
+			t.Errorf("%s = %q, want %q", col, got, want)
+		}
+	}
+	if intAt(t, res, 0, "n") != 5 {
+		t.Errorf("LEN = %d", intAt(t, res, 0, "n"))
+	}
+}
+
+func TestStringFunctionEdgeCases(t *testing.T) {
+	e := featureEngine(t)
+	res := runQuery(t, e, `SELECT SUBSTRING('abc', 0, 2) AS a,
+		SUBSTRING('abc', 10, 2) AS b, SUBSTRING('abc', 2, 99) AS c,
+		UPPER(NULL) AS d, LEN(NULL) AS ee, REPLACE(NULL, 'a', 'b') AS f;`, nil)
+	if got := res.Rows[0][0].AsString(); got != "ab" {
+		t.Errorf("clamped start = %q", got)
+	}
+	if got := res.Rows[0][1].AsString(); got != "" {
+		t.Errorf("past-end = %q", got)
+	}
+	if got := res.Rows[0][2].AsString(); got != "bc" {
+		t.Errorf("long length = %q", got)
+	}
+	for i := 3; i <= 5; i++ {
+		if !res.Rows[0][i].IsNull() {
+			t.Errorf("col %d: NULL should propagate", i)
+		}
+	}
+	wantErr(t, e, "SELECT SUBSTRING('abc', 1, -1);", "non-negative")
+	wantErr(t, e, "SELECT SUBSTRING('abc', 1);", "3 arguments")
+	wantErr(t, e, "SELECT UPPER('a', 'b');", "1 argument")
+	wantErr(t, e, "SELECT REPLACE('a', 'b');", "3 arguments")
+	wantErr(t, e, "SELECT LEN();", "1 argument")
+}
+
+func TestDistinctRoundTripThroughPrinter(t *testing.T) {
+	e := featureEngine(t)
+	// The canonical printer must preserve DISTINCT and LEFT JOIN.
+	res := runQuery(t, e, "SELECT DISTINCT region FROM orders LEFT JOIN customers ON orders.customer = customers.name ORDER BY region;", nil)
+	if len(res.Rows) != 3 { // NULL, east, west
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[0][0].IsNull() {
+		t.Error("NULL should sort first")
+	}
+}

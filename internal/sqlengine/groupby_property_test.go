@@ -1,0 +1,140 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fuzzyprophet/internal/value"
+)
+
+// GROUP BY invariants on randomly generated tables:
+//  1. Σ per-group COUNT(*) = total row count.
+//  2. Σ per-group SUM(x) = total SUM(x).
+//  3. per-group MIN ≤ AVG ≤ MAX.
+//  4. number of groups = number of distinct key values.
+func TestQuickGroupByInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		nRows := 1 + r.Intn(200)
+		nKeys := 1 + r.Intn(8)
+		rows := make([][]value.Value, nRows)
+		total := 0.0
+		distinct := map[int64]bool{}
+		for i := range rows {
+			k := int64(r.Intn(nKeys))
+			x := float64(r.Intn(2000)-1000) / 4
+			rows[i] = []value.Value{value.Int(k), value.Float(x)}
+			total += x
+			distinct[k] = true
+		}
+		cat := NewCatalog()
+		tbl, err := NewTable("t", []string{"k", "x"}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.Put(tbl)
+		e := New(cat)
+
+		script := "SELECT k, COUNT(*) AS c, SUM(x) AS s, MIN(x) AS lo, AVG(x) AS a, MAX(x) AS hi FROM t GROUP BY k;"
+		res := runQuery(t, e, script, nil)
+
+		if len(res.Rows) != len(distinct) {
+			t.Fatalf("trial %d: groups = %d, distinct keys = %d", trial, len(res.Rows), len(distinct))
+		}
+		var sumCount int64
+		var sumSum float64
+		for _, row := range res.Rows {
+			c, err := row[1].AsInt()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumCount += c
+			s, err := row[2].AsFloat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumSum += s
+			lo, _ := row[3].AsFloat()
+			a, _ := row[4].AsFloat()
+			hi, _ := row[5].AsFloat()
+			if lo > a+1e-9 || a > hi+1e-9 {
+				t.Fatalf("trial %d: MIN %g AVG %g MAX %g out of order", trial, lo, a, hi)
+			}
+		}
+		if sumCount != int64(nRows) {
+			t.Fatalf("trial %d: counts sum to %d, want %d", trial, sumCount, nRows)
+		}
+		if math.Abs(sumSum-total) > 1e-6*(1+math.Abs(total)) {
+			t.Fatalf("trial %d: sums %g, want %g", trial, sumSum, total)
+		}
+	}
+}
+
+// WHERE partition invariant: for any threshold, |rows < T| + |rows >= T| =
+// |rows| (no NULLs involved).
+func TestQuickWherePartition(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nRows := 1 + r.Intn(100)
+		rows := make([][]value.Value, nRows)
+		for i := range rows {
+			rows[i] = []value.Value{value.Float(float64(r.Intn(100)))}
+		}
+		cat := NewCatalog()
+		tbl, err := NewTable("t", []string{"x"}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.Put(tbl)
+		e := New(cat)
+		threshold := r.Intn(100)
+		below := runQuery(t, e, fmt.Sprintf("SELECT COUNT(*) AS c FROM t WHERE x < %d;", threshold), nil)
+		atOrAbove := runQuery(t, e, fmt.Sprintf("SELECT COUNT(*) AS c FROM t WHERE x >= %d;", threshold), nil)
+		b, _ := below.Rows[0][0].AsInt()
+		a, _ := atOrAbove.Rows[0][0].AsInt()
+		if b+a != int64(nRows) {
+			t.Fatalf("trial %d: partition %d + %d != %d", trial, b, a, nRows)
+		}
+	}
+}
+
+// ORDER BY invariant: output is sorted and is a permutation of the input.
+func TestQuickOrderByPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		nRows := 1 + r.Intn(100)
+		rows := make([][]value.Value, nRows)
+		sum := 0.0
+		for i := range rows {
+			x := float64(r.Intn(1000))
+			rows[i] = []value.Value{value.Float(x)}
+			sum += x
+		}
+		cat := NewCatalog()
+		tbl, err := NewTable("t", []string{"x"}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.Put(tbl)
+		e := New(cat)
+		res := runQuery(t, e, "SELECT x FROM t ORDER BY x;", nil)
+		if len(res.Rows) != nRows {
+			t.Fatalf("trial %d: rows = %d", trial, len(res.Rows))
+		}
+		var outSum, prev float64
+		prev = math.Inf(-1)
+		for _, row := range res.Rows {
+			x, _ := row[0].AsFloat()
+			if x < prev {
+				t.Fatalf("trial %d: not sorted", trial)
+			}
+			prev = x
+			outSum += x
+		}
+		if math.Abs(outSum-sum) > 1e-6 {
+			t.Fatalf("trial %d: not a permutation (sum %g vs %g)", trial, outSum, sum)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package sqlparser
+
+import (
+	"fuzzyprophet/internal/value"
+)
+
+// Script is a parsed scenario: an ordered list of statements.
+type Script struct {
+	Statements []Statement
+}
+
+// Statement is any top-level scenario statement.
+type Statement interface {
+	stmt()
+	// SQL renders the statement in canonical scenario syntax (with a
+	// trailing semicolon).
+	SQL() string
+}
+
+// DeclareParameter is `DECLARE PARAMETER @name AS RANGE a TO b STEP BY s;`
+// or `DECLARE PARAMETER @name AS SET (v, ...);`.
+type DeclareParameter struct {
+	Name  string
+	Space ParameterSpace
+}
+
+// ParameterSpace enumerates the discrete values a parameter may take.
+type ParameterSpace interface {
+	paramSpace()
+	// Values expands the space into its ordered concrete values.
+	Values() []value.Value
+	// SQL renders the space in scenario syntax.
+	SQL() string
+}
+
+// RangeSpace is `RANGE from TO to STEP BY step` (inclusive of to when the
+// step lands on it exactly).
+type RangeSpace struct {
+	From, To, Step int64
+}
+
+func (RangeSpace) paramSpace() {}
+
+// Values expands the range.
+func (r RangeSpace) Values() []value.Value {
+	if r.Step <= 0 || r.To < r.From {
+		return nil
+	}
+	var out []value.Value
+	for v := r.From; v <= r.To; v += r.Step {
+		out = append(out, value.Int(v))
+	}
+	return out
+}
+
+// SetSpace is `SET (v1, v2, ...)`.
+type SetSpace struct {
+	Members []value.Value
+}
+
+func (SetSpace) paramSpace() {}
+
+// Values returns the set members in declaration order.
+func (s SetSpace) Values() []value.Value {
+	return append([]value.Value(nil), s.Members...)
+}
+
+func (DeclareParameter) stmt() {}
+
+// Select is the scenario's query statement. SelectItems may reference
+// aliases bound by earlier items in the same list (a dialect extension the
+// paper's Figure 2 depends on: `CASE WHEN capacity < demand …`).
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	Into     string // optional INTO target table
+	From     []TableRef
+	Where    Expr // optional
+	GroupBy  []Expr
+	Having   Expr // optional
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+func (Select) stmt() {}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional
+}
+
+// TableRef is one entry in the FROM list: a base table or a joined table.
+type TableRef struct {
+	Name  string
+	Alias string // optional
+	// JoinCond is non-nil when this table was introduced by `JOIN … ON`;
+	// the first TableRef in a FROM list never has one.
+	JoinCond Expr
+	// LeftJoin marks a LEFT [OUTER] JOIN: unmatched rows of everything
+	// accumulated so far survive with NULLs for this table's columns.
+	LeftJoin bool
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Graph is the online-mode directive
+// `GRAPH OVER @param item [, item …];` (paper Figure 2, ONLINE MODE).
+type Graph struct {
+	Over  string // parameter providing the X axis
+	Items []GraphItem
+}
+
+func (Graph) stmt() {}
+
+// GraphItem is one plotted series: an aggregate over a result column plus
+// free-form style words (e.g. "bold red", "blue y2").
+type GraphItem struct {
+	Agg    string // EXPECT, EXPECT_STDDEV or PROB
+	Column string
+	Style  []string
+}
+
+// Optimize is the offline-mode directive of Figure 2:
+//
+//	OPTIMIZE SELECT @p…, … FROM results
+//	WHERE MAX(EXPECT overload) < 0.01
+//	GROUP BY …
+//	FOR MAX @purchase1, MAX @purchase2
+type Optimize struct {
+	Select  []string // parameter names projected in the answer
+	From    string   // result table name
+	Where   Expr     // feasibility constraint over aggregate expressions
+	GroupBy []string // column names (parameter echoes) defining groups
+	Goals   []Goal
+}
+
+func (Optimize) stmt() {}
+
+// Goal is one lexicographic objective: maximize or minimize a parameter.
+type Goal struct {
+	Maximize bool
+	Param    string
+}
+
+// Expr is any expression node.
+type Expr interface {
+	expr()
+	// SQL renders the expression in canonical scenario syntax.
+	SQL() string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+// ParamRef is `@name`.
+type ParamRef struct {
+	Name string
+}
+
+// ColumnRef is `col` or `table.col`.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// FuncCall is `name(arg, …)`; it covers scalar builtins, VG-Functions and
+// aggregates (the engine decides which by name). Star marks `COUNT(*)`.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// Unary is `-x` or `NOT x`.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+// Binary is a binary operation; Op is one of
+// + - * / % = <> < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Case is `CASE WHEN c THEN v [WHEN …] [ELSE v] END`.
+type Case struct {
+	Whens []When
+	Else  Expr // optional
+}
+
+// When is one WHEN/THEN arm.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Between is `x [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	X      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// InList is `x [NOT] IN (e1, …)`.
+type InList struct {
+	X     Expr
+	Items []Expr
+	Not   bool
+}
+
+// IsNull is `x IS [NOT] NULL`.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (Literal) expr()   {}
+func (ParamRef) expr()  {}
+func (ColumnRef) expr() {}
+func (FuncCall) expr()  {}
+func (Unary) expr()     {}
+func (Binary) expr()    {}
+func (Case) expr()      {}
+func (Between) expr()   {}
+func (InList) expr()    {}
+func (IsNull) expr()    {}
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. It is used by
+// the scenario compiler for validation and dependency analysis.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case Unary:
+		WalkExpr(n.X, fn)
+	case Binary:
+		WalkExpr(n.L, fn)
+		WalkExpr(n.R, fn)
+	case FuncCall:
+		for _, a := range n.Args {
+			WalkExpr(a, fn)
+		}
+	case Case:
+		for _, w := range n.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(n.Else, fn)
+	case Between:
+		WalkExpr(n.X, fn)
+		WalkExpr(n.Lo, fn)
+		WalkExpr(n.Hi, fn)
+	case InList:
+		WalkExpr(n.X, fn)
+		for _, it := range n.Items {
+			WalkExpr(it, fn)
+		}
+	case IsNull:
+		WalkExpr(n.X, fn)
+	}
+}
+
+// RewriteExpr rebuilds e bottom-up, applying fn to every node after its
+// children have been rewritten. fn returns the node's replacement (or the
+// node unchanged). A nil error from every fn call yields the rewritten
+// tree.
+func RewriteExpr(e Expr, fn func(Expr) (Expr, error)) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	var err error
+	switch n := e.(type) {
+	case Unary:
+		n.X, err = RewriteExpr(n.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		e = n
+	case Binary:
+		n.L, err = RewriteExpr(n.L, fn)
+		if err != nil {
+			return nil, err
+		}
+		n.R, err = RewriteExpr(n.R, fn)
+		if err != nil {
+			return nil, err
+		}
+		e = n
+	case FuncCall:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i], err = RewriteExpr(a, fn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		e = FuncCall{Name: n.Name, Args: args, Star: n.Star}
+	case Case:
+		whens := make([]When, len(n.Whens))
+		for i, w := range n.Whens {
+			whens[i].Cond, err = RewriteExpr(w.Cond, fn)
+			if err != nil {
+				return nil, err
+			}
+			whens[i].Then, err = RewriteExpr(w.Then, fn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var els Expr
+		if n.Else != nil {
+			els, err = RewriteExpr(n.Else, fn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e = Case{Whens: whens, Else: els}
+	case Between:
+		n.X, err = RewriteExpr(n.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		n.Lo, err = RewriteExpr(n.Lo, fn)
+		if err != nil {
+			return nil, err
+		}
+		n.Hi, err = RewriteExpr(n.Hi, fn)
+		if err != nil {
+			return nil, err
+		}
+		e = n
+	case InList:
+		n.X, err = RewriteExpr(n.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]Expr, len(n.Items))
+		for i, it := range n.Items {
+			items[i], err = RewriteExpr(it, fn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n.Items = items
+		e = n
+	case IsNull:
+		n.X, err = RewriteExpr(n.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		e = n
+	}
+	return fn(e)
+}
+
+// Params returns the distinct parameter names referenced anywhere in e, in
+// first-appearance order.
+func Params(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	WalkExpr(e, func(x Expr) {
+		if p, ok := x.(ParamRef); ok && !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+	})
+	return out
+}

@@ -1,0 +1,252 @@
+// Package sqlparser implements the Fuzzy Prophet scenario language: a
+// Transact-SQL subset extended with the probabilistic-database constructs of
+// the paper's Figure 2 — DECLARE PARAMETER (RANGE/SET), EXPECT /
+// EXPECT_STDDEV / PROB aggregates, GRAPH OVER (online-mode visualization
+// directives) and OPTIMIZE … FOR MAX/MIN (offline-mode goal metadata).
+//
+// The package provides a lexer, an AST, a recursive-descent parser and a
+// canonical printer. Print∘Parse is a fixpoint, which the engine relies on:
+// the Query Generator emits scenario fragments as SQL text that is re-parsed
+// before execution, mirroring the paper's "produces a pure TSQL query"
+// architecture.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokParam  // @name
+	TokNumber // integer or float literal
+	TokString // 'quoted'
+	TokOp     // operator or punctuation
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokParam:
+		return "parameter"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // canonical text: keywords uppercased, params without '@'
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	if t.Kind == TokParam {
+		return "@" + t.Text
+	}
+	return t.Text
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case-
+// insensitively) lex as TokKeyword with uppercase text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"INTO": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "JOIN": true, "ON": true,
+	"IN": true, "BETWEEN": true, "IS": true, "LIKE": true,
+	"DECLARE": true, "PARAMETER": true, "RANGE": true, "TO": true,
+	"STEP": true, "SET": true, "GRAPH": true, "OVER": true, "WITH": true,
+	"OPTIMIZE": true, "FOR": true, "MAX": true, "MIN": true,
+	"EXPECT": true, "EXPECT_STDDEV": true, "PROB": true,
+	"SUM": true, "AVG": true, "COUNT": true, "STDDEV": true,
+	"DISTINCT": true, "INNER": true, "LEFT": true, "CROSS": true,
+	"OUTER": true,
+}
+
+// Error is a scenario-language error carrying a source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sqlparser: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex splits src into tokens, dropping comments (both "-- line" and block
+// "/* ... */" forms). The returned slice always ends with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i < len(src) {
+				if src[i] == '*' && i+1 < len(src) && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, errAt(startLine, startCol, "unterminated block comment")
+			}
+		case c == '@':
+			startLine, startCol := line, col
+			advance(1)
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				advance(1)
+			}
+			if i == start {
+				return nil, errAt(startLine, startCol, "expected parameter name after '@'")
+			}
+			toks = append(toks, Token{Kind: TokParam, Text: src[start:i], Line: startLine, Col: startCol})
+		case c == '\'':
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						advance(2)
+						continue
+					}
+					advance(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, errAt(startLine, startCol, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: startLine, Col: startCol})
+		case isDigit(c) || (c == '.' && i+1 < len(src) && isDigit(src[i+1])):
+			startLine, startCol := line, col
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < len(src) {
+				ch := src[i]
+				if isDigit(ch) {
+					advance(1)
+					continue
+				}
+				if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					advance(1)
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && !seenExp && i > start {
+					seenExp = true
+					advance(1)
+					if i < len(src) && (src[i] == '+' || src[i] == '-') {
+						advance(1)
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Line: startLine, Col: startCol})
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				advance(1)
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Line: startLine, Col: startCol})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Line: startLine, Col: startCol})
+			}
+		default:
+			startLine, startCol := line, col
+			// Multi-character operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				advance(2)
+				toks = append(toks, Token{Kind: TokOp, Text: two, Line: startLine, Col: startCol})
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', ';', '.':
+				advance(1)
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Line: startLine, Col: startCol})
+			default:
+				return nil, errAt(startLine, startCol, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }

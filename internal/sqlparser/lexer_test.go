@@ -1,0 +1,175 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, "SELECT a, b FROM t WHERE x >= 1.5;")
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"},
+		{TokIdent, "a"},
+		{TokOp, ","},
+		{TokIdent, "b"},
+		{TokKeyword, "FROM"},
+		{TokIdent, "t"},
+		{TokKeyword, "WHERE"},
+		{TokIdent, "x"},
+		{TokOp, ">="},
+		{TokNumber, "1.5"},
+		{TokOp, ";"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("tok[%d] = (%v,%q), want (%v,%q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lexKinds(t, "select Select SELECT")
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword || tok.Text != "SELECT" {
+			t.Errorf("got %v %q", tok.Kind, tok.Text)
+		}
+	}
+}
+
+func TestLexParams(t *testing.T) {
+	toks := lexKinds(t, "@current @purchase1")
+	if toks[0].Kind != TokParam || toks[0].Text != "current" {
+		t.Errorf("tok0 = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != TokParam || toks[1].Text != "purchase1" {
+		t.Errorf("tok1 = %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if _, err := Lex("@ x"); err == nil {
+		t.Error("bare @ should be an error")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexKinds(t, "'hello' 'it''s'")
+	if toks[0].Kind != TokString || toks[0].Text != "hello" {
+		t.Errorf("tok0 = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Text != "it's" {
+		t.Errorf("escaped quote: %q", toks[1].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string should error")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"3.25":    "3.25",
+		".5":      ".5",
+		"1e9":     "1e9",
+		"2.5E-3":  "2.5E-3",
+		"1.5e+10": "1.5e+10",
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("Lex(%q) = %v %q", src, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, `-- DEFINITION --
+SELECT /* inline
+   block */ 1`)
+	if toks[0].Kind != TokKeyword || toks[0].Text != "SELECT" {
+		t.Errorf("comment not skipped: %v", toks[0])
+	}
+	if toks[1].Kind != TokNumber {
+		t.Errorf("tok1 = %v", toks[1])
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated block comment should error")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexKinds(t, "<= >= <> != < > = + - * / % ( ) . ,")
+	wantTexts := []string{"<=", ">=", "<>", "!=", "<", ">", "=", "+", "-", "*", "/", "%", "(", ")", ".", ","}
+	for i, w := range wantTexts {
+		if toks[i].Kind != TokOp || toks[i].Text != w {
+			t.Errorf("tok[%d] = %v %q, want op %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "SELECT\n  x")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("SELECT at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("x at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	_, err := Lex("SELECT #")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("error = %v", err)
+	}
+	var perr *Error
+	if e, ok := err.(*Error); ok {
+		perr = e
+	} else {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 1 || perr.Col != 8 {
+		t.Errorf("error position %d:%d", perr.Line, perr.Col)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (Token{Kind: TokEOF}).String(); got != "end of input" {
+		t.Errorf("EOF string = %q", got)
+	}
+	if got := (Token{Kind: TokParam, Text: "p"}).String(); got != "@p" {
+		t.Errorf("param string = %q", got)
+	}
+	if got := (Token{Kind: TokIdent, Text: "x"}).String(); got != "x" {
+		t.Errorf("ident string = %q", got)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	names := map[TokenKind]string{
+		TokEOF: "EOF", TokIdent: "identifier", TokKeyword: "keyword",
+		TokParam: "parameter", TokNumber: "number", TokString: "string",
+		TokOp: "operator", TokenKind(99): "TokenKind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

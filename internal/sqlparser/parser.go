@@ -1,0 +1,972 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"fuzzyprophet/internal/value"
+)
+
+// Parse lexes and parses a full scenario script.
+func Parse(src string) (*Script, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	script := &Script{}
+	for !p.atEOF() {
+		// Tolerate stray semicolons between statements.
+		if p.isOp(";") {
+			p.next()
+			continue
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		script.Statements = append(script.Statements, st)
+		if p.isOp(";") {
+			p.next()
+		} else if !p.atEOF() {
+			return nil, p.errHere("expected ';' after statement, found %s", p.peek())
+		}
+	}
+	return script, nil
+}
+
+// ParseExpr parses a single standalone expression (used in tests and by the
+// optimizer's constraint evaluation).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errHere("unexpected trailing input after expression: %s", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *parser) isKeyword(words ...string) bool {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	for _, w := range words {
+		if t.Text == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) isOp(ops ...string) bool {
+	t := p.peek()
+	if t.Kind != TokOp {
+		return false
+	}
+	for _, o := range ops {
+		if t.Text == o {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(w string) (Token, error) {
+	if !p.isKeyword(w) {
+		return Token{}, p.errHere("expected %s, found %s", w, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectOp(o string) (Token, error) {
+	if !p.isOp(o) {
+		return Token{}, p.errHere("expected '%s', found %s", o, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return Token{}, p.errHere("expected identifier, found %s", t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectParam() (Token, error) {
+	t := p.peek()
+	if t.Kind != TokParam {
+		return Token{}, p.errHere("expected @parameter, found %s", t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.peek()
+	return errAt(t.Line, t.Col, format, args...)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKeyword("DECLARE"):
+		return p.parseDeclare()
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("GRAPH"):
+		return p.parseGraph()
+	case p.isKeyword("OPTIMIZE"):
+		return p.parseOptimize()
+	default:
+		return nil, p.errHere("expected DECLARE, SELECT, GRAPH or OPTIMIZE, found %s", p.peek())
+	}
+}
+
+// parseDeclare parses
+//
+//	DECLARE PARAMETER @p AS RANGE a TO b STEP BY s
+//	DECLARE PARAMETER @p AS SET (v1, v2, …)
+func (p *parser) parseDeclare() (Statement, error) {
+	if _, err := p.expectKeyword("DECLARE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("PARAMETER"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectParam()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.isKeyword("RANGE"):
+		p.next()
+		from, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		to, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("STEP"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		step, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if step <= 0 {
+			return nil, p.errHere("RANGE step must be positive, got %d", step)
+		}
+		if to < from {
+			return nil, p.errHere("RANGE upper bound %d below lower bound %d", to, from)
+		}
+		return DeclareParameter{Name: name.Text, Space: RangeSpace{From: from, To: to, Step: step}}, nil
+	case p.isKeyword("SET"):
+		p.next()
+		if _, err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var members []value.Value
+		for {
+			v, err := p.parseLiteralValue()
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, v)
+			if p.isOp(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return DeclareParameter{Name: name.Text, Space: SetSpace{Members: members}}, nil
+	default:
+		return nil, p.errHere("expected RANGE or SET after AS, found %s", p.peek())
+	}
+}
+
+func (p *parser) parseSignedInt() (int64, error) {
+	neg := false
+	if p.isOp("-") {
+		neg = true
+		p.next()
+	}
+	t := p.peek()
+	if t.Kind != TokNumber {
+		return 0, p.errHere("expected integer, found %s", t)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, errAt(t.Line, t.Col, "expected integer, found %q", t.Text)
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func (p *parser) parseLiteralValue() (value.Value, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return numberValue(t)
+	case p.isOp("-"):
+		p.next()
+		inner, err := p.parseLiteralValue()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Neg(inner)
+	case t.Kind == TokString:
+		p.next()
+		return value.Str(t.Text), nil
+	case p.isKeyword("TRUE"):
+		p.next()
+		return value.Bool(true), nil
+	case p.isKeyword("FALSE"):
+		p.next()
+		return value.Bool(false), nil
+	case p.isKeyword("NULL"):
+		p.next()
+		return value.Null, nil
+	default:
+		return value.Null, p.errHere("expected literal, found %s", t)
+	}
+}
+
+func numberValue(t Token) (value.Value, error) {
+	if !strings.ContainsAny(t.Text, ".eE") {
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err == nil {
+			return value.Int(n), nil
+		}
+	}
+	f, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return value.Null, errAt(t.Line, t.Col, "invalid number %q", t.Text)
+	}
+	return value.Float(f), nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	if _, err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := Select{Limit: -1}
+	if p.isKeyword("DISTINCT") {
+		p.next()
+		sel.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.isOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.isKeyword("INTO") {
+		p.next()
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.Into = t.Text
+	}
+	if p.isKeyword("FROM") {
+		p.next()
+		refs, err := p.parseFromList()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = refs
+	}
+	if p.isKeyword("WHERE") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.isKeyword("GROUP") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.isOp(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("HAVING") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.isKeyword("ORDER") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.isKeyword("DESC") {
+				p.next()
+				item.Desc = true
+			} else if p.isKeyword("ASC") {
+				p.next()
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.isOp(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("LIMIT") {
+		p.next()
+		n, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, p.errHere("LIMIT must be non-negative, got %d", n)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.isKeyword("AS") {
+		p.next()
+		t, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.peek().Kind == TokIdent {
+		// Bare alias: SELECT x y
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromList() ([]TableRef, error) {
+	var refs []TableRef
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	refs = append(refs, first)
+	for {
+		switch {
+		case p.isOp(","):
+			p.next()
+			r, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		case p.isKeyword("CROSS"):
+			p.next()
+			if _, err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		case p.isKeyword("JOIN", "INNER", "LEFT"):
+			left := false
+			if p.isKeyword("LEFT") {
+				p.next()
+				left = true
+				if p.isKeyword("OUTER") {
+					p.next()
+				}
+			} else if p.isKeyword("INNER") {
+				p.next()
+			}
+			if _, err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.JoinCond = cond
+			r.LeftJoin = left
+			refs = append(refs, r)
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: t.Text}
+	if p.isKeyword("AS") {
+		p.next()
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseGraph() (Statement, error) {
+	if _, err := p.expectKeyword("GRAPH"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("OVER"); err != nil {
+		return nil, err
+	}
+	over, err := p.expectParam()
+	if err != nil {
+		return nil, err
+	}
+	g := Graph{Over: over.Text}
+	for {
+		item, err := p.parseGraphItem()
+		if err != nil {
+			return nil, err
+		}
+		g.Items = append(g.Items, item)
+		if p.isOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return g, nil
+}
+
+func (p *parser) parseGraphItem() (GraphItem, error) {
+	var item GraphItem
+	switch {
+	case p.isKeyword("EXPECT"):
+		item.Agg = "EXPECT"
+	case p.isKeyword("EXPECT_STDDEV"):
+		item.Agg = "EXPECT_STDDEV"
+	case p.isKeyword("PROB"):
+		item.Agg = "PROB"
+	default:
+		return item, p.errHere("expected EXPECT, EXPECT_STDDEV or PROB, found %s", p.peek())
+	}
+	p.next()
+	col, err := p.expectIdent()
+	if err != nil {
+		return item, err
+	}
+	item.Column = col.Text
+	if p.isKeyword("WITH") {
+		p.next()
+		// Style words: identifiers and numbers until , or ;.
+		for p.peek().Kind == TokIdent || p.peek().Kind == TokNumber {
+			item.Style = append(item.Style, p.next().Text)
+		}
+		if len(item.Style) == 0 {
+			return item, p.errHere("expected style words after WITH")
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseOptimize() (Statement, error) {
+	if _, err := p.expectKeyword("OPTIMIZE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var opt Optimize
+	for {
+		t, err := p.expectParam()
+		if err != nil {
+			return nil, err
+		}
+		opt.Select = append(opt.Select, t.Text)
+		if p.isOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	opt.From = from.Text
+	if p.isKeyword("WHERE") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		opt.Where = e
+	}
+	if p.isKeyword("GROUP") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			opt.GroupBy = append(opt.GroupBy, t.Text)
+			if p.isOp(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	for {
+		var g Goal
+		switch {
+		case p.isKeyword("MAX"):
+			g.Maximize = true
+		case p.isKeyword("MIN"):
+			g.Maximize = false
+		default:
+			return nil, p.errHere("expected MAX or MIN, found %s", p.peek())
+		}
+		p.next()
+		t, err := p.expectParam()
+		if err != nil {
+			return nil, err
+		}
+		g.Param = t.Text
+		opt.Goals = append(opt.Goals, g)
+		if p.isOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return opt, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr     := orExpr
+//	orExpr   := andExpr { OR andExpr }
+//	andExpr  := notExpr { AND notExpr }
+//	notExpr  := NOT notExpr | cmpExpr
+//	cmpExpr  := addExpr [ (=|<>|!=|<|<=|>|>=) addExpr
+//	                    | [NOT] BETWEEN addExpr AND addExpr
+//	                    | [NOT] IN ( expr {, expr} )
+//	                    | IS [NOT] NULL ]
+//	addExpr  := mulExpr { (+|-) mulExpr }
+//	mulExpr  := unary { (*|/|%) unary }
+//	unary    := - unary | primary
+//	primary  := literal | @param | CASE … END | aggregate | func(args)
+//	          | ident[.ident] | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	not := false
+	if p.isKeyword("NOT") {
+		// Only BETWEEN/IN may follow here.
+		save := p.pos
+		p.next()
+		if !p.isKeyword("BETWEEN") && !p.isKeyword("IN") {
+			p.pos = save
+			return l, nil
+		}
+		not = true
+	}
+	switch {
+	case p.isOp("=", "<>", "!=", "<", "<=", ">", ">="):
+		op := p.next().Text
+		if op == "!=" {
+			op = "<>"
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: l, R: r}, nil
+	case p.isKeyword("BETWEEN"):
+		p.next()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Between{X: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.isKeyword("IN"):
+		p.next()
+		if _, err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var items []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+			if p.isOp(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return InList{X: l, Items: items, Not: not}, nil
+	case p.isKeyword("IS"):
+		p.next()
+		isNot := false
+		if p.isKeyword("NOT") {
+			p.next()
+			isNot = true
+		}
+		if _, err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{X: l, Not: isNot}, nil
+	default:
+		if not {
+			return nil, p.errHere("expected BETWEEN or IN after NOT")
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+", "-") {
+		op := p.next().Text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*", "/", "%") {
+		op := p.next().Text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isOp("-") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+// aggregateKeywords are keyword-named functions callable with ( ).
+var aggregateKeywords = map[string]bool{
+	"SUM": true, "AVG": true, "COUNT": true, "MIN": true, "MAX": true,
+	"STDDEV": true, "EXPECT": true, "EXPECT_STDDEV": true, "PROB": true,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := numberValue(t)
+		if err != nil {
+			return nil, err
+		}
+		return Literal{Val: v}, nil
+	case t.Kind == TokString:
+		p.next()
+		return Literal{Val: value.Str(t.Text)}, nil
+	case p.isKeyword("TRUE"):
+		p.next()
+		return Literal{Val: value.Bool(true)}, nil
+	case p.isKeyword("FALSE"):
+		p.next()
+		return Literal{Val: value.Bool(false)}, nil
+	case p.isKeyword("NULL"):
+		p.next()
+		return Literal{Val: value.Null}, nil
+	case t.Kind == TokParam:
+		p.next()
+		return ParamRef{Name: t.Text}, nil
+	case p.isKeyword("CASE"):
+		return p.parseCase()
+	case t.Kind == TokKeyword && aggregateKeywords[t.Text]:
+		p.next()
+		// The probabilistic aggregates also accept the paren-free prefix
+		// form of the paper's Figure 2: `MAX(EXPECT overload)`.
+		if (t.Text == "EXPECT" || t.Text == "EXPECT_STDDEV" || t.Text == "PROB") && !p.isOp("(") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return FuncCall{Name: t.Text, Args: []Expr{ColumnRef{Name: col.Text}}}, nil
+		}
+		if _, err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		call := FuncCall{Name: t.Text}
+		if p.isOp("*") {
+			p.next()
+			call.Star = true
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = []Expr{arg}
+		}
+		if _, err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.isOp("(") {
+			p.next()
+			call := FuncCall{Name: t.Text}
+			if !p.isOp(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.isOp(",") {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.isOp(".") {
+			p.next()
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return ColumnRef{Table: t.Text, Name: col.Text}, nil
+		}
+		return ColumnRef{Name: t.Text}, nil
+	case p.isOp("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errHere("expected expression, found %s", t)
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if _, err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	var c Case
+	for p.isKeyword("WHEN") {
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errHere("CASE requires at least one WHEN arm")
+	}
+	if p.isKeyword("ELSE") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,447 @@
+package sqlparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fuzzyprophet/internal/value"
+)
+
+// Figure2 is the verbatim example business scenario from the paper (Figure
+// 2), kept here as the canonical golden input for FIG2.
+const Figure2 = `
+-- DEFINITION --
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @feature AS SET (12,36,44);
+
+SELECT DemandModel(@current, @feature)
+       AS demand,
+       CapacityModel(@current, @purchase1, @purchase2)
+       AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END
+       AS overload
+INTO results;
+
+-- ONLINE MODE --
+GRAPH OVER @current
+      EXPECT overload WITH bold red,
+      EXPECT capacity WITH blue y2,
+      EXPECT_STDDEV demand WITH orange y2;
+
+-- OFFLINE MODE --
+OPTIMIZE SELECT @feature, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.01
+GROUP BY feature, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2
+`
+
+func mustParse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseFigure2Verbatim(t *testing.T) {
+	s := mustParse(t, Figure2)
+	if len(s.Statements) != 7 {
+		t.Fatalf("statement count = %d, want 7", len(s.Statements))
+	}
+
+	d0, ok := s.Statements[0].(DeclareParameter)
+	if !ok {
+		t.Fatalf("stmt0 type %T", s.Statements[0])
+	}
+	if d0.Name != "current" {
+		t.Errorf("param name %q", d0.Name)
+	}
+	r, ok := d0.Space.(RangeSpace)
+	if !ok || r.From != 0 || r.To != 52 || r.Step != 1 {
+		t.Errorf("range = %+v", d0.Space)
+	}
+	if got := len(r.Values()); got != 53 {
+		t.Errorf("@current values = %d, want 53", got)
+	}
+
+	d1 := s.Statements[1].(DeclareParameter)
+	if got := len(d1.Space.Values()); got != 14 {
+		t.Errorf("@purchase1 values = %d, want 14", got)
+	}
+
+	d3 := s.Statements[3].(DeclareParameter)
+	set, ok := d3.Space.(SetSpace)
+	if !ok {
+		t.Fatalf("stmt3 space type %T", d3.Space)
+	}
+	want := []value.Value{value.Int(12), value.Int(36), value.Int(44)}
+	if !reflect.DeepEqual(set.Members, want) {
+		t.Errorf("set members = %v", set.Members)
+	}
+
+	sel, ok := s.Statements[4].(Select)
+	if !ok {
+		t.Fatalf("stmt4 type %T", s.Statements[4])
+	}
+	if sel.Into != "results" {
+		t.Errorf("INTO = %q", sel.Into)
+	}
+	if len(sel.Items) != 3 {
+		t.Fatalf("select items = %d", len(sel.Items))
+	}
+	if sel.Items[0].Alias != "demand" || sel.Items[1].Alias != "capacity" || sel.Items[2].Alias != "overload" {
+		t.Errorf("aliases = %q %q %q", sel.Items[0].Alias, sel.Items[1].Alias, sel.Items[2].Alias)
+	}
+	dm, ok := sel.Items[0].Expr.(FuncCall)
+	if !ok || dm.Name != "DemandModel" || len(dm.Args) != 2 {
+		t.Errorf("demand expr = %#v", sel.Items[0].Expr)
+	}
+	cs, ok := sel.Items[2].Expr.(Case)
+	if !ok || len(cs.Whens) != 1 || cs.Else == nil {
+		t.Errorf("overload expr = %#v", sel.Items[2].Expr)
+	}
+
+	g, ok := s.Statements[5].(Graph)
+	if !ok {
+		t.Fatalf("stmt5 type %T", s.Statements[5])
+	}
+	if g.Over != "current" {
+		t.Errorf("graph over %q", g.Over)
+	}
+	if len(g.Items) != 3 {
+		t.Fatalf("graph items = %d", len(g.Items))
+	}
+	if g.Items[0].Agg != "EXPECT" || g.Items[0].Column != "overload" ||
+		!reflect.DeepEqual(g.Items[0].Style, []string{"bold", "red"}) {
+		t.Errorf("graph item0 = %+v", g.Items[0])
+	}
+	if g.Items[2].Agg != "EXPECT_STDDEV" || g.Items[2].Column != "demand" {
+		t.Errorf("graph item2 = %+v", g.Items[2])
+	}
+
+	o, ok := s.Statements[6].(Optimize)
+	if !ok {
+		t.Fatalf("stmt6 type %T", s.Statements[6])
+	}
+	if !reflect.DeepEqual(o.Select, []string{"feature", "purchase1", "purchase2"}) {
+		t.Errorf("optimize select = %v", o.Select)
+	}
+	if o.From != "results" {
+		t.Errorf("optimize from = %q", o.From)
+	}
+	cmp, ok := o.Where.(Binary)
+	if !ok || cmp.Op != "<" {
+		t.Fatalf("optimize where = %#v", o.Where)
+	}
+	outer, ok := cmp.L.(FuncCall)
+	if !ok || outer.Name != "MAX" {
+		t.Fatalf("constraint lhs = %#v", cmp.L)
+	}
+	inner, ok := outer.Args[0].(FuncCall)
+	if !ok || inner.Name != "EXPECT" {
+		t.Fatalf("constraint inner = %#v", outer.Args[0])
+	}
+	if !reflect.DeepEqual(o.GroupBy, []string{"feature", "purchase1", "purchase2"}) {
+		t.Errorf("group by = %v", o.GroupBy)
+	}
+	if len(o.Goals) != 2 || !o.Goals[0].Maximize || o.Goals[0].Param != "purchase1" ||
+		!o.Goals[1].Maximize || o.Goals[1].Param != "purchase2" {
+		t.Errorf("goals = %+v", o.Goals)
+	}
+}
+
+func TestParseRangeValidation(t *testing.T) {
+	if _, err := Parse("DECLARE PARAMETER @p AS RANGE 0 TO 10 STEP BY 0;"); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := Parse("DECLARE PARAMETER @p AS RANGE 10 TO 0 STEP BY 1;"); err == nil {
+		t.Error("inverted range should error")
+	}
+	s := mustParse(t, "DECLARE PARAMETER @p AS RANGE -4 TO 4 STEP BY 2;")
+	d := s.Statements[0].(DeclareParameter)
+	vals := d.Space.Values()
+	if len(vals) != 5 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestParseSetLiterals(t *testing.T) {
+	s := mustParse(t, "DECLARE PARAMETER @p AS SET (1, -2.5, 'abc', TRUE, NULL);")
+	d := s.Statements[0].(DeclareParameter)
+	vals := d.Space.Values()
+	if len(vals) != 5 {
+		t.Fatalf("values = %v", vals)
+	}
+	if !vals[0].Equal(value.Int(1)) || !vals[1].Equal(value.Float(-2.5)) ||
+		!vals[2].Equal(value.Str("abc")) || !vals[3].Equal(value.Bool(true)) || !vals[4].IsNull() {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestParseSelectClauses(t *testing.T) {
+	s := mustParse(t, `SELECT a, b AS bee, COUNT(*) AS n
+		FROM t1, t2 AS u JOIN t3 ON t3.id = u.id
+		WHERE a > 1 AND b <= 2
+		GROUP BY a, b HAVING COUNT(*) > 0
+		ORDER BY a DESC, b LIMIT 10;`)
+	sel := s.Statements[0].(Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[2].Alias != "n" {
+		t.Errorf("alias = %q", sel.Items[2].Alias)
+	}
+	fc := sel.Items[2].Expr.(FuncCall)
+	if !fc.Star || fc.Name != "COUNT" {
+		t.Errorf("count star = %+v", fc)
+	}
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	if sel.From[1].Alias != "u" {
+		t.Errorf("alias = %q", sel.From[1].Alias)
+	}
+	if sel.From[2].JoinCond == nil {
+		t.Error("join cond missing")
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 2 || sel.Having == nil {
+		t.Error("where/group/having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseBareAlias(t *testing.T) {
+	s := mustParse(t, "SELECT x foo FROM t;")
+	sel := s.Statements[0].(Select)
+	if sel.Items[0].Alias != "foo" {
+		t.Errorf("bare alias = %q", sel.Items[0].Alias)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(Binary)
+	if b.Op != "+" {
+		t.Fatalf("top op = %s", b.Op)
+	}
+	if inner := b.R.(Binary); inner.Op != "*" {
+		t.Errorf("inner op = %s", inner.Op)
+	}
+
+	e, _ = ParseExpr("a OR b AND c")
+	b = e.(Binary)
+	if b.Op != "OR" {
+		t.Errorf("OR should bind loosest, got %s", b.Op)
+	}
+
+	e, _ = ParseExpr("NOT a = b")
+	u, ok := e.(Unary)
+	if !ok || u.Op != "NOT" {
+		t.Fatalf("NOT parse = %#v", e)
+	}
+	if inner, ok := u.X.(Binary); !ok || inner.Op != "=" {
+		t.Errorf("NOT should wrap the comparison, got %#v", u.X)
+	}
+
+	e, _ = ParseExpr("-2 * 3")
+	if b := e.(Binary); b.Op != "*" {
+		t.Errorf("unary minus binds tighter: %#v", e)
+	}
+}
+
+func TestParseComparisonOperators(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		e, err := ParseExpr("a " + op + " b")
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		if b := e.(Binary); b.Op != op {
+			t.Errorf("op = %s, want %s", b.Op, op)
+		}
+	}
+	// != canonicalizes to <>.
+	e, _ := ParseExpr("a != b")
+	if b := e.(Binary); b.Op != "<>" {
+		t.Errorf("!= should canonicalize to <>, got %s", b.Op)
+	}
+}
+
+func TestParseBetweenInIsNull(t *testing.T) {
+	e, err := ParseExpr("x BETWEEN 1 AND 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := e.(Between)
+	if bt.Not {
+		t.Error("unexpected NOT")
+	}
+	e, _ = ParseExpr("x NOT BETWEEN 1 AND 5")
+	if !e.(Between).Not {
+		t.Error("NOT BETWEEN lost")
+	}
+	e, _ = ParseExpr("x IN (1, 2, 3)")
+	in := e.(InList)
+	if len(in.Items) != 3 || in.Not {
+		t.Errorf("in = %+v", in)
+	}
+	e, _ = ParseExpr("x NOT IN (1)")
+	if !e.(InList).Not {
+		t.Error("NOT IN lost")
+	}
+	e, _ = ParseExpr("x IS NULL")
+	if e.(IsNull).Not {
+		t.Error("IS NULL wrong")
+	}
+	e, _ = ParseExpr("x IS NOT NULL")
+	if !e.(IsNull).Not {
+		t.Error("IS NOT NULL wrong")
+	}
+}
+
+func TestParseExpectPrefixForm(t *testing.T) {
+	e, err := ParseExpr("MAX(EXPECT overload)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := e.(FuncCall)
+	inner := outer.Args[0].(FuncCall)
+	if inner.Name != "EXPECT" {
+		t.Errorf("inner = %+v", inner)
+	}
+	col := inner.Args[0].(ColumnRef)
+	if col.Name != "overload" {
+		t.Errorf("column = %+v", col)
+	}
+	// Paren form also works.
+	e2, err := ParseExpr("MAX(EXPECT(overload))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SQL() != e2.SQL() {
+		t.Errorf("forms differ: %s vs %s", e.SQL(), e2.SQL())
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	e, err := ParseExpr("CASE WHEN a < b THEN 1 WHEN a = b THEN 0 ELSE -1 END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(Case)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+	if _, err := ParseExpr("CASE ELSE 1 END"); err == nil {
+		t.Error("CASE without WHEN should error")
+	}
+	// ELSE-less CASE.
+	e, err = ParseExpr("CASE WHEN a THEN 1 END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(Case).Else != nil {
+		t.Error("ELSE should be nil")
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	e, err := ParseExpr("t.col + u.col2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(Binary)
+	l := b.L.(ColumnRef)
+	if l.Table != "t" || l.Name != "col" {
+		t.Errorf("lhs = %+v", l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",                                 // missing items
+		"SELECT 1 FROM",                          // missing table
+		"DECLARE PARAMETER x AS SET (1);",        // not a param token
+		"DECLARE PARAMETER @p AS BLAH 1;",        // unknown space
+		"GRAPH OVER x EXPECT y;",                 // over must be param
+		"GRAPH OVER @x BOGUS y;",                 // bad agg
+		"GRAPH OVER @x EXPECT y WITH;",           // empty style
+		"OPTIMIZE SELECT @p FROM t FOR BLAH @p;", // bad goal
+		"SELECT 1 2;",                            // trailing junk after bare alias? -> "2" unexpected
+		"SELECT (1;",                             // unbalanced paren
+		"SELECT CASE WHEN 1 THEN 2;",             // unterminated case
+		"SELECT x NOT 5;",                        // NOT without BETWEEN/IN
+		"SELECT a LIMIT -1;",                     // negative limit
+		"FOO BAR;",                               // unknown statement
+		"SELECT x IS 5;",                         // IS must be followed by NULL
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}
+
+func TestParseExprTrailing(t *testing.T) {
+	if _, err := ParseExpr("1 + 2 extra"); err == nil {
+		t.Error("trailing input should error")
+	}
+}
+
+func TestParseStraySemicolons(t *testing.T) {
+	s := mustParse(t, ";;SELECT 1;;")
+	if len(s.Statements) != 1 {
+		t.Errorf("statements = %d", len(s.Statements))
+	}
+}
+
+func TestParseMissingFinalSemicolonOK(t *testing.T) {
+	s := mustParse(t, "SELECT 1")
+	if len(s.Statements) != 1 {
+		t.Errorf("statements = %d", len(s.Statements))
+	}
+}
+
+func TestWalkExprAndParams(t *testing.T) {
+	e, err := ParseExpr("CASE WHEN f(@a, x) BETWEEN @b AND 3 THEN @a ELSE (y IN (@c, 1)) END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params(e)
+	if !reflect.DeepEqual(params, []string{"a", "b", "c"}) {
+		t.Errorf("params = %v", params)
+	}
+	count := 0
+	WalkExpr(e, func(Expr) { count++ })
+	if count < 10 {
+		t.Errorf("walk visited only %d nodes", count)
+	}
+	// IsNull nodes are walked too.
+	e2, _ := ParseExpr("@z IS NOT NULL")
+	if got := Params(e2); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Errorf("IsNull params = %v", got)
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT\n  %%;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 2") {
+		t.Errorf("error lacks position: %s", msg)
+	}
+}

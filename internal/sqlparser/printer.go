@@ -1,0 +1,266 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a script in canonical scenario syntax, one statement per
+// line block. Parse(Print(s)) is structurally equal to s (tested as a
+// property); the Query Generator depends on this fixpoint.
+func Print(s *Script) string {
+	var sb strings.Builder
+	for i, st := range s.Statements {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(st.SQL())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// SQL renders the DECLARE PARAMETER statement.
+func (d DeclareParameter) SQL() string {
+	return fmt.Sprintf("DECLARE PARAMETER @%s AS %s;", d.Name, d.Space.SQL())
+}
+
+// SQL renders the RANGE space.
+func (r RangeSpace) SQL() string {
+	return fmt.Sprintf("RANGE %d TO %d STEP BY %d", r.From, r.To, r.Step)
+}
+
+// SQL renders the SET space.
+func (s SetSpace) SQL() string {
+	parts := make([]string, len(s.Members))
+	for i, m := range s.Members {
+		parts[i] = m.SQLLiteral()
+	}
+	return "SET (" + strings.Join(parts, ", ") + ")"
+}
+
+// SQL renders the SELECT statement.
+func (s Select) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(item.Expr.SQL())
+		if item.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(item.Alias)
+		}
+	}
+	if s.Into != "" {
+		sb.WriteString(" INTO ")
+		sb.WriteString(s.Into)
+	}
+	for i, ref := range s.From {
+		switch {
+		case i == 0:
+			sb.WriteString(" FROM ")
+		case ref.JoinCond != nil && ref.LeftJoin:
+			sb.WriteString(" LEFT JOIN ")
+		case ref.JoinCond != nil:
+			sb.WriteString(" JOIN ")
+		default:
+			sb.WriteString(", ")
+		}
+		sb.WriteString(ref.Name)
+		if ref.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(ref.Alias)
+		}
+		if i > 0 && ref.JoinCond != nil {
+			sb.WriteString(" ON ")
+			sb.WriteString(ref.JoinCond.SQL())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.SQL())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+// SQL renders the GRAPH statement.
+func (g Graph) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("GRAPH OVER @")
+	sb.WriteString(g.Over)
+	for i, item := range g.Items {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(" ")
+		sb.WriteString(item.Agg)
+		sb.WriteString(" ")
+		sb.WriteString(item.Column)
+		if len(item.Style) > 0 {
+			sb.WriteString(" WITH ")
+			sb.WriteString(strings.Join(item.Style, " "))
+		}
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+// SQL renders the OPTIMIZE statement.
+func (o Optimize) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("OPTIMIZE SELECT ")
+	for i, p := range o.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("@")
+		sb.WriteString(p)
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(o.From)
+	if o.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(o.Where.SQL())
+	}
+	if len(o.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(o.GroupBy, ", "))
+	}
+	sb.WriteString(" FOR ")
+	for i, g := range o.Goals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if g.Maximize {
+			sb.WriteString("MAX @")
+		} else {
+			sb.WriteString("MIN @")
+		}
+		sb.WriteString(g.Param)
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+// SQL renders a literal.
+func (l Literal) SQL() string { return l.Val.SQLLiteral() }
+
+// SQL renders a parameter reference.
+func (p ParamRef) SQL() string { return "@" + p.Name }
+
+// SQL renders a column reference.
+func (c ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// SQL renders a function call.
+func (f FuncCall) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.SQL()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SQL renders a unary expression. NOT is fully parenthesized because it
+// binds loosely in the grammar (between AND and comparison) and could not
+// otherwise appear as an operand of tighter operators.
+func (u Unary) SQL() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.X.SQL() + ")"
+	}
+	return "-(" + u.X.SQL() + ")"
+}
+
+// SQL renders a binary expression with full parenthesization.
+func (b Binary) SQL() string {
+	return "(" + b.L.SQL() + " " + b.Op + " " + b.R.SQL() + ")"
+}
+
+// SQL renders a CASE expression.
+func (c Case) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN ")
+		sb.WriteString(w.Cond.SQL())
+		sb.WriteString(" THEN ")
+		sb.WriteString(w.Then.SQL())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE ")
+		sb.WriteString(c.Else.SQL())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// SQL renders a BETWEEN expression.
+func (b Between) SQL() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.X.SQL() + " " + not + "BETWEEN " + b.Lo.SQL() + " AND " + b.Hi.SQL() + ")"
+}
+
+// SQL renders an IN list.
+func (in InList) SQL() string {
+	parts := make([]string, len(in.Items))
+	for i, e := range in.Items {
+		parts[i] = e.SQL()
+	}
+	not := ""
+	if in.Not {
+		not = "NOT "
+	}
+	return "(" + in.X.SQL() + " " + not + "IN (" + strings.Join(parts, ", ") + "))"
+}
+
+// SQL renders IS [NOT] NULL.
+func (n IsNull) SQL() string {
+	if n.Not {
+		return "(" + n.X.SQL() + " IS NOT NULL)"
+	}
+	return "(" + n.X.SQL() + " IS NULL)"
+}

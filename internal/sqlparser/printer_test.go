@@ -1,0 +1,276 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fuzzyprophet/internal/value"
+)
+
+func TestPrintParseFixpointFigure2(t *testing.T) {
+	s1 := mustParse(t, Figure2)
+	text1 := Print(s1)
+	s2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("re-parse of printed form failed: %v\n%s", err, text1)
+	}
+	text2 := Print(s2)
+	if text1 != text2 {
+		t.Errorf("print not a fixpoint:\n--- first ---\n%s--- second ---\n%s", text1, text2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("AST changed across print→parse round trip")
+	}
+}
+
+func TestPrintSelectAllClauses(t *testing.T) {
+	src := `SELECT a AS x, COUNT(*) AS n INTO out FROM t AS u JOIN v ON (v.id = u.id) WHERE (a > 1) GROUP BY a HAVING (COUNT(*) > 0) ORDER BY a DESC LIMIT 5;`
+	s := mustParse(t, src)
+	printed := strings.TrimSpace(Print(s))
+	if printed != src {
+		t.Errorf("printed:\n%s\nwant:\n%s", printed, src)
+	}
+}
+
+func TestPrintDistinctAndLeftJoin(t *testing.T) {
+	src := `SELECT DISTINCT a FROM t LEFT JOIN u ON (t.id = u.id);`
+	s := mustParse(t, src)
+	printed := strings.TrimSpace(Print(s))
+	if printed != src {
+		t.Errorf("printed:\n%s\nwant:\n%s", printed, src)
+	}
+	sel := s.Statements[0].(Select)
+	if !sel.Distinct {
+		t.Error("DISTINCT lost")
+	}
+	if len(sel.From) != 2 || !sel.From[1].LeftJoin || sel.From[1].JoinCond == nil {
+		t.Errorf("left join lost: %+v", sel.From)
+	}
+	// LEFT OUTER JOIN normalizes to LEFT JOIN.
+	s2 := mustParse(t, "SELECT a FROM t LEFT OUTER JOIN u ON (t.id = u.id);")
+	if !s2.Statements[0].(Select).From[1].LeftJoin {
+		t.Error("LEFT OUTER JOIN lost")
+	}
+}
+
+func TestPrintGraph(t *testing.T) {
+	src := "GRAPH OVER @w EXPECT a WITH bold red, PROB b, EXPECT_STDDEV c WITH y2;"
+	s := mustParse(t, src)
+	printed := strings.TrimSpace(Print(s))
+	if printed != src {
+		t.Errorf("printed %q, want %q", printed, src)
+	}
+}
+
+func TestPrintOptimize(t *testing.T) {
+	src := "OPTIMIZE SELECT @a, @b FROM r WHERE (MAX(EXPECT(o)) < 0.01) GROUP BY a, b FOR MAX @a, MIN @b;"
+	s := mustParse(t, src)
+	printed := strings.TrimSpace(Print(s))
+	if printed != src {
+		t.Errorf("printed %q, want %q", printed, src)
+	}
+	// The paren-free prefix form normalizes to the same canonical text.
+	alt := mustParse(t, "OPTIMIZE SELECT @a, @b FROM r WHERE MAX(EXPECT o) < 0.01 GROUP BY a, b FOR MAX @a, MIN @b;")
+	if strings.TrimSpace(Print(alt)) != src {
+		t.Errorf("prefix form printed %q, want %q", strings.TrimSpace(Print(alt)), src)
+	}
+}
+
+func TestPrintDeclare(t *testing.T) {
+	cases := []string{
+		"DECLARE PARAMETER @p AS RANGE 0 TO 52 STEP BY 4;",
+		"DECLARE PARAMETER @q AS SET (12, 36, 44);",
+		"DECLARE PARAMETER @s AS SET ('a', 'it''s', NULL, TRUE);",
+	}
+	for _, src := range cases {
+		s := mustParse(t, src)
+		printed := strings.TrimSpace(Print(s))
+		if printed != src {
+			t.Errorf("printed %q, want %q", printed, src)
+		}
+	}
+}
+
+func TestPrintExpressions(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":                     "(1 + (2 * 3))",
+		"NOT a":                         "(NOT a)",
+		"-x":                            "-(x)",
+		"a BETWEEN 1 AND 2":             "(a BETWEEN 1 AND 2)",
+		"a NOT IN (1, 2)":               "(a NOT IN (1, 2))",
+		"a IS NOT NULL":                 "(a IS NOT NULL)",
+		"t.c":                           "t.c",
+		"f()":                           "f()",
+		"COUNT(*)":                      "COUNT(*)",
+		"EXPECT overload":               "EXPECT(overload)",
+		"CASE WHEN a THEN 1 ELSE 0 END": "CASE WHEN a THEN 1 ELSE 0 END",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		if got := e.SQL(); got != want {
+			t.Errorf("SQL(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+// randomExpr builds a random expression tree for the round-trip property.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Literal{Val: value.Int(int64(r.Intn(100)))}
+		case 1:
+			return Literal{Val: value.Float(float64(r.Intn(1000)) / 8)}
+		case 2:
+			return ColumnRef{Name: string(rune('a' + r.Intn(26)))}
+		default:
+			return ParamRef{Name: "p" + string(rune('0'+r.Intn(10)))}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "%"}
+		return Binary{Op: ops[r.Intn(len(ops))], L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 1:
+		ops := []string{"=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+		return Binary{Op: ops[r.Intn(len(ops))], L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 2:
+		if r.Intn(2) == 0 {
+			return Unary{Op: "-", X: randomExpr(r, depth-1)}
+		}
+		return Unary{Op: "NOT", X: randomExpr(r, depth-1)}
+	case 3:
+		n := 1 + r.Intn(3)
+		whens := make([]When, n)
+		for i := range whens {
+			whens[i] = When{Cond: randomExpr(r, depth-1), Then: randomExpr(r, depth-1)}
+		}
+		c := Case{Whens: whens}
+		if r.Intn(2) == 0 {
+			c.Else = randomExpr(r, depth-1)
+		}
+		return c
+	case 4:
+		return Between{X: randomExpr(r, depth-1), Lo: randomExpr(r, depth-1), Hi: randomExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 5:
+		n := 1 + r.Intn(3)
+		items := make([]Expr, n)
+		for i := range items {
+			items[i] = randomExpr(r, depth-1)
+		}
+		return InList{X: randomExpr(r, depth-1), Items: items, Not: r.Intn(2) == 0}
+	case 6:
+		n := r.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randomExpr(r, depth-1)
+		}
+		return FuncCall{Name: "fn" + string(rune('0'+r.Intn(10))), Args: args}
+	default:
+		return IsNull{X: randomExpr(r, depth-1), Not: r.Intn(2) == 0}
+	}
+}
+
+// Property: every randomly generated expression survives SQL→parse→SQL
+// unchanged (structurally and textually).
+func TestPrintParseRoundTripRandomExprs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		e := randomExpr(r, 3)
+		text := e.SQL()
+		back, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("iteration %d: re-parse of %q failed: %v", i, text, err)
+		}
+		if back.SQL() != text {
+			t.Fatalf("iteration %d: round trip changed\n in: %s\nout: %s", i, text, back.SQL())
+		}
+		if !reflect.DeepEqual(normalize(e), normalize(back)) {
+			t.Fatalf("iteration %d: AST changed for %s", i, text)
+		}
+	}
+}
+
+// normalize maps semantically identical literal spellings (e.g. Float(3)
+// prints as "3" and re-parses as Int(3)) onto one canonical form so the
+// structural comparison tests real round-trip fidelity, not lexical
+// decoration.
+func normalize(e Expr) Expr {
+	switch n := e.(type) {
+	case Literal:
+		if n.Val.Kind() == value.KindFloat {
+			if f, err := n.Val.AsFloat(); err == nil && f == float64(int64(f)) {
+				return Literal{Val: value.Int(int64(f))}
+			}
+		}
+		return n
+	case Unary:
+		return Unary{Op: n.Op, X: normalize(n.X)}
+	case Binary:
+		return Binary{Op: n.Op, L: normalize(n.L), R: normalize(n.R)}
+	case FuncCall:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = normalize(a)
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		return FuncCall{Name: n.Name, Args: args, Star: n.Star}
+	case Case:
+		whens := make([]When, len(n.Whens))
+		for i, w := range n.Whens {
+			whens[i] = When{Cond: normalize(w.Cond), Then: normalize(w.Then)}
+		}
+		var els Expr
+		if n.Else != nil {
+			els = normalize(n.Else)
+		}
+		return Case{Whens: whens, Else: els}
+	case Between:
+		return Between{X: normalize(n.X), Lo: normalize(n.Lo), Hi: normalize(n.Hi), Not: n.Not}
+	case InList:
+		items := make([]Expr, len(n.Items))
+		for i, it := range n.Items {
+			items[i] = normalize(it)
+		}
+		return InList{X: normalize(n.X), Items: items, Not: n.Not}
+	case IsNull:
+		return IsNull{X: normalize(n.X), Not: n.Not}
+	default:
+		return e
+	}
+}
+
+// Property: random full scripts round-trip through Print/Parse.
+func TestPrintParseRoundTripRandomScripts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		script := &Script{}
+		script.Statements = append(script.Statements, DeclareParameter{
+			Name:  "p",
+			Space: RangeSpace{From: int64(r.Intn(5)), To: int64(5 + r.Intn(50)), Step: int64(1 + r.Intn(4))},
+		})
+		sel := Select{Limit: -1, Into: "results"}
+		for j := 0; j < 1+r.Intn(3); j++ {
+			sel.Items = append(sel.Items, SelectItem{Expr: randomExpr(r, 2), Alias: "c" + string(rune('0'+j))})
+		}
+		if r.Intn(2) == 0 {
+			sel.Where = randomExpr(r, 2)
+		}
+		script.Statements = append(script.Statements, sel)
+		text := Print(script)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, text)
+		}
+		if Print(back) != text {
+			t.Fatalf("iteration %d: print not stable\n%s\nvs\n%s", i, text, Print(back))
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the lexer and parser must never panic, whatever bytes they
+// are fed — they either succeed or return a positioned error.
+
+func TestQuickLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Lex(%q) panicked: %v", src, r)
+			}
+		}()
+		toks, err := Lex(src)
+		if err == nil && (len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF) {
+			return false // successful lex must end with EOF
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shuffled-token fuzz: recombine fragments of valid scenario syntax into
+// mostly-invalid garbage; the parser must reject or accept without
+// panicking, and accepted scripts must round-trip.
+func TestShuffledFragmentFuzz(t *testing.T) {
+	fragments := []string{
+		"SELECT", "FROM", "WHERE", "GROUP BY", "ORDER BY", "DECLARE",
+		"PARAMETER", "@p", "AS", "RANGE", "0", "TO", "52", "STEP BY",
+		"SET", "(", ")", ",", ";", "GRAPH", "OVER", "EXPECT",
+		"OPTIMIZE", "FOR", "MAX", "MIN", "CASE", "WHEN", "THEN", "ELSE",
+		"END", "x", "y", "results", "1.5", "'str'", "+", "-", "*", "/",
+		"<", ">", "=", "<>", "AND", "OR", "NOT", "BETWEEN", "IN",
+		"IS", "NULL", "DISTINCT", "JOIN", "LEFT", "ON", "INTO", "LIMIT",
+	}
+	r := rand.New(rand.NewSource(2011))
+	for i := 0; i < 3000; i++ {
+		n := 1 + r.Intn(20)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = fragments[r.Intn(len(fragments))]
+		}
+		src := strings.Join(parts, " ")
+		script, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		// Rare accidental valid scripts must round-trip.
+		printed := Print(script)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted script does not round-trip: %q → %q: %v", src, printed, err)
+		}
+		if Print(back) != printed {
+			t.Fatalf("print not stable for %q", src)
+		}
+	}
+}

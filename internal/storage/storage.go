@@ -1,0 +1,206 @@
+// Package storage implements Fuzzy Prophet's Storage Manager: the component
+// that "manages the set of basis distributions" (paper §2, architecture
+// cycle step 3).
+//
+// A basis distribution is the Monte Carlo sample vector produced for one
+// (call site, argument tuple) during scenario evaluation. The online mode
+// correlates new parameter points against these stored bases via
+// fingerprints; a hit re-maps the stored samples instead of re-invoking the
+// VG-Function. The store is bounded: entries are evicted least-recently-
+// used once the configured memory budget is exceeded.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Entry is one stored basis distribution.
+type Entry struct {
+	// Site identifies the VG call site (e.g. "CapacityModel#1").
+	Site string
+	// Key canonically encodes the argument tuple the samples were drawn
+	// under.
+	Key string
+	// Samples is the Monte Carlo sample vector (one value per world).
+	Samples []float64
+}
+
+func (e *Entry) bytes() int64 {
+	// Sample payload plus a small fixed overhead for keys and bookkeeping.
+	return int64(len(e.Samples))*8 + int64(len(e.Site)+len(e.Key)) + 64
+}
+
+// Store is a bounded, thread-safe basis-distribution store with LRU
+// eviction.
+type Store struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	order    *list.List               // front = most recent
+	index    map[string]*list.Element // composite key → element
+	hits     int64
+	misses   int64
+	evicted  int64
+	inserted int64
+}
+
+// NewStore returns a store with the given memory budget in bytes. A budget
+// of <= 0 means unbounded.
+func NewStore(budgetBytes int64) *Store {
+	return &Store{
+		budget: budgetBytes,
+		order:  list.New(),
+		index:  make(map[string]*list.Element),
+	}
+}
+
+func compositeKey(site, key string) string {
+	return fmt.Sprintf("%d:%s|%s", len(site), site, key)
+}
+
+// Put stores (or replaces) the samples for (site, key). The stored slice is
+// copied so later caller mutations cannot corrupt the basis.
+func (s *Store) Put(site, key string, samples []float64) {
+	cp := append([]float64(nil), samples...)
+	e := &Entry{Site: site, Key: key, Samples: cp}
+	ck := compositeKey(site, key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[ck]; ok {
+		old := el.Value.(*Entry)
+		s.used -= old.bytes()
+		el.Value = e
+		s.used += e.bytes()
+		s.order.MoveToFront(el)
+	} else {
+		el := s.order.PushFront(e)
+		s.index[ck] = el
+		s.used += e.bytes()
+		s.inserted++
+	}
+	s.evictLocked()
+}
+
+// Get returns the samples for (site, key), marking the entry recently used.
+// The returned slice is shared; callers must not mutate it.
+func (s *Store) Get(site, key string) ([]float64, bool) {
+	ck := compositeKey(site, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[ck]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*Entry).Samples, true
+}
+
+// Contains reports whether (site, key) is stored, without touching LRU
+// order.
+func (s *Store) Contains(site, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[compositeKey(site, key)]
+	return ok
+}
+
+// Drop removes (site, key) if present.
+func (s *Store) Drop(site, key string) {
+	ck := compositeKey(site, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[ck]; ok {
+		s.removeLocked(el)
+	}
+}
+
+// Clear removes everything.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.order.Init()
+	s.index = make(map[string]*list.Element)
+	s.used = 0
+}
+
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*Entry)
+	s.order.Remove(el)
+	delete(s.index, compositeKey(e.Site, e.Key))
+	s.used -= e.bytes()
+}
+
+func (s *Store) evictLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.used > s.budget && s.order.Len() > 0 {
+		el := s.order.Back()
+		s.removeLocked(el)
+		s.evicted++
+	}
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Entries   int
+	UsedBytes int64
+	Budget    int64
+	Hits      int64
+	Misses    int64
+	Evicted   int64
+	Inserted  int64
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:   s.order.Len(),
+		UsedBytes: s.used,
+		Budget:    s.budget,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evicted:   s.evicted,
+		Inserted:  s.inserted,
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Snapshot returns a copy of every stored entry, most recently used first.
+// Sample slices are copied; the snapshot is safe to serialize.
+func (s *Store) Snapshot() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*Entry)
+		out = append(out, Entry{
+			Site:    e.Site,
+			Key:     e.Key,
+			Samples: append([]float64(nil), e.Samples...),
+		})
+	}
+	return out
+}
+
+// Restore inserts the snapshot's entries (least recently used first, so the
+// snapshot's recency order is reproduced). Existing entries with the same
+// keys are replaced; the budget applies as usual.
+func (s *Store) Restore(entries []Entry) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		s.Put(entries[i].Site, entries[i].Key, entries[i].Samples)
+	}
+}

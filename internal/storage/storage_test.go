@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	s := NewStore(0)
+	s.Put("site", "k1", []float64{1, 2, 3})
+	got, ok := s.Get("site", "k1")
+	if !ok || len(got) != 3 || got[0] != 1 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := s.Get("site", "k2"); ok {
+		t.Error("missing key should miss")
+	}
+	if _, ok := s.Get("other", "k1"); ok {
+		t.Error("site namespaces must be separate")
+	}
+}
+
+func TestPutCopies(t *testing.T) {
+	s := NewStore(0)
+	src := []float64{1, 2}
+	s.Put("s", "k", src)
+	src[0] = 99
+	got, _ := s.Get("s", "k")
+	if got[0] != 1 {
+		t.Error("Put must copy the samples")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	s := NewStore(0)
+	s.Put("s", "k", []float64{1})
+	s.Put("s", "k", []float64{2, 3})
+	got, _ := s.Get("s", "k")
+	if len(got) != 2 || got[0] != 2 {
+		t.Errorf("replace failed: %v", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestCompositeKeyNoCollision(t *testing.T) {
+	s := NewStore(0)
+	// "ab"+"c" vs "a"+"bc" must be distinct entries.
+	s.Put("ab", "c", []float64{1})
+	s.Put("a", "bc", []float64{2})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, key collision", s.Len())
+	}
+	g1, _ := s.Get("ab", "c")
+	g2, _ := s.Get("a", "bc")
+	if g1[0] != 1 || g2[0] != 2 {
+		t.Error("entries crossed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget for roughly two entries of 100 samples each.
+	perEntry := int64(100*8 + 2 + 64)
+	s := NewStore(2*perEntry + 10)
+	samples := make([]float64, 100)
+	s.Put("s", "a", samples)
+	s.Put("s", "b", samples)
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := s.Get("s", "a"); !ok {
+		t.Fatal("a should be present")
+	}
+	s.Put("s", "c", samples)
+	if s.Contains("s", "b") {
+		t.Error("b should have been evicted")
+	}
+	if !s.Contains("s", "a") || !s.Contains("s", "c") {
+		t.Error("a and c should remain")
+	}
+	st := s.Stats()
+	if st.Evicted != 1 {
+		t.Errorf("evicted = %d", st.Evicted)
+	}
+	if st.UsedBytes > st.Budget {
+		t.Errorf("used %d over budget %d", st.UsedBytes, st.Budget)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 1000; i++ {
+		s.Put("s", fmt.Sprintf("k%d", i), make([]float64, 100))
+	}
+	if s.Len() != 1000 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if s.Stats().Evicted != 0 {
+		t.Error("unbounded store must not evict")
+	}
+}
+
+func TestDropAndClear(t *testing.T) {
+	s := NewStore(0)
+	s.Put("s", "k", []float64{1})
+	s.Drop("s", "k")
+	if s.Contains("s", "k") {
+		t.Error("Drop failed")
+	}
+	s.Drop("s", "k") // no-op
+	s.Put("s", "a", []float64{1})
+	s.Put("s", "b", []float64{1})
+	s.Clear()
+	if s.Len() != 0 || s.Stats().UsedBytes != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewStore(0)
+	s.Put("s", "k", []float64{1})
+	s.Get("s", "k")
+	s.Get("s", "nope")
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserted != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%20)
+				s.Put("s", key, []float64{float64(i)})
+				s.Get("s", key)
+				s.Contains("s", key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Error("store empty after concurrent writes")
+	}
+}

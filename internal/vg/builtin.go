@@ -1,0 +1,150 @@
+package vg
+
+import (
+	"fmt"
+
+	"fuzzyprophet/internal/rng"
+	"fuzzyprophet/internal/value"
+)
+
+// RegisterBuiltins adds the standard distribution VG-Functions to r. These
+// are the "specialized tools like R" stand-ins of the paper's workflow step
+// (1): analysts would normally export fitted models; here the primitives are
+// available directly in scenario SQL.
+//
+//	Gaussian(mean, stddev)        normal variate
+//	LogNormal(mu, sigma)          log-normal variate
+//	Poisson(mean)                 Poisson count
+//	Uniform(lo, hi)               uniform variate in [lo, hi)
+//	Exponential(rate)             exponential variate
+//	Bernoulli(p)                  0/1 indicator
+//	Binomial(n, p)                number of successes
+//	Weibull(shape, scale)         Weibull variate
+//	Gamma(shape, scale)           gamma variate
+func RegisterBuiltins(r *Registry) error {
+	builtins := []Function{
+		NewFunc("Gaussian", 2, func(seed uint64, args []value.Value) (value.Value, error) {
+			mean, stddev, err := twoFloats("Gaussian", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if stddev < 0 {
+				return value.Null, fmt.Errorf("vg: Gaussian stddev must be non-negative, got %g", stddev)
+			}
+			return value.Float(rng.New(seed).Normal(mean, stddev)), nil
+		}),
+		NewFunc("LogNormal", 2, func(seed uint64, args []value.Value) (value.Value, error) {
+			mu, sigma, err := twoFloats("LogNormal", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if sigma < 0 {
+				return value.Null, fmt.Errorf("vg: LogNormal sigma must be non-negative, got %g", sigma)
+			}
+			return value.Float(rng.New(seed).LogNormal(mu, sigma)), nil
+		}),
+		NewFunc("Poisson", 1, func(seed uint64, args []value.Value) (value.Value, error) {
+			mean, err := oneFloat("Poisson", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if mean < 0 {
+				return value.Null, fmt.Errorf("vg: Poisson mean must be non-negative, got %g", mean)
+			}
+			return value.Int(rng.New(seed).Poisson(mean)), nil
+		}),
+		NewFunc("Uniform", 2, func(seed uint64, args []value.Value) (value.Value, error) {
+			lo, hi, err := twoFloats("Uniform", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if hi < lo {
+				return value.Null, fmt.Errorf("vg: Uniform needs lo <= hi, got [%g, %g)", lo, hi)
+			}
+			return value.Float(rng.New(seed).Uniform(lo, hi)), nil
+		}),
+		NewFunc("Exponential", 1, func(seed uint64, args []value.Value) (value.Value, error) {
+			rate, err := oneFloat("Exponential", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if rate <= 0 {
+				return value.Null, fmt.Errorf("vg: Exponential rate must be positive, got %g", rate)
+			}
+			return value.Float(rng.New(seed).Exponential(rate)), nil
+		}),
+		NewFunc("Bernoulli", 1, func(seed uint64, args []value.Value) (value.Value, error) {
+			p, err := oneFloat("Bernoulli", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if rng.New(seed).Bernoulli(p) {
+				return value.Int(1), nil
+			}
+			return value.Int(0), nil
+		}),
+		NewFunc("Binomial", 2, func(seed uint64, args []value.Value) (value.Value, error) {
+			nf, p, err := twoFloats("Binomial", args)
+			if err != nil {
+				return value.Null, err
+			}
+			n := int(nf)
+			if n < 0 || p < 0 || p > 1 {
+				return value.Null, fmt.Errorf("vg: Binomial needs n >= 0 and p in [0,1], got n=%d p=%g", n, p)
+			}
+			return value.Int(rng.New(seed).Binomial(n, p)), nil
+		}),
+		NewFunc("Weibull", 2, func(seed uint64, args []value.Value) (value.Value, error) {
+			shape, scale, err := twoFloats("Weibull", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if shape <= 0 || scale <= 0 {
+				return value.Null, fmt.Errorf("vg: Weibull needs positive shape and scale, got %g, %g", shape, scale)
+			}
+			return value.Float(rng.New(seed).Weibull(shape, scale)), nil
+		}),
+		NewFunc("Gamma", 2, func(seed uint64, args []value.Value) (value.Value, error) {
+			shape, scale, err := twoFloats("Gamma", args)
+			if err != nil {
+				return value.Null, err
+			}
+			if shape <= 0 || scale <= 0 {
+				return value.Null, fmt.Errorf("vg: Gamma needs positive shape and scale, got %g, %g", shape, scale)
+			}
+			return value.Float(rng.New(seed).Gamma(shape, scale)), nil
+		}),
+	}
+	for _, f := range builtins {
+		if err := r.Register(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func oneFloat(name string, args []value.Value) (float64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("vg: %s expects 1 argument, got %d", name, len(args))
+	}
+	f, err := args[0].AsFloat()
+	if err != nil {
+		return 0, fmt.Errorf("vg: %s argument: %v", name, err)
+	}
+	return f, nil
+}
+
+func twoFloats(name string, args []value.Value) (float64, float64, error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("vg: %s expects 2 arguments, got %d", name, len(args))
+	}
+	a, err := args[0].AsFloat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("vg: %s argument 1: %v", name, err)
+	}
+	b, err := args[1].AsFloat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("vg: %s argument 2: %v", name, err)
+	}
+	return a, b, nil
+}

@@ -1,0 +1,261 @@
+// Package vg implements the VG-Function (variable-generation function)
+// framework, the black-box stochastic model abstraction Fuzzy Prophet
+// inherits from MCDB and PIP.
+//
+// A VG-Function is an arbitrary user-supplied stochastic function. The one
+// contract the fingerprinting technique imposes is determinism in (seed,
+// arguments): invoking the function twice with the same PRNG seed and the
+// same arguments must produce identical output. The system exploits this to
+// compare function behaviour across parameter values under a fixed seed
+// sequence (the paper's fingerprint), so any violation silently breaks
+// reuse; Registry.CheckDeterminism exists to catch such models early.
+//
+// The package also counts invocations. The paper's headline benefit is
+// avoided VG-Function work, so the experiment harness reads these counters
+// to report "VG invocations saved".
+package vg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fuzzyprophet/internal/value"
+)
+
+// Function is a scalar VG-Function.
+type Function interface {
+	// Name is the identifier scenarios use to call the function.
+	Name() string
+	// Arity is the required argument count.
+	Arity() int
+	// Generate returns the function's stochastic output. It must be
+	// deterministic in (seed, args) and safe for concurrent use.
+	Generate(seed uint64, args []value.Value) (value.Value, error)
+}
+
+// TableFunction is a table-generating VG-Function (the form the paper's
+// DemandModel and CapacityModel take in TSQL). The scenario engine invokes
+// it once per world and exposes the rows through the FROM clause.
+type TableFunction interface {
+	// Name is the identifier scenarios use in FROM clauses.
+	Name() string
+	// Arity is the required argument count.
+	Arity() int
+	// Columns names the generated columns.
+	Columns() []string
+	// GenerateTable returns the generated rows. It must be deterministic in
+	// (seed, args) and safe for concurrent use.
+	GenerateTable(seed uint64, args []value.Value) ([][]value.Value, error)
+}
+
+// GenerateFunc adapts a plain function to the Function interface.
+type GenerateFunc func(seed uint64, args []value.Value) (value.Value, error)
+
+type funcAdapter struct {
+	name  string
+	arity int
+	fn    GenerateFunc
+}
+
+func (f *funcAdapter) Name() string { return f.name }
+func (f *funcAdapter) Arity() int   { return f.arity }
+func (f *funcAdapter) Generate(seed uint64, args []value.Value) (value.Value, error) {
+	return f.fn(seed, args)
+}
+
+// NewFunc wraps fn as a named scalar VG-Function.
+func NewFunc(name string, arity int, fn GenerateFunc) Function {
+	return &funcAdapter{name: name, arity: arity, fn: fn}
+}
+
+// Registry is a thread-safe catalog of VG-Functions plus invocation
+// counters.
+type Registry struct {
+	mu     sync.RWMutex
+	scalar map[string]Function
+	table  map[string]TableFunction
+	counts map[string]*atomic.Int64
+	total  atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		scalar: make(map[string]Function),
+		table:  make(map[string]TableFunction),
+		counts: make(map[string]*atomic.Int64),
+	}
+}
+
+// Register adds a scalar VG-Function. It returns an error if the name is
+// already taken (by either flavor).
+func (r *Registry) Register(f Function) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := f.Name()
+	if _, ok := r.scalar[name]; ok {
+		return fmt.Errorf("vg: function %q already registered", name)
+	}
+	if _, ok := r.table[name]; ok {
+		return fmt.Errorf("vg: function %q already registered as a table function", name)
+	}
+	r.scalar[name] = f
+	r.counts[name] = &atomic.Int64{}
+	return nil
+}
+
+// RegisterTable adds a table VG-Function. It returns an error if the name is
+// already taken.
+func (r *Registry) RegisterTable(f TableFunction) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := f.Name()
+	if _, ok := r.table[name]; ok {
+		return fmt.Errorf("vg: table function %q already registered", name)
+	}
+	if _, ok := r.scalar[name]; ok {
+		return fmt.Errorf("vg: table function %q already registered as a scalar function", name)
+	}
+	r.table[name] = f
+	r.counts[name] = &atomic.Int64{}
+	return nil
+}
+
+// Lookup returns the named scalar function.
+func (r *Registry) Lookup(name string) (Function, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.scalar[name]
+	return f, ok
+}
+
+// LookupTable returns the named table function.
+func (r *Registry) LookupTable(name string) (TableFunction, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.table[name]
+	return f, ok
+}
+
+// Names returns all registered names (both flavors), sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.scalar)+len(r.table))
+	for n := range r.scalar {
+		out = append(out, n)
+	}
+	for n := range r.table {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invoke calls the named scalar function, validating arity and counting the
+// invocation.
+func (r *Registry) Invoke(name string, seed uint64, args []value.Value) (value.Value, error) {
+	r.mu.RLock()
+	f, ok := r.scalar[name]
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if !ok {
+		return value.Null, fmt.Errorf("vg: unknown function %q", name)
+	}
+	if f.Arity() >= 0 && len(args) != f.Arity() {
+		return value.Null, fmt.Errorf("vg: function %q expects %d arguments, got %d", name, f.Arity(), len(args))
+	}
+	c.Add(1)
+	r.total.Add(1)
+	return f.Generate(seed, args)
+}
+
+// InvokeTable calls the named table function, validating arity and counting
+// the invocation.
+func (r *Registry) InvokeTable(name string, seed uint64, args []value.Value) ([][]value.Value, error) {
+	r.mu.RLock()
+	f, ok := r.table[name]
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("vg: unknown table function %q", name)
+	}
+	if f.Arity() >= 0 && len(args) != f.Arity() {
+		return nil, fmt.Errorf("vg: table function %q expects %d arguments, got %d", name, f.Arity(), len(args))
+	}
+	c.Add(1)
+	r.total.Add(1)
+	return f.GenerateTable(seed, args)
+}
+
+// Count returns the number of invocations of the named function.
+func (r *Registry) Count(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.counts[name]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// TotalInvocations returns the total invocation count across all functions.
+func (r *Registry) TotalInvocations() int64 { return r.total.Load() }
+
+// ResetCounters zeroes all invocation counters (used between experiment
+// runs).
+func (r *Registry) ResetCounters() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counts {
+		c.Store(0)
+	}
+	r.total.Store(0)
+}
+
+// CheckDeterminism invokes the named function twice with the same seed and
+// arguments and returns an error when the outputs differ — the contract
+// violation that silently poisons fingerprint reuse.
+func (r *Registry) CheckDeterminism(name string, seed uint64, args []value.Value) error {
+	if _, ok := r.Lookup(name); ok {
+		a, err := r.Invoke(name, seed, args)
+		if err != nil {
+			return err
+		}
+		b, err := r.Invoke(name, seed, args)
+		if err != nil {
+			return err
+		}
+		if !a.Equal(b) {
+			return fmt.Errorf("vg: function %q is not deterministic in its seed: %v vs %v", name, a, b)
+		}
+		return nil
+	}
+	if _, ok := r.LookupTable(name); ok {
+		a, err := r.InvokeTable(name, seed, args)
+		if err != nil {
+			return err
+		}
+		b, err := r.InvokeTable(name, seed, args)
+		if err != nil {
+			return err
+		}
+		if len(a) != len(b) {
+			return fmt.Errorf("vg: table function %q is not deterministic in its seed: %d vs %d rows", name, len(a), len(b))
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return fmt.Errorf("vg: table function %q row %d width differs between runs", name, i)
+			}
+			for j := range a[i] {
+				if !a[i][j].Equal(b[i][j]) {
+					return fmt.Errorf("vg: table function %q row %d col %d differs between runs: %v vs %v",
+						name, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("vg: unknown function %q", name)
+}

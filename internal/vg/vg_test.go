@@ -1,0 +1,293 @@
+package vg
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"fuzzyprophet/internal/rng"
+	"fuzzyprophet/internal/value"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	if err := RegisterBuiltins(r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	f := NewFunc("Const7", 0, func(seed uint64, args []value.Value) (value.Value, error) {
+		return value.Int(7), nil
+	})
+	if err := r.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup("Const7")
+	if !ok || got.Name() != "Const7" || got.Arity() != 0 {
+		t.Fatalf("lookup = %v, %v", got, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("missing function should not resolve")
+	}
+	if err := r.Register(f); err == nil {
+		t.Error("duplicate registration should error")
+	}
+}
+
+func TestRegisterCrossFlavorConflict(t *testing.T) {
+	r := NewRegistry()
+	scalar := NewFunc("X", 0, func(uint64, []value.Value) (value.Value, error) { return value.Int(1), nil })
+	table := &testTableFunc{name: "X"}
+	if err := r.Register(scalar); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterTable(table); err == nil {
+		t.Error("table function colliding with scalar name should error")
+	}
+	r2 := NewRegistry()
+	if err := r2.RegisterTable(table); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Register(scalar); err == nil {
+		t.Error("scalar function colliding with table name should error")
+	}
+	if err := r2.RegisterTable(table); err == nil {
+		t.Error("duplicate table registration should error")
+	}
+}
+
+type testTableFunc struct {
+	name string
+}
+
+func (f *testTableFunc) Name() string      { return f.name }
+func (f *testTableFunc) Arity() int        { return 1 }
+func (f *testTableFunc) Columns() []string { return []string{"week", "v"} }
+func (f *testTableFunc) GenerateTable(seed uint64, args []value.Value) ([][]value.Value, error) {
+	n, err := args[0].AsInt()
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(seed)
+	rows := make([][]value.Value, n)
+	for i := range rows {
+		rows[i] = []value.Value{value.Int(int64(i)), value.Float(src.Float64())}
+	}
+	return rows, nil
+}
+
+func TestInvokeCountsAndArity(t *testing.T) {
+	r := newTestRegistry(t)
+	if _, err := r.Invoke("Gaussian", 1, []value.Value{value.Int(0)}); err == nil {
+		t.Error("wrong arity should error")
+	}
+	v, err := r.Invoke("Gaussian", 1, []value.Value{value.Float(10), value.Float(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := v.AsFloat()
+	if f != 10 {
+		t.Errorf("Gaussian(10, 0) = %g, want exactly 10", f)
+	}
+	if r.Count("Gaussian") != 2 { // failed arity check still counts? No: count increments after validation
+		// Count is incremented only on successful dispatch; the arity error
+		// happens first, so we expect 1.
+		if r.Count("Gaussian") != 1 {
+			t.Errorf("count = %d", r.Count("Gaussian"))
+		}
+	}
+	if r.TotalInvocations() == 0 {
+		t.Error("total invocations should be counted")
+	}
+	r.ResetCounters()
+	if r.TotalInvocations() != 0 || r.Count("Gaussian") != 0 {
+		t.Error("reset did not zero counters")
+	}
+	if _, err := r.Invoke("nope", 1, nil); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestInvokeTable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterTable(&testTableFunc{name: "Tbl"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.InvokeTable("Tbl", 42, []value.Value{value.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if r.Count("Tbl") != 1 {
+		t.Errorf("table count = %d", r.Count("Tbl"))
+	}
+	if _, err := r.InvokeTable("Tbl", 42, nil); err == nil {
+		t.Error("wrong table arity should error")
+	}
+	if _, err := r.InvokeTable("missing", 1, nil); err == nil {
+		t.Error("unknown table function should error")
+	}
+	tf, ok := r.LookupTable("Tbl")
+	if !ok || tf.Columns()[0] != "week" {
+		t.Errorf("LookupTable = %v, %v", tf, ok)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := newTestRegistry(t)
+	if err := r.RegisterTable(&testTableFunc{name: "ZTable"}); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) < 9 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	if names[len(names)-1] != "ZTable" {
+		t.Errorf("ZTable missing or not last: %v", names)
+	}
+}
+
+func TestBuiltinDeterminism(t *testing.T) {
+	r := newTestRegistry(t)
+	args := map[string][]value.Value{
+		"Gaussian":    {value.Float(5), value.Float(2)},
+		"LogNormal":   {value.Float(0), value.Float(0.5)},
+		"Poisson":     {value.Float(4)},
+		"Uniform":     {value.Float(0), value.Float(10)},
+		"Exponential": {value.Float(1)},
+		"Bernoulli":   {value.Float(0.5)},
+		"Binomial":    {value.Int(20), value.Float(0.3)},
+		"Weibull":     {value.Float(1.5), value.Float(2)},
+		"Gamma":       {value.Float(2), value.Float(3)},
+	}
+	for name, a := range args {
+		if err := r.CheckDeterminism(name, 12345, a); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCheckDeterminismCatchesViolation(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	bad := NewFunc("Bad", 0, func(seed uint64, args []value.Value) (value.Value, error) {
+		calls++
+		return value.Int(int64(calls)), nil // ignores the seed: nondeterministic
+	})
+	if err := r.Register(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckDeterminism("Bad", 1, nil); err == nil {
+		t.Error("nondeterministic function should be detected")
+	}
+	if err := r.CheckDeterminism("missing", 1, nil); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestCheckDeterminismTable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterTable(&testTableFunc{name: "Tbl"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckDeterminism("Tbl", 7, []value.Value{value.Int(4)}); err != nil {
+		t.Errorf("deterministic table flagged: %v", err)
+	}
+}
+
+func TestBuiltinValidation(t *testing.T) {
+	r := newTestRegistry(t)
+	cases := []struct {
+		name string
+		args []value.Value
+	}{
+		{"Gaussian", []value.Value{value.Float(0), value.Float(-1)}},
+		{"LogNormal", []value.Value{value.Float(0), value.Float(-1)}},
+		{"Poisson", []value.Value{value.Float(-2)}},
+		{"Uniform", []value.Value{value.Float(5), value.Float(1)}},
+		{"Exponential", []value.Value{value.Float(0)}},
+		{"Binomial", []value.Value{value.Int(-1), value.Float(0.5)}},
+		{"Binomial", []value.Value{value.Int(5), value.Float(1.5)}},
+		{"Weibull", []value.Value{value.Float(0), value.Float(1)}},
+		{"Gamma", []value.Value{value.Float(1), value.Float(0)}},
+		{"Gaussian", []value.Value{value.Str("x"), value.Float(1)}},
+		{"Poisson", []value.Value{value.Str("x")}},
+	}
+	for _, c := range cases {
+		if _, err := r.Invoke(c.name, 1, c.args); err == nil {
+			t.Errorf("%s(%v) should error", c.name, c.args)
+		}
+	}
+}
+
+func TestBuiltinDistributionShapes(t *testing.T) {
+	r := newTestRegistry(t)
+	seq := rng.NewSeedSequence(1, "test")
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v, err := r.Invoke("Poisson", seq.At(i), []value.Value{value.Float(6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := v.AsFloat()
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-6) > 0.1 {
+		t.Errorf("Poisson(6) empirical mean = %g", mean)
+	}
+	var ones int
+	for i := 0; i < n; i++ {
+		v, _ := r.Invoke("Bernoulli", seq.At(i), []value.Value{value.Float(0.2)})
+		iv, _ := v.AsInt()
+		if iv == 1 {
+			ones++
+		}
+	}
+	if p := float64(ones) / n; math.Abs(p-0.2) > 0.02 {
+		t.Errorf("Bernoulli(0.2) rate = %g", p)
+	}
+}
+
+func TestConcurrentInvocation(t *testing.T) {
+	r := newTestRegistry(t)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := r.Invoke("Gaussian", uint64(w*perWorker+i), []value.Value{value.Float(0), value.Float(1)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Count("Gaussian"); got != workers*perWorker {
+		t.Errorf("concurrent count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestErrorsMentionFunctionName(t *testing.T) {
+	r := newTestRegistry(t)
+	_, err := r.Invoke("Gamma", 1, []value.Value{value.Float(-1), value.Float(1)})
+	if err == nil || !strings.Contains(err.Error(), "Gamma") {
+		t.Errorf("error should name the function: %v", err)
+	}
+}
