@@ -8,6 +8,7 @@
 package fuzzyprophet_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -91,12 +92,12 @@ func BenchmarkFig3_OnlineFirstRender(b *testing.B) {
 	b.ResetTimer()
 	var inv int64
 	for i := 0; i < b.N; i++ {
-		session, err := scn.OpenSession(fp.Config{Worlds: 100})
+		session, err := scn.OpenSession(fp.WithWorlds(100))
 		if err != nil {
 			b.Fatal(err)
 		}
 		sys.ResetVGInvocations()
-		if _, err := session.Render(); err != nil {
+		if _, err := session.Render(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		inv += sys.VGInvocations()
@@ -120,14 +121,14 @@ func BenchmarkFig3_AdjustmentRender(b *testing.B) {
 		// the timed region, then time the adjusted re-render (the mix of
 		// remapped and recomputed weeks the paper demonstrates).
 		b.StopTimer()
-		session, err := scn.OpenSession(fp.Config{Worlds: 100})
+		session, err := scn.OpenSession(fp.WithWorlds(100))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if err := session.SetParam("purchase1", 16); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := session.Render(); err != nil {
+		if _, err := session.Render(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		if err := session.SetParam("purchase1", 24); err != nil {
@@ -135,7 +136,7 @@ func BenchmarkFig3_AdjustmentRender(b *testing.B) {
 		}
 		sys.ResetVGInvocations()
 		b.StartTimer()
-		if _, err := session.Render(); err != nil {
+		if _, err := session.Render(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		inv += sys.VGInvocations()
@@ -157,9 +158,9 @@ func BenchmarkFig4_MappingSlice(b *testing.B) {
 		// Each iteration explores the slice fresh (cold reuse engine).
 		for p1 := 0; p1 <= 48; p1 += 8 {
 			for p2 := 0; p2 <= 48; p2 += 8 {
-				if _, err := scn.Evaluate(map[string]any{
+				if _, err := scn.Evaluate(context.Background(), map[string]any{
 					"current": 26, "purchase1": p1, "purchase2": p2, "feature": 36,
-				}, fp.Config{Worlds: 100}); err != nil {
+				}, fp.WithWorlds(100)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -176,11 +177,11 @@ func BenchmarkE1_TimeToFirstGuess_Cold(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		session, err := scn.OpenSession(fp.Config{Worlds: 200})
+		session, err := scn.OpenSession(fp.WithWorlds(200))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := session.TimeToFirstAccurateGuess(0.1, 64); err != nil {
+		if _, _, err := session.TimeToFirstAccurateGuess(context.Background(), 0.1, 64); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -193,16 +194,16 @@ func BenchmarkE1_TimeToFirstGuess_Warm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	session, err := scn.OpenSession(fp.Config{Worlds: 200})
+	session, err := scn.OpenSession(fp.WithWorlds(200))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := session.Render(); err != nil {
+	if _, err := session.Render(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := session.TimeToFirstAccurateGuess(0.1, 64); err != nil {
+		if _, _, err := session.TimeToFirstAccurateGuess(context.Background(), 0.1, 64); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -230,14 +231,14 @@ func benchAdjust(b *testing.B, param string, positions []int) {
 	var inv int64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		session, err := scn.OpenSession(fp.Config{Worlds: 100})
+		session, err := scn.OpenSession(fp.WithWorlds(100))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if err := session.SetParam(param, positions[0]); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := session.Render(); err != nil {
+		if _, err := session.Render(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		if err := session.SetParam(param, positions[1]); err != nil {
@@ -245,7 +246,7 @@ func benchAdjust(b *testing.B, param string, positions []int) {
 		}
 		sys.ResetVGInvocations()
 		b.StartTimer()
-		if _, err := session.Render(); err != nil {
+		if _, err := session.Render(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		inv += sys.VGInvocations()
@@ -274,7 +275,7 @@ func benchSweep(b *testing.B, disableReuse bool) {
 	var inv int64
 	for i := 0; i < b.N; i++ {
 		sys.ResetVGInvocations()
-		if _, err := scn.Optimize(fp.Config{Worlds: 100, DisableReuse: disableReuse}, nil); err != nil {
+		if _, err := scn.Optimize(context.Background(), nil, fp.WithConfig(fp.Config{Worlds: 100, DisableReuse: disableReuse})); err != nil {
 			b.Fatal(err)
 		}
 		inv += sys.VGInvocations()
@@ -294,7 +295,7 @@ func BenchmarkE4_FingerprintLength(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := scn.Optimize(fp.Config{Worlds: 200, FingerprintLength: k}, nil); err != nil {
+				if _, err := scn.Optimize(context.Background(), nil, fp.WithWorlds(200), fp.WithFingerprintLength(k)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -345,7 +346,7 @@ func BenchmarkCore_EvaluatePoint(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := scn.Evaluate(pt, fp.Config{Worlds: 200, DisableReuse: true}); err != nil {
+		if _, err := scn.Evaluate(context.Background(), pt, fp.WithWorlds(200), fp.WithoutReuse()); err != nil {
 			b.Fatal(err)
 		}
 	}

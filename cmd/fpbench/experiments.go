@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -107,7 +108,7 @@ func runFig2() error {
 
 // runFig3 reproduces Figure 3: the online interface's graph — E[overload]
 // (bold red), E[capacity] (blue, y2), stddev[demand] (orange, y2) per week.
-func runFig3(worlds int) error {
+func runFig3(ctx context.Context, worlds int) error {
 	section("FIG3 — Figure 3: the online interface graph")
 	sys, err := demoSystem()
 	if err != nil {
@@ -117,7 +118,7 @@ func runFig3(worlds int) error {
 	if err != nil {
 		return err
 	}
-	session, err := scn.OpenSession(fp.Config{Worlds: worlds})
+	session, err := scn.OpenSession(fp.WithWorlds(worlds))
 	if err != nil {
 		return err
 	}
@@ -126,7 +127,7 @@ func runFig3(worlds int) error {
 			return err
 		}
 	}
-	g, err := session.Render()
+	g, err := session.Render(ctx)
 	if err != nil {
 		return err
 	}
@@ -147,7 +148,7 @@ func runFig3(worlds int) error {
 // runFig4 reproduces Figure 4: a 2-D slice of fingerprint mappings for the
 // Capacity model over (purchase1 × purchase2), classifying each explored
 // point as computed, identity-mapped, affine-mapped or cached.
-func runFig4(worlds, step int) error {
+func runFig4(ctx context.Context, worlds, step int) error {
 	section("FIG4 — Figure 4: 2-D slice of fingerprint mappings (Capacity model)")
 	reg := vg.NewRegistry()
 	if err := vg.RegisterBuiltins(reg); err != nil {
@@ -192,7 +193,7 @@ func runFig4(worlds, step int) error {
 				"purchase2": value.Int(p2),
 				"feature":   value.Int(36),
 			}
-			res, err := ev.EvaluatePoint(pt)
+			res, err := ev.EvaluatePoint(ctx, pt)
 			if err != nil {
 				return err
 			}
@@ -221,7 +222,7 @@ func runFig4(worlds, step int) error {
 // runE1 measures §3.2's first claim: the first accurate render takes
 // noticeably long; a warm session (fingerprint store populated by earlier
 // exploration) reaches accuracy much faster.
-func runE1(worlds int) error {
+func runE1(ctx context.Context, worlds int) error {
 	section("E1 — §3.2: time to first accurate statistics (cold vs warm)")
 	sys, err := demoSystem()
 	if err != nil {
@@ -238,7 +239,7 @@ func runE1(worlds int) error {
 	// mappings replace most fresh simulation.
 	target := map[string]int{"purchase1": 24, "purchase2": 32, "feature": 36}
 
-	cold, err := scn.OpenSession(fp.Config{Worlds: worlds})
+	cold, err := scn.OpenSession(fp.WithWorlds(worlds))
 	if err != nil {
 		return err
 	}
@@ -247,14 +248,14 @@ func runE1(worlds int) error {
 			return err
 		}
 	}
-	coldTime, coldWorlds, err := cold.TimeToFirstAccurateGuess(0.1, 64)
+	coldTime, coldWorlds, err := cold.TimeToFirstAccurateGuess(ctx, 0.1, 64)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cold session:  %v to first accurate guess (%d worlds/point, 53 points)\n",
 		coldTime.Round(time.Millisecond), coldWorlds)
 
-	warm, err := scn.OpenSession(fp.Config{Worlds: worlds})
+	warm, err := scn.OpenSession(fp.WithWorlds(worlds))
 	if err != nil {
 		return err
 	}
@@ -266,13 +267,13 @@ func runE1(worlds int) error {
 	if err := warm.SetParam("purchase1", 16); err != nil {
 		return err
 	}
-	if _, err := warm.Render(); err != nil { // prior exploration, not timed
+	if _, err := warm.Render(ctx); err != nil { // prior exploration, not timed
 		return err
 	}
 	if err := warm.SetParam("purchase1", 24); err != nil {
 		return err
 	}
-	warmTime, warmWorlds, err := warm.TimeToFirstAccurateGuess(0.1, 64)
+	warmTime, warmWorlds, err := warm.TimeToFirstAccurateGuess(ctx, 0.1, 64)
 	if err != nil {
 		return err
 	}
@@ -287,7 +288,7 @@ func runE1(worlds int) error {
 
 // runE2 measures §3.2's second claim: an adjustment re-renders only
 // portions of the graph.
-func runE2(worlds int) error {
+func runE2(ctx context.Context, worlds int) error {
 	section("E2 — §3.2: fraction of the graph recomputed after adjustments")
 	sys, err := demoSystem()
 	if err != nil {
@@ -297,7 +298,7 @@ func runE2(worlds int) error {
 	if err != nil {
 		return err
 	}
-	session, err := scn.OpenSession(fp.Config{Worlds: worlds})
+	session, err := scn.OpenSession(fp.WithWorlds(worlds))
 	if err != nil {
 		return err
 	}
@@ -307,7 +308,7 @@ func runE2(worlds int) error {
 		}
 	}
 	sys.ResetVGInvocations()
-	g, err := session.Render()
+	g, err := session.Render(ctx)
 	if err != nil {
 		return err
 	}
@@ -321,7 +322,7 @@ func runE2(worlds int) error {
 			return err
 		}
 		sys.ResetVGInvocations()
-		g, err := session.Render()
+		g, err := session.Render(ctx)
 		if err != nil {
 			return err
 		}
@@ -348,7 +349,7 @@ func runE2(worlds int) error {
 
 // runE3 measures §3.3: the offline sweep with and without fingerprints —
 // VG invocations, wall time and agreement of the optimization outcome.
-func runE3(worlds, step int) error {
+func runE3(ctx context.Context, worlds, step int) error {
 	section("E3 — §3.3: offline optimization, naive vs fingerprint reuse")
 	src := sweepScenario(step, 0.05)
 
@@ -370,7 +371,7 @@ func runE3(worlds, step int) error {
 		if err != nil {
 			return outcome{}, err
 		}
-		res, err := scn.Optimize(fp.Config{Worlds: worlds, DisableReuse: disable}, nil)
+		res, err := scn.Optimize(ctx, nil, fp.WithConfig(fp.Config{Worlds: worlds, DisableReuse: disable}))
 		if err != nil {
 			return outcome{}, err
 		}
@@ -423,7 +424,7 @@ func runE3(worlds, step int) error {
 // runE4 ablates the fingerprint length k: reuse rate versus estimate error
 // introduced by wrongly accepted mappings (the event-window minority-mode
 // risk documented in DESIGN.md).
-func runE4(worlds int) error {
+func runE4(ctx context.Context, worlds int) error {
 	section("E4 — ablation: fingerprint length k vs reuse rate and estimate error")
 	reg := vg.NewRegistry()
 	if err := vg.RegisterBuiltins(reg); err != nil {
@@ -449,7 +450,7 @@ func runE4(worlds int) error {
 	}
 	truth := make(map[pt]float64, len(pts))
 	for _, p := range pts {
-		res, err := direct.EvaluatePoint(guide.Point{
+		res, err := direct.EvaluatePoint(ctx, guide.Point{
 			"current": value.Int(p.w), "purchase1": value.Int(p.p1),
 			"purchase2": value.Int(p.p2), "feature": value.Int(36),
 		})
@@ -474,7 +475,7 @@ func runE4(worlds int) error {
 		ev := mc.NewEvaluator(scn, mc.Options{Worlds: worlds, Reuse: reuse})
 		var maxErr, sumErr float64
 		for _, p := range pts {
-			res, err := ev.EvaluatePoint(guide.Point{
+			res, err := ev.EvaluatePoint(ctx, guide.Point{
 				"current": value.Int(p.w), "purchase1": value.Int(p.p1),
 				"purchase2": value.Int(p.p2), "feature": value.Int(36),
 			})

@@ -19,10 +19,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 )
 
 func main() {
@@ -33,15 +37,20 @@ func main() {
 	)
 	flag.Parse()
 
-	runs := map[string]func(int, int) error{
-		"fig2": func(w, s int) error { return runFig2() },
-		"fig3": func(w, s int) error { return runFig3(w) },
-		"fig4": func(w, s int) error { return runFig4(w, s) },
-		"e1":   func(w, s int) error { return runE1(w) },
-		"e2":   func(w, s int) error { return runE2(w) },
-		"e3":   func(w, s int) error { return runE3(w, s) },
-		"e4":   func(w, s int) error { return runE4(w) },
-		"e5":   func(w, s int) error { return runE5() },
+	// Ctrl-C cancels the context; the simulation loops check it per
+	// world-batch, so even the big sweep experiments abort in milliseconds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runs := map[string]func(context.Context, int, int) error{
+		"fig2": func(ctx context.Context, w, s int) error { return runFig2() },
+		"fig3": func(ctx context.Context, w, s int) error { return runFig3(ctx, w) },
+		"fig4": func(ctx context.Context, w, s int) error { return runFig4(ctx, w, s) },
+		"e1":   func(ctx context.Context, w, s int) error { return runE1(ctx, w) },
+		"e2":   func(ctx context.Context, w, s int) error { return runE2(ctx, w) },
+		"e3":   func(ctx context.Context, w, s int) error { return runE3(ctx, w, s) },
+		"e4":   func(ctx context.Context, w, s int) error { return runE4(ctx, w) },
+		"e5":   func(ctx context.Context, w, s int) error { return runE5() },
 	}
 	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5"}
 
@@ -55,7 +64,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fpbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		if err := fn(*worlds, *step); err != nil {
+		if err := fn(ctx, *worlds, *step); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "\nfpbench: %s cancelled\n", name)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -17,12 +17,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	fp "fuzzyprophet"
 )
@@ -80,6 +84,12 @@ func main() {
 	flag.Var(&adjusts, "adjust", "adjustment applied after the first render, param=value (repeatable)")
 	flag.Parse()
 
+	// Ctrl-C (or SIGTERM) cancels the context; every simulation loop checks
+	// it per world-batch, so a long render or sweep aborts cleanly instead
+	// of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	src := figure2
 	if *scenarioPath != "" {
 		data, err := os.ReadFile(*scenarioPath)
@@ -102,13 +112,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := fp.Config{Worlds: *worlds, SeedBase: *seed, DisableReuse: *noReuse}
+	opts := []fp.EvalOption{fp.WithWorlds(*worlds), fp.WithSeedBase(*seed)}
+	if *noReuse {
+		opts = append(opts, fp.WithoutReuse())
+	}
 
 	switch *mode {
 	case "online":
-		runOnline(scn, cfg, sets, adjusts, *height)
+		runOnline(ctx, scn, opts, sets, adjusts, *height)
 	case "offline":
-		runOffline(sys, scn, cfg)
+		runOffline(ctx, sys, scn, opts)
 	case "sql":
 		runSQL(scn, sets)
 	default:
@@ -116,15 +129,15 @@ func main() {
 	}
 }
 
-func runOnline(scn *fp.Scenario, cfg fp.Config, sets, adjusts paramFlags, height int) {
-	session, err := scn.OpenSession(cfg)
+func runOnline(ctx context.Context, scn *fp.Scenario, opts []fp.EvalOption, sets, adjusts paramFlags, height int) {
+	session, err := scn.OpenSession(opts...)
 	if err != nil {
 		fatal(err)
 	}
 	if err := applyParams(session, sets); err != nil {
 		fatal(err)
 	}
-	g, err := session.Render()
+	g, err := session.Render(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,7 +153,7 @@ func runOnline(scn *fp.Scenario, cfg fp.Config, sets, adjusts paramFlags, height
 		fatal(err)
 	}
 	fmt.Printf("--- after adjusting %s ---\n", adjusts.String())
-	g, err = session.Render()
+	g, err = session.Render(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -152,10 +165,10 @@ func runOnline(scn *fp.Scenario, cfg fp.Config, sets, adjusts paramFlags, height
 	fmt.Printf("reuse outcomes: %v\n", session.ReuseCounts())
 }
 
-func runOffline(sys *fp.System, scn *fp.Scenario, cfg fp.Config) {
+func runOffline(ctx context.Context, sys *fp.System, scn *fp.Scenario, opts []fp.EvalOption) {
 	sys.ResetVGInvocations()
 	lastPct := -1
-	res, err := scn.Optimize(cfg, func(done, total int, pt map[string]any, outcome map[string]string) {
+	res, err := scn.Optimize(ctx, func(done, total int, pt map[string]any, outcome map[string]string) {
 		pct := done * 100 / total
 		if pct/10 != lastPct/10 {
 			fmt.Fprintf(os.Stderr, "\r%3d%% (%d/%d points)", pct, done, total)
@@ -164,7 +177,7 @@ func runOffline(sys *fp.System, scn *fp.Scenario, cfg fp.Config) {
 		if done == total {
 			fmt.Fprintln(os.Stderr)
 		}
-	})
+	}, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -262,7 +275,14 @@ func fmtMetrics(m map[string]float64) string {
 	return strings.Join(parts, " ")
 }
 
+// fatal reports the error and exits. Context cancellation — Ctrl-C during
+// any mode — gets the conventional 128+SIGINT exit code so scripts can tell
+// an interrupt from a real failure.
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "fuzzyprophet: cancelled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "fuzzyprophet:", err)
 	os.Exit(1)
 }

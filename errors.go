@@ -1,0 +1,61 @@
+package fuzzyprophet
+
+import "fmt"
+
+// CompileError reports a scenario script that failed to compile. When the
+// failure comes from the lexer or parser, Line and Col carry the 1-based
+// source position; validation failures with no position leave them zero.
+//
+// Use errors.As to recover the position:
+//
+//	var ce *fuzzyprophet.CompileError
+//	if errors.As(err, &ce) && ce.Line > 0 { /* point at ce.Line, ce.Col */ }
+type CompileError struct {
+	// Line and Col locate the error in the scenario source (1-based);
+	// both are zero when the failure has no single source position.
+	Line int
+	Col  int
+	// Msg describes the failure.
+	Msg string
+
+	err error
+}
+
+func (e *CompileError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("fuzzyprophet: compile: line %d col %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "fuzzyprophet: compile: " + e.Msg
+}
+
+// Unwrap returns the underlying engine error.
+func (e *CompileError) Unwrap() error { return e.err }
+
+// UnknownParamError reports a reference to a parameter the scenario does
+// not declare — a point map with a stray key, or SetParam on a name that is
+// not a slider.
+type UnknownParamError struct {
+	// Name is the undeclared parameter name (without the '@').
+	Name string
+}
+
+func (e *UnknownParamError) Error() string {
+	return fmt.Sprintf("fuzzyprophet: unknown parameter @%s", e.Name)
+}
+
+// DeterminismError reports a VG-Function that violated the seed-determinism
+// contract fingerprint reuse depends on: invoked twice with the same seed
+// and arguments, it produced different outputs.
+type DeterminismError struct {
+	// Func is the VG-Function name.
+	Func string
+
+	err error
+}
+
+func (e *DeterminismError) Error() string {
+	return fmt.Sprintf("fuzzyprophet: VG-Function %s is not seed-deterministic: %v", e.Func, e.err)
+}
+
+// Unwrap returns the underlying probe error.
+func (e *DeterminismError) Unwrap() error { return e.err }

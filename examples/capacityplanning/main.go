@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,6 +49,7 @@ FOR MAX @purchase1, MAX @purchase2
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := fp.New(fp.WithDemoModels())
 	if err != nil {
 		log.Fatal(err)
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	// ---- Online mode (paper §3.2) --------------------------------------
-	session, err := scn.OpenSession(fp.Config{Worlds: 400})
+	session, err := scn.OpenSession(fp.WithWorlds(400))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 	must(session.SetParam("feature", 36))
 
 	fmt.Println("=== online mode: first render (everything computed) ===")
-	g, err := session.Render()
+	g, err := session.Render(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func main() {
 
 	fmt.Println("=== adjust @purchase1 16 -> 24: only portions re-render ===")
 	must(session.SetParam("purchase1", 24))
-	g, err = session.Render()
+	g, err = session.Render(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func main() {
 	// ---- Offline mode (paper §3.3) --------------------------------------
 	fmt.Println("=== offline mode: latest purchase dates with overload risk < 5% ===")
 	sys.ResetVGInvocations()
-	res, err := scn.Optimize(fp.Config{Worlds: 200}, nil)
+	res, err := scn.Optimize(ctx, nil, fp.WithWorlds(200))
 	if err != nil {
 		log.Fatal(err)
 	}

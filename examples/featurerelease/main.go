@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,6 +31,7 @@ GRAPH OVER @current
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := fp.New(fp.WithDemoModels())
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	session, err := scn.OpenSession(fp.Config{Worlds: 500})
+	session, err := scn.OpenSession(fp.WithWorlds(500))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 		if err := session.SetParam("feature", feature); err != nil {
 			log.Fatal(err)
 		}
-		g, err := session.Render()
+		g, err := session.Render(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -32,6 +33,7 @@ FOR MAX @price
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := fp.New(fp.WithDemoModels())
 	if err != nil {
 		log.Fatal(err)
@@ -42,7 +44,7 @@ func main() {
 	}
 
 	sys.ResetVGInvocations()
-	res, err := scn.Optimize(fp.Config{Worlds: 500}, nil)
+	res, err := scn.Optimize(ctx, nil, fp.WithWorlds(500))
 	if err != nil {
 		log.Fatal(err)
 	}

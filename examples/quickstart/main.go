@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +25,7 @@ SELECT OrderVolume(@week, @budget) AS orders,
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := fp.New()
 	if err != nil {
 		log.Fatal(err)
@@ -50,7 +52,7 @@ func main() {
 	fmt.Printf("parameter space: %d points, outputs: %v\n\n", scn.SpaceSize(), scn.OutputColumns())
 
 	for _, budget := range []int{0, 100, 200} {
-		sum, err := scn.Evaluate(map[string]any{"week": 10, "budget": budget}, fp.Config{Worlds: 2000})
+		sum, err := scn.Evaluate(ctx, map[string]any{"week": 10, "budget": budget}, fp.WithWorlds(2000))
 		if err != nil {
 			log.Fatal(err)
 		}

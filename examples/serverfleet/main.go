@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,6 +31,7 @@ GRAPH OVER @current
 `
 
 func main() {
+	ctx := context.Background()
 	sys, err := fp.New(fp.WithDemoModels())
 	if err != nil {
 		log.Fatal(err)
@@ -52,14 +54,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	session, err := scn.OpenSession(fp.Config{Worlds: 400})
+	session, err := scn.OpenSession(fp.WithWorlds(400))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := session.SetParam("feature", 36); err != nil {
 		log.Fatal(err)
 	}
-	g, err := session.Render()
+	g, err := session.Render(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

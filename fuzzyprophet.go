@@ -14,24 +14,31 @@
 // re-simulated. The effect is interactive-speed what-if exploration (online
 // mode) and much cheaper full-space optimization (offline mode).
 //
+// Every simulation entry point takes a context.Context first and honors
+// cancellation within one world-batch, so a slider adjustment can abort the
+// render it supersedes and Ctrl-C stops an offline sweep in milliseconds. A
+// Session is safe for concurrent use: sliders are mutex-guarded and renders
+// work from a snapshot of the positions they started with.
+//
 // # Quick start
 //
 //	sys, _ := fuzzyprophet.New(fuzzyprophet.WithDemoModels())
 //	scn, _ := sys.Compile(scenarioSQL)
-//	session, _ := scn.OpenSession(fuzzyprophet.Config{Worlds: 1000})
+//	session, _ := scn.OpenSession(fuzzyprophet.WithWorlds(1000))
 //	session.SetParam("purchase1", 12)
-//	graph, _ := session.Render()
+//	graph, _ := session.Render(ctx)
 //
 // See the examples directory for complete programs.
 package fuzzyprophet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"fuzzyprophet/internal/aggregate"
-	"fuzzyprophet/internal/core"
 	"fuzzyprophet/internal/guide"
 	"fuzzyprophet/internal/mc"
 	"fuzzyprophet/internal/models"
@@ -39,6 +46,7 @@ import (
 	"fuzzyprophet/internal/optimize"
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/value"
 	"fuzzyprophet/internal/vg"
 )
@@ -163,26 +171,39 @@ func (s *System) VGInvocations() int64 { return s.registry.TotalInvocations() }
 func (s *System) ResetVGInvocations() { s.registry.ResetCounters() }
 
 // CheckDeterminism probes the named VG-Function for seed-determinism, the
-// contract fingerprinting depends on.
+// contract fingerprinting depends on. A violation is reported as a
+// *DeterminismError.
 func (s *System) CheckDeterminism(name string, seed uint64, args []any) error {
 	vals, err := toValues(args)
 	if err != nil {
 		return err
 	}
-	return s.registry.CheckDeterminism(name, seed, vals)
+	if err := s.registry.CheckDeterminism(name, seed, vals); err != nil {
+		return &DeterminismError{Func: name, err: err}
+	}
+	return nil
 }
 
-// Scenario is a compiled scenario script bound to its system.
+// Scenario is a compiled scenario script bound to its system. A Scenario is
+// immutable after AddTable calls complete and may be shared freely across
+// goroutines; each Evaluate/EvaluateBatch/Optimize call and each Session
+// carries its own evaluation state.
 type Scenario struct {
 	sys *System
 	scn *scenario.Scenario
 }
 
-// Compile parses and validates a scenario script.
+// Compile parses and validates a scenario script. Failures are reported as
+// a *CompileError; when the lexer or parser rejects the script, the error
+// carries the offending line and column.
 func (s *System) Compile(src string) (*Scenario, error) {
 	scn, err := scenario.Compile(src, s.registry)
 	if err != nil {
-		return nil, err
+		var perr *sqlparser.Error
+		if errors.As(err, &perr) {
+			return nil, &CompileError{Line: perr.Line, Col: perr.Col, Msg: perr.Msg, err: err}
+		}
+		return nil, &CompileError{Msg: err.Error(), err: err}
 	}
 	return &Scenario{sys: s, scn: scn}, nil
 }
@@ -237,59 +258,11 @@ func (sc *Scenario) SpaceSize() int { return sc.scn.Space.Size() }
 // GeneratedSQL returns the pure TSQL the Query Generator emits for a
 // parameter point (diagnostics; the GUI of the paper displays this).
 func (sc *Scenario) GeneratedSQL(point map[string]any) (string, error) {
-	pt, err := toPoint(point)
+	pt, err := sc.toDeclaredPoint(point)
 	if err != nil {
 		return "", err
 	}
 	return sc.scn.GenerateSQL(pt)
-}
-
-// Config tunes evaluation.
-type Config struct {
-	// Worlds is the Monte Carlo world count per point (default 1000).
-	Worlds int
-	// SeedBase fixes the world seed sequence (default 20110612).
-	SeedBase uint64
-	// Workers bounds VG-invocation parallelism (default GOMAXPROCS).
-	Workers int
-	// DisableReuse turns fingerprint reuse off (naive re-simulation;
-	// baseline mode for benchmarks).
-	DisableReuse bool
-	// FingerprintLength is the fingerprint seed count k (default 16).
-	FingerprintLength int
-	// AffineTol is the relative residual budget for affine mappings
-	// (default 0.02).
-	AffineTol float64
-	// StoreBudget bounds the basis-distribution store in bytes (0 =
-	// unbounded).
-	StoreBudget int64
-	// GroupBudget, when positive, makes Optimize explore only that many
-	// randomly sampled groups instead of the whole grouped space (the
-	// result is then approximate; see OptimizeResult.Exhaustive).
-	GroupBudget int
-}
-
-func (c Config) fingerprint() core.Config {
-	fp := core.DefaultConfig()
-	if c.FingerprintLength > 0 {
-		fp.Length = c.FingerprintLength
-	}
-	if c.AffineTol > 0 {
-		fp.AffineTol = c.AffineTol
-	}
-	return fp
-}
-
-func (c Config) mcOptions() (mc.Options, error) {
-	opts := mc.Options{Worlds: c.Worlds, SeedBase: c.SeedBase, Workers: c.Workers}
-	if !c.DisableReuse {
-		reuse, err := mc.NewReuse(c.fingerprint(), c.StoreBudget)
-		if err != nil {
-			return opts, err
-		}
-		opts.Reuse = reuse
-	}
-	return opts, nil
 }
 
 // ColumnSummary summarizes one output column's distribution at one point.
@@ -305,23 +278,102 @@ type ColumnSummary struct {
 }
 
 // Evaluate runs the scenario once at a single parameter point and returns
-// per-column distribution summaries. For repeated evaluation, open a
-// Session (online) or call Optimize (offline) so fingerprint reuse can do
-// its job.
-func (sc *Scenario) Evaluate(point map[string]any, cfg Config) (map[string]ColumnSummary, error) {
-	pt, err := toPoint(point)
+// per-column distribution summaries. The context is checked per world-batch
+// during simulation. For repeated evaluation, call EvaluateBatch or open a
+// Session (online) or Optimize (offline) so fingerprint reuse can do its
+// job.
+func (sc *Scenario) Evaluate(ctx context.Context, point map[string]any, opts ...EvalOption) (map[string]ColumnSummary, error) {
+	pt, err := sc.toDeclaredPoint(point)
 	if err != nil {
 		return nil, err
 	}
-	opts, err := cfg.mcOptions()
+	mcOpts, err := newEvalConfig(opts).mcOptions()
 	if err != nil {
 		return nil, err
 	}
-	ev := mc.NewEvaluator(sc.scn, opts)
-	res, err := ev.EvaluatePoint(pt)
+	ev := mc.NewEvaluator(sc.scn, mcOpts)
+	res, err := ev.EvaluatePoint(ctx, pt)
 	if err != nil {
 		return nil, err
 	}
+	return summarize(res), nil
+}
+
+// BatchPoint is one point's outcome within an EvaluateBatch call.
+type BatchPoint struct {
+	// Point is the evaluated parameter point, as passed in.
+	Point map[string]any
+	// Summaries maps each numeric output column to its distribution
+	// summary at this point.
+	Summaries map[string]ColumnSummary
+	// SiteOutcome records, per VG call site, how its samples were obtained
+	// ("computed", "cached", "identity", "affine").
+	SiteOutcome map[string]string
+}
+
+// BatchResult is the outcome of EvaluateBatch.
+type BatchResult struct {
+	// Points holds one entry per input point, in input order.
+	Points []BatchPoint
+	// ReuseCounts tallies per-outcome site counts across the whole batch
+	// ("computed", "cached", "identity", "affine"). Empty when reuse is
+	// disabled.
+	ReuseCounts map[string]int
+	// Elapsed is the wall-clock duration of the batch.
+	Elapsed time.Duration
+}
+
+// EvaluateBatch evaluates many parameter points through one shared reuse
+// engine, so fingerprint remapping amortizes across the batch exactly as
+// the paper's offline mode intends: on a correlated grid, most points are
+// served by identity/affine mappings of the few actually simulated ones.
+// Points evaluate in order; the context is checked before every point (and
+// per world-batch inside), so a cancelled batch stops within one
+// world-batch and returns the context's error.
+func (sc *Scenario) EvaluateBatch(ctx context.Context, points []map[string]any, opts ...EvalOption) (*BatchResult, error) {
+	start := time.Now()
+	mcOpts, err := newEvalConfig(opts).mcOptions()
+	if err != nil {
+		return nil, err
+	}
+	// Validate every point up front: a bad key at the end of a large batch
+	// must not cost the simulation of everything before it.
+	pts := make([]guide.Point, len(points))
+	for i, point := range points {
+		if pts[i], err = sc.toDeclaredPoint(point); err != nil {
+			return nil, err
+		}
+	}
+	ev := mc.NewEvaluator(sc.scn, mcOpts)
+	out := &BatchResult{
+		Points:      make([]BatchPoint, 0, len(points)),
+		ReuseCounts: map[string]int{},
+	}
+	for i, pt := range pts {
+		res, err := ev.EvaluatePoint(ctx, pt)
+		if err != nil {
+			return nil, err
+		}
+		outcome := make(map[string]string, len(res.SiteOutcome))
+		for site, kind := range res.SiteOutcome {
+			outcome[site] = kind.String()
+		}
+		out.Points = append(out.Points, BatchPoint{
+			Point:       points[i],
+			Summaries:   summarize(res),
+			SiteOutcome: outcome,
+		})
+	}
+	if mcOpts.Reuse != nil {
+		for k, v := range mcOpts.Reuse.Counts() {
+			out.ReuseCounts[k.String()] = v
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+func summarize(res *mc.PointResult) map[string]ColumnSummary {
 	out := make(map[string]ColumnSummary, len(res.Columns))
 	for col, samples := range res.Columns {
 		cs := aggregate.NewColumnStats()
@@ -337,28 +389,32 @@ func (sc *Scenario) Evaluate(point map[string]any, cfg Config) (map[string]Colum
 			CI95:   cs.CI95(),
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Session is an online-mode exploration (paper §3.2): sliders plus a live
-// graph with fingerprint reuse across adjustments.
+// graph with fingerprint reuse across adjustments. A Session is safe for
+// concurrent use — slider state is mutex-guarded, and a render works from a
+// snapshot of the positions taken when it starts, so SetParam from one
+// goroutine never races a Render in another.
 type Session struct {
+	scn   *scenario.Scenario
 	inner *online.Session
 	reuse *mc.Reuse
 }
 
 // OpenSession starts the online mode. The scenario must declare a GRAPH
 // statement.
-func (sc *Scenario) OpenSession(cfg Config) (*Session, error) {
-	opts, err := cfg.mcOptions()
+func (sc *Scenario) OpenSession(opts ...EvalOption) (*Session, error) {
+	mcOpts, err := newEvalConfig(opts).mcOptions()
 	if err != nil {
 		return nil, err
 	}
-	inner, err := online.NewSession(sc.scn, opts)
+	inner, err := online.NewSession(sc.scn, mcOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{inner: inner, reuse: opts.Reuse}, nil
+	return &Session{scn: sc.scn, inner: inner, reuse: mcOpts.Reuse}, nil
 }
 
 // OpenSessionFrom starts the online mode with reuse state previously saved
@@ -367,20 +423,21 @@ func (sc *Scenario) OpenSession(cfg Config) (*Session, error) {
 // simulation even in a new process. The scenario, models and seed base must
 // match the saving session's; a seed-base mismatch is detected and
 // reported on first use.
-func (sc *Scenario) OpenSessionFrom(rd io.Reader, cfg Config) (*Session, error) {
-	if cfg.DisableReuse {
+func (sc *Scenario) OpenSessionFrom(rd io.Reader, opts ...EvalOption) (*Session, error) {
+	cfg := newEvalConfig(opts)
+	if cfg.disableReuse {
 		return nil, fmt.Errorf("fuzzyprophet: OpenSessionFrom requires reuse enabled")
 	}
-	reuse, err := mc.LoadReuse(rd, cfg.StoreBudget)
+	reuse, err := mc.LoadReuse(rd, cfg.storeBudget)
 	if err != nil {
 		return nil, err
 	}
-	opts := mc.Options{Worlds: cfg.Worlds, SeedBase: cfg.SeedBase, Workers: cfg.Workers, Reuse: reuse}
-	inner, err := online.NewSession(sc.scn, opts)
+	mcOpts := mc.Options{Worlds: cfg.worlds, SeedBase: cfg.seedBase, Workers: cfg.workers, Reuse: reuse}
+	inner, err := online.NewSession(sc.scn, mcOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{inner: inner, reuse: reuse}, nil
+	return &Session{scn: sc.scn, inner: inner, reuse: reuse}, nil
 }
 
 // SaveReuse serializes the session's reuse state (basis distributions plus
@@ -397,8 +454,13 @@ func (s *Session) SaveReuse(w io.Writer) error {
 func (s *Session) Axis() string { return s.inner.Axis() }
 
 // SetParam moves a slider to the given value (which must belong to the
-// parameter's declared space).
+// parameter's declared space). An undeclared name is reported as a
+// *UnknownParamError. Safe to call concurrently with Render: an in-flight
+// render keeps the positions it snapshotted at its start.
 func (s *Session) SetParam(name string, val any) error {
+	if s.scn.Space.Index(name) < 0 {
+		return &UnknownParamError{Name: name}
+	}
 	v, err := toValue(val)
 	if err != nil {
 		return err
@@ -444,16 +506,21 @@ type Graph struct {
 	Stats  RenderStats
 }
 
-// Render evaluates the graph at the current slider positions.
-func (s *Session) Render() (*Graph, error) {
-	g, err := s.inner.Render()
+// Render evaluates the graph at the current slider positions. The context
+// is checked before every X position and per world-batch inside, so a
+// cancelled render — superseded by a newer slider adjustment, say — aborts
+// within milliseconds.
+func (s *Session) Render(ctx context.Context) (*Graph, error) {
+	g, err := s.inner.Render(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return convertGraph(g), nil
 }
 
-// Ascii renders the last graph as a Figure 3-style text chart.
+// Ascii renders the last graph as a Figure 3-style text chart, including
+// each series' 95% confidence band (shaded with ':') and second-axis
+// placement.
 func (s *Session) Ascii(g *Graph, height int) (string, error) {
 	// Rebuild the internal representation for the renderer.
 	ig := &online.Graph{Axis: g.Axis, X: g.X}
@@ -463,9 +530,16 @@ func (s *Session) Ascii(g *Graph, height int) (string, error) {
 	ig.Stats.Unchanged = g.Stats.Unchanged
 	ig.Stats.Elapsed = g.Stats.Elapsed
 	for _, srs := range g.Series {
-		is := online.GraphSeries{Name: srs.Name, Agg: srs.Agg, Column: srs.Column, Style: srs.Style}
+		is := online.GraphSeries{
+			Name: srs.Name, Agg: srs.Agg, Column: srs.Column,
+			Style: srs.Style, SecondAxis: srs.SecondAxis,
+		}
 		for i := range srs.Y {
-			is.Points = append(is.Points, online.SeriesPoint{X: srs.X[i], Y: srs.Y[i]})
+			p := online.SeriesPoint{X: srs.X[i], Y: srs.Y[i]}
+			if i < len(srs.CI95) {
+				p.CI95 = srs.CI95[i]
+			}
+			is.Points = append(is.Points, p)
 		}
 		ig.Series = append(ig.Series, is)
 	}
@@ -474,17 +548,18 @@ func (s *Session) Ascii(g *Graph, height int) (string, error) {
 
 // Prefetch proactively evaluates neighboring slider positions (radius
 // index steps along the given axes; nil = all sliders), anticipating the
-// user's next adjustments.
-func (s *Session) Prefetch(axes []string, radius int) (int, error) {
-	return s.inner.Prefetch(axes, radius)
+// user's next adjustments. A cancelled context stops the prefetch promptly;
+// whatever it already warmed stays in the reuse store.
+func (s *Session) Prefetch(ctx context.Context, axes []string, radius int) (int, error) {
+	return s.inner.Prefetch(ctx, axes, radius)
 }
 
 // RenderProgressive renders the graph at doubling world counts from
 // startWorlds up to the configured maximum, invoking frame with each
 // refined graph — the paper's "live, progressively refined view". Return
 // false from frame to stop early; the last frame is returned.
-func (s *Session) RenderProgressive(startWorlds int, frame func(g *Graph, worlds int) bool) (*Graph, error) {
-	g, err := s.inner.RenderProgressive(startWorlds, func(ig *online.Graph, worlds int) bool {
+func (s *Session) RenderProgressive(ctx context.Context, startWorlds int, frame func(g *Graph, worlds int) bool) (*Graph, error) {
+	g, err := s.inner.RenderProgressive(ctx, startWorlds, func(ig *online.Graph, worlds int) bool {
 		return frame(convertGraph(ig), worlds)
 	})
 	if err != nil {
@@ -506,8 +581,8 @@ func (s *Session) ExplorationMap(rowParam, colParam string) (string, error) {
 
 // TimeToFirstAccurateGuess measures how long the session needs to produce
 // converged statistics at the current sliders (experiment E1).
-func (s *Session) TimeToFirstAccurateGuess(eps float64, minWorlds int) (time.Duration, int, error) {
-	return s.inner.TimeToFirstAccurateGuess(eps, minWorlds)
+func (s *Session) TimeToFirstAccurateGuess(ctx context.Context, eps float64, minWorlds int) (time.Duration, int, error) {
+	return s.inner.TimeToFirstAccurateGuess(ctx, eps, minWorlds)
 }
 
 // ReuseCounts returns per-outcome point counts ("computed", "cached",
@@ -538,7 +613,7 @@ func convertGraph(g *online.Graph) *Graph {
 	for _, srs := range g.Series {
 		s := Series{
 			Name: srs.Name, Agg: srs.Agg, Column: srs.Column,
-			Style: append([]string(nil), srs.Style...), SecondAxis: srs.SecondAxis(),
+			Style: append([]string(nil), srs.Style...), SecondAxis: srs.SecondAxis,
 		}
 		for _, p := range srs.Points {
 			s.X = append(s.X, p.X)
@@ -571,7 +646,7 @@ type OptimizeResult struct {
 }
 
 // Exhaustive reports whether the whole grouped space was explored (false
-// under a GroupBudget).
+// under a WithGroupBudget).
 func (r *OptimizeResult) Exhaustive() bool { return r.GroupsExplored == r.GroupsTotal }
 
 // Progress reports offline-mode progress: done/total points plus the
@@ -580,13 +655,17 @@ type Progress func(done, total int, point map[string]any, siteOutcome map[string
 
 // Optimize runs the offline mode (paper §3.3): a full parameter-space
 // sweep, the OPTIMIZE constraint per group, and the lexicographic FOR
-// goals. The scenario must declare an OPTIMIZE statement.
-func (sc *Scenario) Optimize(cfg Config, progress Progress) (*OptimizeResult, error) {
-	opts, err := cfg.mcOptions()
+// goals. The scenario must declare an OPTIMIZE statement. The context is
+// checked before every point of the sweep (and per world-batch inside), so
+// cancellation aborts in milliseconds, returning the context's error; reuse
+// state accumulated before the abort is kept by the engine.
+func (sc *Scenario) Optimize(ctx context.Context, progress Progress, opts ...EvalOption) (*OptimizeResult, error) {
+	cfg := newEvalConfig(opts)
+	mcOpts, err := cfg.mcOptions()
 	if err != nil {
 		return nil, err
 	}
-	runOpts := optimize.Options{MC: opts, GroupBudget: cfg.GroupBudget}
+	runOpts := optimize.Options{MC: mcOpts, GroupBudget: cfg.groupBudget}
 	if progress != nil {
 		runOpts.Progress = func(done, total int, pt guide.Point, res *mc.PointResult) {
 			outcome := make(map[string]string, len(res.SiteOutcome))
@@ -596,7 +675,7 @@ func (sc *Scenario) Optimize(cfg Config, progress Progress) (*OptimizeResult, er
 			progress(done, total, fromPoint(pt), outcome)
 		}
 	}
-	res, err := optimize.Run(sc.scn, runOpts)
+	res, err := optimize.Run(ctx, sc.scn, runOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -609,8 +688,8 @@ func (sc *Scenario) Optimize(cfg Config, progress Progress) (*OptimizeResult, er
 		Elapsed:         res.Elapsed,
 		ReuseCounts:     map[string]int{},
 	}
-	if opts.Reuse != nil {
-		for k, v := range opts.Reuse.Counts() {
+	if mcOpts.Reuse != nil {
+		for k, v := range mcOpts.Reuse.Counts() {
 			out.ReuseCounts[k.String()] = v
 		}
 	}
@@ -664,6 +743,17 @@ func toValues(vs []any) ([]value.Value, error) {
 		}
 	}
 	return out, nil
+}
+
+// toDeclaredPoint converts a point map, reporting keys the scenario does
+// not declare as *UnknownParamError.
+func (sc *Scenario) toDeclaredPoint(m map[string]any) (guide.Point, error) {
+	for k := range m {
+		if sc.scn.Space.Index(k) < 0 {
+			return nil, &UnknownParamError{Name: k}
+		}
+	}
+	return toPoint(m)
 }
 
 func toPoint(m map[string]any) (guide.Point, error) {

@@ -2,6 +2,7 @@ package fuzzyprophet
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -66,9 +67,9 @@ func TestEvaluateSummaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := scn.Evaluate(map[string]any{
+	sum, err := scn.Evaluate(context.Background(), map[string]any{
 		"current": 5, "purchase1": 16, "purchase2": 32, "feature": 36,
-	}, Config{Worlds: 300})
+	}, WithWorlds(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ SELECT Doubler(@x) AS d;`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := scn.Evaluate(map[string]any{"x": 4}, Config{Worlds: 10})
+	sum, err := scn.Evaluate(context.Background(), map[string]any{"x": 4}, WithWorlds(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,9 +128,9 @@ func TestVGInvocationCounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ResetVGInvocations()
-	if _, err := scn.Evaluate(map[string]any{
+	if _, err := scn.Evaluate(context.Background(), map[string]any{
 		"current": 5, "purchase1": 16, "purchase2": 32, "feature": 36,
-	}, Config{Worlds: 50, DisableReuse: true}); err != nil {
+	}, WithWorlds(50), WithoutReuse()); err != nil {
 		t.Fatal(err)
 	}
 	if got := sys.VGInvocations(); got != 100 { // 2 sites × 50 worlds
@@ -143,7 +144,7 @@ func TestSessionFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	session, err := scn.OpenSession(Config{Worlds: 60})
+	session, err := scn.OpenSession(WithWorlds(60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestSessionFlow(t *testing.T) {
 	if err := session.SetParam("purchase1", 13); err == nil {
 		t.Error("off-grid value should error")
 	}
-	g1, err := session.Render()
+	g1, err := session.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSessionFlow(t *testing.T) {
 	if err := session.SetParam("purchase1", 16); err != nil {
 		t.Fatal(err)
 	}
-	g2, err := session.Render()
+	g2, err := session.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestSessionFlow(t *testing.T) {
 	if !strings.Contains(chart, "EXPECT overload") {
 		t.Errorf("chart:\n%s", chart)
 	}
-	if n, err := session.Prefetch([]string{"purchase2"}, 1); err != nil || n == 0 {
+	if n, err := session.Prefetch(context.Background(), []string{"purchase2"}, 1); err != nil || n == 0 {
 		t.Errorf("prefetch = %d, %v", n, err)
 	}
 }
@@ -199,14 +200,14 @@ func TestSessionWithoutReuseStillWorks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	session, err := scn.OpenSession(Config{Worlds: 30, DisableReuse: true})
+	session, err := scn.OpenSession(WithWorlds(30), WithoutReuse())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := session.Render(); err != nil {
+	if _, err := session.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	g, err := session.Render()
+	g, err := session.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,12 +238,12 @@ FOR MAX @purchase1, MAX @purchase2;`)
 		t.Fatal(err)
 	}
 	var lastDone int
-	res, err := scn.Optimize(Config{Worlds: 120}, func(done, total int, pt map[string]any, outcome map[string]string) {
+	res, err := scn.Optimize(context.Background(), func(done, total int, pt map[string]any, outcome map[string]string) {
 		lastDone = done
 		if total != 9*53 {
 			t.Errorf("total = %d", total)
 		}
-	})
+	}, WithWorlds(120))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,12 +276,12 @@ func TestRenderProgressiveFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	session, err := scn.OpenSession(Config{Worlds: 128})
+	session, err := scn.OpenSession(WithWorlds(128))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var frames []int
-	g, err := session.RenderProgressive(32, func(g *Graph, worlds int) bool {
+	g, err := session.RenderProgressive(context.Background(), 32, func(g *Graph, worlds int) bool {
 		frames = append(frames, worlds)
 		return true
 	})
@@ -301,11 +302,11 @@ func TestExplorationMapFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	session, err := scn.OpenSession(Config{Worlds: 20})
+	session, err := scn.OpenSession(WithWorlds(20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := session.Render(); err != nil {
+	if _, err := session.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out, err := session.ExplorationMap("purchase1", "purchase2")
@@ -327,10 +328,10 @@ func TestValueConversionErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	type odd struct{}
-	if _, err := scn.Evaluate(map[string]any{"current": odd{}}, Config{Worlds: 10}); err == nil {
+	if _, err := scn.Evaluate(context.Background(), map[string]any{"current": odd{}}, WithWorlds(10)); err == nil {
 		t.Error("unsupported type should error")
 	}
-	session, err := scn.OpenSession(Config{Worlds: 10})
+	session, err := scn.OpenSession(WithWorlds(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,11 +346,11 @@ func TestSessionPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := scn.OpenSession(Config{Worlds: 60})
+	first, err := scn.OpenSession(WithWorlds(60))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := first.Render(); err != nil {
+	if _, err := first.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -359,11 +360,11 @@ func TestSessionPersistence(t *testing.T) {
 
 	// A "new process": the same render is served fully from the loaded
 	// state.
-	second, err := scn.OpenSessionFrom(&buf, Config{Worlds: 60})
+	second, err := scn.OpenSessionFrom(&buf, WithWorlds(60))
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := second.Render()
+	g, err := second.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,17 +373,17 @@ func TestSessionPersistence(t *testing.T) {
 	}
 
 	// Error paths.
-	noReuse, err := scn.OpenSession(Config{Worlds: 10, DisableReuse: true})
+	noReuse, err := scn.OpenSession(WithWorlds(10), WithoutReuse())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := noReuse.SaveReuse(&bytes.Buffer{}); err == nil {
 		t.Error("saving without reuse should error")
 	}
-	if _, err := scn.OpenSessionFrom(strings.NewReader("junk"), Config{Worlds: 10}); err == nil {
+	if _, err := scn.OpenSessionFrom(strings.NewReader("junk"), WithWorlds(10)); err == nil {
 		t.Error("loading junk should error")
 	}
-	if _, err := scn.OpenSessionFrom(&bytes.Buffer{}, Config{Worlds: 10, DisableReuse: true}); err == nil {
+	if _, err := scn.OpenSessionFrom(&bytes.Buffer{}, WithWorlds(10), WithoutReuse()); err == nil {
 		t.Error("OpenSessionFrom with reuse disabled should error")
 	}
 }
@@ -406,11 +407,11 @@ func TestCalibratedDemoModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sumFast, err := scnFast.Evaluate(pt, Config{Worlds: 200})
+	sumFast, err := scnFast.Evaluate(context.Background(), pt, WithWorlds(200))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sumSlow, err := scnSlow.Evaluate(pt, Config{Worlds: 200})
+	sumSlow, err := scnSlow.Evaluate(context.Background(), pt, WithWorlds(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestCalibratedDemoModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sumBig, err := scnBig.Evaluate(pt, Config{Worlds: 100})
+	sumBig, err := scnBig.Evaluate(context.Background(), pt, WithWorlds(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,10 +448,10 @@ SELECT Gaussian(@p, 1) AS g;`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := scn.Optimize(Config{Worlds: 10}, nil); err == nil {
+	if _, err := scn.Optimize(context.Background(), nil, WithWorlds(10)); err == nil {
 		t.Error("missing OPTIMIZE should error")
 	}
-	if _, err := scn.OpenSession(Config{Worlds: 10}); err == nil {
+	if _, err := scn.OpenSession(WithWorlds(10)); err == nil {
 		t.Error("missing GRAPH should error")
 	}
 }

@@ -1,0 +1,3 @@
+module fuzzyprophet
+
+go 1.24

@@ -1,6 +1,7 @@
 package fuzzyprophet
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ FOR MAX @purchase1, MAX @purchase2;`)
 	const worlds = 150
 
 	// Offline: find the optimum.
-	res, err := scn.Optimize(Config{Worlds: worlds}, nil)
+	res, err := scn.Optimize(context.Background(), nil, WithWorlds(worlds))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ FOR MAX @purchase1, MAX @purchase2;`)
 
 	// Online: render at the optimum's pins; the max of the overload series
 	// must equal the optimizer's constraint metric for that group.
-	session, err := scn.OpenSession(Config{Worlds: worlds})
+	session, err := scn.OpenSession(WithWorlds(worlds))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ FOR MAX @purchase1, MAX @purchase2;`)
 			t.Fatal(err)
 		}
 	}
-	g, err := session.Render()
+	g, err := session.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,10 +76,10 @@ FOR MAX @purchase1, MAX @purchase2;`)
 
 	// Direct evaluation at one week must match the graph's value there.
 	week := 20
-	sum, err := scn.Evaluate(map[string]any{
+	sum, err := scn.Evaluate(context.Background(), map[string]any{
 		"current": week, "purchase1": best.Group["purchase1"],
 		"purchase2": best.Group["purchase2"], "feature": best.Group["feature"],
-	}, Config{Worlds: worlds})
+	}, WithWorlds(worlds))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,11 @@ func TestIntegrationReuseInvisibleToUser(t *testing.T) {
 		{"purchase1", 20}, {"feature", 12}, {"purchase2", 36},
 	}
 	run := func(disable bool) []*Graph {
-		session, err := scn.OpenSession(Config{Worlds: 100, DisableReuse: disable})
+		opts := []EvalOption{WithWorlds(100)}
+		if disable {
+			opts = append(opts, WithoutReuse())
+		}
+		session, err := scn.OpenSession(opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +148,7 @@ func TestIntegrationReuseInvisibleToUser(t *testing.T) {
 			if err := session.SetParam(m.param, m.val); err != nil {
 				t.Fatal(err)
 			}
-			g, err := session.Render()
+			g, err := session.Render(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -180,7 +185,7 @@ func TestIntegrationBudgetedOptimizeFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scn.Optimize(Config{Worlds: 30, GroupBudget: 5}, nil)
+	res, err := scn.Optimize(context.Background(), nil, WithWorlds(30), WithGroupBudget(5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,7 +39,9 @@ type Options struct {
 	Reuse *Reuse
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns a copy of o with zero fields replaced by defaults —
+// the effective options an Evaluator built from o will run with.
+func (o Options) WithDefaults() Options {
 	if o.Worlds <= 0 {
 		o.Worlds = 1000
 	}
@@ -160,7 +163,7 @@ func NewEvaluator(scn *scenario.Scenario, opts Options) *Evaluator {
 	}
 	return &Evaluator{
 		scn:     scn,
-		opts:    opts.withDefaults(),
+		opts:    opts.WithDefaults(),
 		catalog: cat,
 		engine:  sqlengine.New(cat),
 	}
@@ -208,8 +211,23 @@ func (p *PointResult) FreshSites() int {
 	return n
 }
 
-// EvaluatePoint runs the full pipeline for one parameter point.
-func (ev *Evaluator) EvaluatePoint(pt guide.Point) (*PointResult, error) {
+// batchWorlds is how many worlds are simulated between context checks: a
+// cancelled context stops a simulation within one batch, not at the end of
+// the full world loop.
+const batchWorlds = 64
+
+// EvaluatePoint runs the full pipeline for one parameter point. The context
+// is checked between sites and once per world-batch during simulation, so
+// cancellation aborts a long evaluation promptly; the first error returned
+// after cancellation wraps ctx.Err().
+//
+// An Evaluator is not safe for concurrent EvaluatePoint calls (the
+// possible-worlds table lives in its catalog); share the Reuse engine and
+// give each goroutine its own Evaluator instead.
+func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &PointResult{
 		Point:       pt,
 		Worlds:      ev.opts.Worlds,
@@ -220,8 +238,11 @@ func (ev *Evaluator) EvaluatePoint(pt guide.Point) (*PointResult, error) {
 	// 1. Obtain per-site sample vectors (fresh or re-mapped).
 	siteSamples := make([][]float64, len(ev.scn.Sites))
 	for si := range ev.scn.Sites {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		site := &ev.scn.Sites[si]
-		samples, kind, err := ev.samplesFor(site, pt)
+		samples, kind, err := ev.samplesFor(ctx, site, pt)
 		if err != nil {
 			return nil, err
 		}
@@ -324,14 +345,14 @@ func (ev *Evaluator) probeCount() int {
 // probes double as validation on real output worlds: a computed point's
 // fingerprint costs nothing extra, and a re-mapped vector is exact at every
 // probed index (the probes overwrite the mapped values).
-func (ev *Evaluator) samplesFor(site *scenario.Site, pt guide.Point) ([]float64, ReuseKind, error) {
+func (ev *Evaluator) samplesFor(ctx context.Context, site *scenario.Site, pt guide.Point) ([]float64, ReuseKind, error) {
 	args, key, err := site.ArgValues(pt)
 	if err != nil {
 		return nil, Computed, err
 	}
 	r := ev.opts.Reuse
 	if r == nil {
-		samples, err := ev.simulate(site, args, 0, ev.opts.Worlds, nil)
+		samples, err := ev.simulate(ctx, site, args, 0, ev.opts.Worlds, nil)
 		return samples, Computed, err
 	}
 	if err := r.bindSeedBase(ev.opts.SeedBase); err != nil {
@@ -349,7 +370,7 @@ func (ev *Evaluator) samplesFor(site *scenario.Site, pt guide.Point) ([]float64,
 
 	// Probe the target at the first k world seeds (k VG invocations).
 	k := ev.probeCount()
-	probes, err := ev.simulate(site, args, 0, k, nil)
+	probes, err := ev.simulate(ctx, site, args, 0, k, nil)
 	if err != nil {
 		return nil, Computed, fmt.Errorf("mc: fingerprinting %s%s: %w", site.ID, key, err)
 	}
@@ -383,7 +404,7 @@ func (ev *Evaluator) samplesFor(site *scenario.Site, pt guide.Point) ([]float64,
 	}
 
 	// Simulate the remaining worlds; the probes are worlds 0..k-1.
-	samples, err := ev.simulate(site, args, k, ev.opts.Worlds, probes)
+	samples, err := ev.simulate(ctx, site, args, k, ev.opts.Worlds, probes)
 	if err != nil {
 		return nil, Computed, err
 	}
@@ -395,8 +416,10 @@ func (ev *Evaluator) samplesFor(site *scenario.Site, pt guide.Point) ([]float64,
 
 // simulate invokes the site's VG-Function for worlds [from, to), in
 // parallel, returning the full [0, to) vector. prefix supplies the already-
-// computed worlds [0, from) (nil when from is 0).
-func (ev *Evaluator) simulate(site *scenario.Site, args []value.Value, from, to int, prefix []float64) ([]float64, error) {
+// computed worlds [0, from) (nil when from is 0). The context is checked
+// once per batchWorlds worlds in every worker, so cancellation stops a long
+// simulation within one world-batch.
+func (ev *Evaluator) simulate(ctx context.Context, site *scenario.Site, args []value.Value, from, to int, prefix []float64) ([]float64, error) {
 	samples := make([]float64, to)
 	copy(samples, prefix[:from])
 	n := to - from
@@ -404,17 +427,28 @@ func (ev *Evaluator) simulate(site *scenario.Site, args []value.Value, from, to 
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := from; i < to; i++ {
+	run := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if (i-lo)%batchWorlds == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			v, err := ev.scn.Registry.Invoke(site.Name, ev.worldSeed(site.ID, i), args)
 			if err != nil {
-				return nil, fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+				return fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
 			}
 			f, err := v.AsFloat()
 			if err != nil {
-				return nil, fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+				return fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
 			}
 			samples[i] = f
+		}
+		return nil
+	}
+	if workers <= 1 {
+		if err := run(from, to); err != nil {
+			return nil, err
 		}
 		return samples, nil
 	}
@@ -434,18 +468,8 @@ func (ev *Evaluator) simulate(site *scenario.Site, args []value.Value, from, to 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				v, err := ev.scn.Registry.Invoke(site.Name, ev.worldSeed(site.ID, i), args)
-				if err != nil {
-					errCh <- fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
-					return
-				}
-				f, err := v.AsFloat()
-				if err != nil {
-					errCh <- fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
-					return
-				}
-				samples[i] = f
+			if err := run(lo, hi); err != nil {
+				errCh <- err
 			}
 		}(lo, hi)
 	}

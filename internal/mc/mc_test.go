@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func point(current, p1, p2, feature int64) guide.Point {
 func TestEvaluatePointBasics(t *testing.T) {
 	scn := compileFigure2(t)
 	ev := NewEvaluator(scn, Options{Worlds: 200})
-	res, err := ev.EvaluatePoint(point(5, 16, 32, 36))
+	res, err := ev.EvaluatePoint(context.Background(), point(5, 16, 32, 36))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestEvaluatePointDeterministic(t *testing.T) {
 	a := NewEvaluator(scn, Options{Worlds: 50})
 	b := NewEvaluator(scn, Options{Worlds: 50})
 	pt := point(20, 8, 24, 12)
-	ra, err := a.EvaluatePoint(pt)
+	ra, err := a.EvaluatePoint(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.EvaluatePoint(pt)
+	rb, err := b.EvaluatePoint(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,8 +127,8 @@ func TestSeedBaseChangesSamples(t *testing.T) {
 	a := NewEvaluator(scn, Options{Worlds: 50, SeedBase: 1})
 	b := NewEvaluator(scn, Options{Worlds: 50, SeedBase: 2})
 	pt := point(20, 8, 24, 12)
-	ra, _ := a.EvaluatePoint(pt)
-	rb, _ := b.EvaluatePoint(pt)
+	ra, _ := a.EvaluatePoint(context.Background(), pt)
+	rb, _ := b.EvaluatePoint(context.Background(), pt)
 	same := 0
 	for i := range ra.Columns["demand"] {
 		if ra.Columns["demand"][i] == rb.Columns["demand"][i] {
@@ -144,11 +145,11 @@ func TestWorkerCountsAgree(t *testing.T) {
 	serial := NewEvaluator(scn, Options{Worlds: 64, Workers: 1})
 	parallel := NewEvaluator(scn, Options{Worlds: 64, Workers: 8})
 	pt := point(30, 12, 28, 44)
-	rs, err := serial.EvaluatePoint(pt)
+	rs, err := serial.EvaluatePoint(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := parallel.EvaluatePoint(pt)
+	rp, err := parallel.EvaluatePoint(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +170,14 @@ func TestReuseCachedExact(t *testing.T) {
 	}
 	ev := NewEvaluator(scn, Options{Worlds: 100, Reuse: reuse})
 	pt := point(10, 16, 32, 36)
-	r1, err := ev.EvaluatePoint(pt)
+	r1, err := ev.EvaluatePoint(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.SiteOutcome["DemandModel#0"] != Computed {
 		t.Errorf("first evaluation should compute, got %v", r1.SiteOutcome)
 	}
-	r2, err := ev.EvaluatePoint(pt)
+	r2, err := ev.EvaluatePoint(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,10 +208,10 @@ func TestReuseIdentityAcrossPurchaseMove(t *testing.T) {
 
 	// Evaluate week 5 with purchase1 = 20, then move purchase1 to 28.
 	// Week 5 precedes any arrival, so CapacityModel's outputs coincide.
-	if _, err := ev.EvaluatePoint(point(5, 20, 40, 36)); err != nil {
+	if _, err := ev.EvaluatePoint(context.Background(), point(5, 20, 40, 36)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ev.EvaluatePoint(point(5, 28, 40, 36))
+	res, err := ev.EvaluatePoint(context.Background(), point(5, 28, 40, 36))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestReuseIdentityAcrossPurchaseMove(t *testing.T) {
 
 	// Ground truth: direct simulation without reuse.
 	direct := NewEvaluator(scn, Options{Worlds: 100})
-	want, err := direct.EvaluatePoint(point(5, 28, 40, 36))
+	want, err := direct.EvaluatePoint(context.Background(), point(5, 28, 40, 36))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +252,11 @@ func TestReuseSavesVGInvocations(t *testing.T) {
 	const worlds = 200
 	ev := NewEvaluator(scn, Options{Worlds: worlds, Reuse: reuse})
 
-	if _, err := ev.EvaluatePoint(point(5, 20, 40, 36)); err != nil {
+	if _, err := ev.EvaluatePoint(context.Background(), point(5, 20, 40, 36)); err != nil {
 		t.Fatal(err)
 	}
 	before := reg.TotalInvocations()
-	if _, err := ev.EvaluatePoint(point(5, 24, 40, 36)); err != nil {
+	if _, err := ev.EvaluatePoint(context.Background(), point(5, 24, 40, 36)); err != nil {
 		t.Fatal(err)
 	}
 	after := reg.TotalInvocations()
@@ -277,7 +278,7 @@ func TestReuseStatsAndReset(t *testing.T) {
 	scn := compileFigure2(t)
 	reuse, _ := NewReuse(core.DefaultConfig(), 0)
 	ev := NewEvaluator(scn, Options{Worlds: 50, Reuse: reuse})
-	if _, err := ev.EvaluatePoint(point(5, 20, 40, 36)); err != nil {
+	if _, err := ev.EvaluatePoint(context.Background(), point(5, 20, 40, 36)); err != nil {
 		t.Fatal(err)
 	}
 	if got := reuse.Counts()[Computed]; got != 2 {
@@ -308,11 +309,11 @@ SELECT Gaussian(0, @p) AS g;`, reg)
 	}
 	ev := NewEvaluator(scn, Options{Worlds: 10})
 	// Negative stddev parameter: VG invocation fails, error must surface.
-	if _, err := ev.EvaluatePoint(guide.Point{"p": value.Int(-1)}); err == nil {
+	if _, err := ev.EvaluatePoint(context.Background(), guide.Point{"p": value.Int(-1)}); err == nil {
 		t.Error("VG error should propagate")
 	}
 	// Works for the valid part of the space.
-	if _, err := ev.EvaluatePoint(guide.Point{"p": value.Int(1)}); err != nil {
+	if _, err := ev.EvaluatePoint(context.Background(), guide.Point{"p": value.Int(1)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -327,13 +328,13 @@ SELECT Gaussian(0, @p) AS g;`, reg)
 	}
 	reuse, _ := NewReuse(core.DefaultConfig(), 0)
 	ev := NewEvaluator(scn, Options{Worlds: 10, Reuse: reuse})
-	if _, err := ev.EvaluatePoint(guide.Point{"p": value.Int(-1)}); err == nil {
+	if _, err := ev.EvaluatePoint(context.Background(), guide.Point{"p": value.Int(-1)}); err == nil {
 		t.Error("VG error should propagate through the fingerprint path")
 	}
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.WithDefaults()
 	if o.Worlds != 1000 || o.SeedBase != 20110612 || o.Workers < 1 {
 		t.Errorf("defaults = %+v", o)
 	}
@@ -380,7 +381,7 @@ SELECT region, Gaussian(100, 1) * share AS local FROM regions;`, reg)
 		t.Fatal(err)
 	}
 	ev := NewEvaluator(scn, Options{Worlds: 40})
-	res, err := ev.EvaluatePoint(guide.Point{"w": value.Int(0)})
+	res, err := ev.EvaluatePoint(context.Background(), guide.Point{"w": value.Int(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,10 +418,10 @@ SELECT UnitsModel(@week, @price) AS units;`, reg)
 	ev := NewEvaluator(scn, Options{Worlds: 300, Reuse: reuse})
 	pt1 := guide.Point{"week": value.Int(3), "price": value.Int(10)}
 	pt2 := guide.Point{"week": value.Int(3), "price": value.Int(12)}
-	if _, err := ev.EvaluatePoint(pt1); err != nil {
+	if _, err := ev.EvaluatePoint(context.Background(), pt1); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ev.EvaluatePoint(pt2)
+	res, err := ev.EvaluatePoint(context.Background(), pt2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +430,7 @@ SELECT UnitsModel(@week, @price) AS units;`, reg)
 	}
 	// Affine-mapped samples match direct simulation to high precision.
 	direct := NewEvaluator(scn, Options{Worlds: 300})
-	want, err := direct.EvaluatePoint(pt2)
+	want, err := direct.EvaluatePoint(context.Background(), pt2)
 	if err != nil {
 		t.Fatal(err)
 	}

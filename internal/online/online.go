@@ -9,10 +9,18 @@
 // graph quantify exactly that claim. The session can also prefetch points
 // around the current slider positions, the paper's "values [that] are
 // proactively being explored anticipating their future usage".
+//
+// A Session is safe for concurrent use: slider state is mutex-guarded and
+// every render works from a snapshot of the pins taken at its start, with
+// its own evaluator over the shared (lock-protected) reuse engine. SetParam
+// from one goroutine never races a Render in another; the render simply
+// reflects whichever pins it snapshotted.
 package online
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"fuzzyprophet/internal/aggregate"
@@ -27,8 +35,10 @@ import (
 // Session is one interactive exploration of a scenario's graph.
 type Session struct {
 	scn  *scenario.Scenario
-	ev   *mc.Evaluator
+	opts mc.Options // effective (defaults applied); Reuse is shared
 	axis string
+
+	mu   sync.Mutex
 	pins guide.Point
 	// explored records pin combinations that have been rendered or
 	// prefetched, keyed by core.PointKey of the pins; the value marks how
@@ -47,7 +57,7 @@ func NewSession(scn *scenario.Scenario, opts mc.Options) (*Session, error) {
 	}
 	s := &Session{
 		scn:      scn,
-		ev:       mc.NewEvaluator(scn, opts),
+		opts:     opts.WithDefaults(),
 		axis:     scn.Graph.Over,
 		pins:     guide.Point{},
 		explored: map[string]byte{},
@@ -65,6 +75,8 @@ func (s *Session) Axis() string { return s.axis }
 
 // Param returns the current position of a slider.
 func (s *Session) Param(name string) (value.Value, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, ok := s.pins[name]
 	return v, ok
 }
@@ -81,8 +93,29 @@ func (s *Session) SetParam(name string, v value.Value) error {
 	if s.scn.Space.IndexOfValue(name, v) < 0 {
 		return fmt.Errorf("online: value %s is outside @%s's declared space", v.SQLLiteral(), name)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pins[name] = v
 	return nil
+}
+
+// snapshotPins copies the current slider positions under the lock; renders
+// work from the snapshot so concurrent SetParam calls never race them.
+func (s *Session) snapshotPins() guide.Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return clonePoint(s.pins)
+}
+
+// markExplored records how a pin combination was visited. A prefetch never
+// downgrades a rendered cell.
+func (s *Session) markExplored(key string, how byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if how == 'p' && s.explored[key] == 'R' {
+		return
+	}
+	s.explored[key] = how
 }
 
 // RenderStats quantifies one render: how much of the graph had to be
@@ -129,13 +162,16 @@ type GraphSeries struct {
 	Column string
 	// Style carries the scenario's style words verbatim.
 	Style []string
+	// SecondAxis places the series on the right-hand (y2) scale, from the
+	// "y2" style word in the scenario's GRAPH clause.
+	SecondAxis bool
 	// Points holds the series values in X order.
 	Points []SeriesPoint
 }
 
-// SecondAxis reports whether the scenario styled this series onto y2.
-func (g *GraphSeries) SecondAxis() bool {
-	for _, w := range g.Style {
+// styleHasY2 reports whether the style words place the series on y2.
+func styleHasY2(style []string) bool {
+	for _, w := range style {
 		if w == "y2" {
 			return true
 		}
@@ -159,33 +195,48 @@ type Graph struct {
 
 // Render evaluates the graph at the current slider positions. With a warm
 // reuse engine, only X positions genuinely affected by prior adjustments
-// cost fresh simulation.
-func (s *Session) Render() (*Graph, error) {
+// cost fresh simulation. The context is checked before every X position;
+// a cancelled context aborts the render within one world-batch.
+func (s *Session) Render(ctx context.Context) (*Graph, error) {
+	return s.renderWith(ctx, s.opts)
+}
+
+// renderWith renders one frame under the given options, from a snapshot of
+// the current pins. Each render evaluates through its own mc.Evaluator (the
+// possible-worlds table is evaluator-local state); only the lock-protected
+// reuse engine is shared, so concurrent renders are safe.
+func (s *Session) renderWith(ctx context.Context, opts mc.Options) (*Graph, error) {
 	start := time.Now()
-	points, err := s.scn.Space.Sweep(s.axis, s.pins)
+	pins := s.snapshotPins()
+	points, err := s.scn.Space.Sweep(s.axis, pins)
 	if err != nil {
 		return nil, err
 	}
-	g := &Graph{Axis: s.axis, Pins: clonePoint(s.pins)}
+	ev := mc.NewEvaluator(s.scn, opts)
+	g := &Graph{Axis: s.axis, Pins: clonePoint(pins)}
 	for _, item := range s.scn.Graph.Items {
 		g.Series = append(g.Series, GraphSeries{
-			Name:   item.Agg + " " + item.Column,
-			Agg:    item.Agg,
-			Column: item.Column,
-			Style:  item.Style,
+			Name:       item.Agg + " " + item.Column,
+			Agg:        item.Agg,
+			Column:     item.Column,
+			Style:      item.Style,
+			SecondAxis: styleHasY2(item.Style),
 		})
 	}
 	for _, pt := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x, err := pt[s.axis].AsFloat()
 		if err != nil {
 			return nil, fmt.Errorf("online: non-numeric axis value %s", pt[s.axis].SQLLiteral())
 		}
-		res, err := s.ev.EvaluatePoint(pt)
+		res, err := ev.EvaluatePoint(ctx, pt)
 		if err != nil {
 			return nil, err
 		}
 		g.X = append(g.X, x)
-		s.classify(res, &g.Stats)
+		classify(res, &g.Stats)
 		stats := aggregate.NewPointStats(numericColumns(res))
 		for col, samples := range res.Columns {
 			if err := stats.AddSamples(col, samples); err != nil {
@@ -206,7 +257,7 @@ func (s *Session) Render() (*Graph, error) {
 	}
 	g.Stats.Points = len(points)
 	g.Stats.Elapsed = time.Since(start)
-	s.explored[core.PointKey(s.pins)] = 'R'
+	s.markExplored(core.PointKey(pins), 'R')
 	return g, nil
 }
 
@@ -215,11 +266,11 @@ func (s *Session) Render() (*Graph, error) {
 // doubling up to the session's configured world count), invoking frame
 // after each pass with the refined graph and the world count used. Return
 // false from frame to stop early. The final rendered frame is returned.
-func (s *Session) RenderProgressive(startWorlds int, frame func(g *Graph, worlds int) bool) (*Graph, error) {
+func (s *Session) RenderProgressive(ctx context.Context, startWorlds int, frame func(g *Graph, worlds int) bool) (*Graph, error) {
 	if frame == nil {
 		return nil, fmt.Errorf("online: RenderProgressive needs a frame callback")
 	}
-	maxWorlds := s.ev.Options().Worlds
+	maxWorlds := s.opts.Worlds
 	worlds := startWorlds
 	if worlds <= 0 {
 		worlds = 64
@@ -229,14 +280,9 @@ func (s *Session) RenderProgressive(startWorlds int, frame func(g *Graph, worlds
 	}
 	var last *Graph
 	for {
-		probe := &Session{
-			scn:      s.scn,
-			ev:       mc.NewEvaluator(s.scn, mc.Options{Worlds: worlds, SeedBase: s.ev.Options().SeedBase, Workers: s.ev.Options().Workers, Reuse: s.ev.Options().Reuse}),
-			axis:     s.axis,
-			pins:     s.pins,
-			explored: s.explored,
-		}
-		g, err := probe.Render()
+		opts := s.opts
+		opts.Worlds = worlds
+		g, err := s.renderWith(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -290,12 +336,15 @@ func (s *Session) ExplorationMap(rowParam, colParam string) (*viz.MapGrid, error
 	grid := viz.NewMapGrid(
 		fmt.Sprintf("explored parameter space (@%s × @%s)", rowParam, colParam),
 		"@"+rowParam, "@"+colParam, rowLabels, colLabels)
+	pins := s.snapshotPins()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, rv := range rowVals {
 		for j, cv := range colVals {
-			pins := clonePoint(s.pins)
-			pins[rowParam] = rv
-			pins[colParam] = cv
-			switch s.explored[core.PointKey(pins)] {
+			cell := clonePoint(pins)
+			cell[rowParam] = rv
+			cell[colParam] = cv
+			switch s.explored[core.PointKey(cell)] {
 			case 'R':
 				grid.Set(i, j, viz.CellComputed)
 			case 'p':
@@ -308,7 +357,7 @@ func (s *Session) ExplorationMap(rowParam, colParam string) (*viz.MapGrid, error
 	return grid, nil
 }
 
-func (s *Session) classify(res *mc.PointResult, stats *RenderStats) {
+func classify(res *mc.PointResult, stats *RenderStats) {
 	fresh, mapped := false, false
 	for _, kind := range res.SiteOutcome {
 		switch kind {
@@ -349,9 +398,11 @@ func clonePoint(p guide.Point) guide.Point {
 // Prefetch proactively evaluates the graph at slider positions adjacent to
 // the current ones (radius index steps along the given axes; nil means all
 // sliders), warming the reuse store for the user's likely next adjustments.
-// It returns the number of (point, week) evaluations performed.
-func (s *Session) Prefetch(axes []string, radius int) (int, error) {
-	focus := clonePoint(s.pins)
+// It returns the number of (point, week) evaluations performed. The context
+// is checked before every evaluated point, so a cancelled prefetch stops
+// promptly, keeping whatever it already warmed.
+func (s *Session) Prefetch(ctx context.Context, axes []string, radius int) (int, error) {
+	focus := s.snapshotPins()
 	// Complete the focus with an arbitrary axis value; the axis itself is
 	// excluded from the movable dimensions.
 	focus[s.axis] = s.scn.Space.Params[s.scn.Space.Index(s.axis)].Values[0]
@@ -367,6 +418,7 @@ func (s *Session) Prefetch(axes []string, radius int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	ev := mc.NewEvaluator(s.scn, s.opts)
 	evaluated := 0
 	for {
 		neighbor, ok := strategy.Next()
@@ -380,14 +432,15 @@ func (s *Session) Prefetch(axes []string, radius int) (int, error) {
 			return evaluated, err
 		}
 		for _, pt := range sweep {
-			if _, err := s.ev.EvaluatePoint(pt); err != nil {
+			if err := ctx.Err(); err != nil {
+				return evaluated, err
+			}
+			if _, err := ev.EvaluatePoint(ctx, pt); err != nil {
 				return evaluated, err
 			}
 			evaluated++
 		}
-		if key := core.PointKey(pins); s.explored[key] != 'R' {
-			s.explored[key] = 'p'
-		}
+		s.markExplored(core.PointKey(pins), 'p')
 	}
 	return evaluated, nil
 }
@@ -397,9 +450,10 @@ func (s *Session) Prefetch(axes []string, radius int) (int, error) {
 // returning the elapsed time and the world count used. It measures the
 // paper's "a few dozen seconds to generate accurate statistics" claim
 // (experiment E1).
-func (s *Session) TimeToFirstAccurateGuess(eps float64, minWorlds int) (time.Duration, int, error) {
+func (s *Session) TimeToFirstAccurateGuess(ctx context.Context, eps float64, minWorlds int) (time.Duration, int, error) {
 	start := time.Now()
-	points, err := s.scn.Space.Sweep(s.axis, s.pins)
+	pins := s.snapshotPins()
+	points, err := s.scn.Space.Sweep(s.axis, pins)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -407,17 +461,17 @@ func (s *Session) TimeToFirstAccurateGuess(eps float64, minWorlds int) (time.Dur
 	if worlds <= 0 {
 		worlds = 100
 	}
-	maxWorlds := s.ev.Options().Worlds
+	maxWorlds := s.opts.Worlds
 	for {
-		probe := mc.NewEvaluator(s.scn, mc.Options{
-			Worlds:   worlds,
-			SeedBase: s.ev.Options().SeedBase,
-			Workers:  s.ev.Options().Workers,
-			Reuse:    s.ev.Options().Reuse,
-		})
+		opts := s.opts
+		opts.Worlds = worlds
+		probe := mc.NewEvaluator(s.scn, opts)
 		allConverged := true
 		for _, pt := range points {
-			res, err := probe.EvaluatePoint(pt)
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+			res, err := probe.EvaluatePoint(ctx, pt)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -442,7 +496,9 @@ func (s *Session) TimeToFirstAccurateGuess(eps float64, minWorlds int) (time.Dur
 	}
 }
 
-// Chart renders a graph frame as an ASCII chart in the style of Figure 3.
+// Chart renders a graph frame as an ASCII chart in the style of Figure 3,
+// including each series' 95% confidence band (the ':' shading around a
+// line) when the frame carries CI half-widths.
 func Chart(g *Graph, height int) (string, error) {
 	symbols := []byte{'*', 'c', 'd', '+', 'x', 'o'}
 	chart := &viz.LineChart{
@@ -453,14 +509,24 @@ func Chart(g *Graph, height int) (string, error) {
 	}
 	for i, series := range g.Series {
 		ys := make([]float64, len(series.Points))
+		cis := make([]float64, len(series.Points))
+		anyCI := false
 		for j, p := range series.Points {
 			ys[j] = p.Y
+			cis[j] = p.CI95
+			if p.CI95 > 0 {
+				anyCI = true
+			}
+		}
+		if !anyCI {
+			cis = nil
 		}
 		chart.Series = append(chart.Series, viz.Series{
 			Name:       series.Name,
 			Y:          ys,
+			CIHalf:     cis,
 			Symbol:     symbols[i%len(symbols)],
-			SecondAxis: series.SecondAxis(),
+			SecondAxis: series.SecondAxis,
 		})
 	}
 	return chart.Render()

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -100,7 +101,7 @@ func TestFirstRenderShape(t *testing.T) {
 	if err := s.SetParam("feature", value.Int(36)); err != nil {
 		t.Fatal(err)
 	}
-	g, err := s.Render()
+	g, err := s.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFirstRenderShape(t *testing.T) {
 	if g.Series[0].Name != "EXPECT overload" {
 		t.Errorf("series0 = %s", g.Series[0].Name)
 	}
-	if !g.Series[1].SecondAxis() {
+	if !g.Series[1].SecondAxis {
 		t.Error("capacity series should be on y2")
 	}
 	// First render computes everything.
@@ -134,10 +135,10 @@ func TestFirstRenderShape(t *testing.T) {
 
 func TestSecondRenderIsUnchanged(t *testing.T) {
 	s := newSession(t, 60)
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	g, err := s.Render()
+	g, err := s.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,14 +157,14 @@ func TestAdjustmentRecomputesOnlyPortions(t *testing.T) {
 	if err := s.SetParam("purchase2", value.Int(32)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Move purchase1 by one step.
 	if err := s.SetParam("purchase1", value.Int(20)); err != nil {
 		t.Fatal(err)
 	}
-	g, err := s.Render()
+	g, err := s.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +187,13 @@ func TestFeatureDateChangeReusesWeeks(t *testing.T) {
 	if err := s.SetParam("feature", value.Int(12)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetParam("feature", value.Int(36)); err != nil {
 		t.Fatal(err)
 	}
-	g, err := s.Render()
+	g, err := s.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,13 +208,13 @@ func TestFeatureDateChangeReusesWeeks(t *testing.T) {
 // cold render at the same point.
 func TestReusedRenderMatchesColdRender(t *testing.T) {
 	warm := newSession(t, 60)
-	if _, err := warm.Render(); err != nil { // purchase1=0
+	if _, err := warm.Render(context.Background()); err != nil { // purchase1=0
 		t.Fatal(err)
 	}
 	if err := warm.SetParam("purchase1", value.Int(4)); err != nil {
 		t.Fatal(err)
 	}
-	gWarm, err := warm.Render()
+	gWarm, err := warm.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestReusedRenderMatchesColdRender(t *testing.T) {
 	if err := cold.SetParam("purchase1", value.Int(4)); err != nil {
 		t.Fatal(err)
 	}
-	gCold, err := cold.Render()
+	gCold, err := cold.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,10 +241,10 @@ func TestReusedRenderMatchesColdRender(t *testing.T) {
 
 func TestPrefetchWarmsNeighbors(t *testing.T) {
 	s := newSession(t, 30)
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	n, err := s.Prefetch([]string{"purchase1"}, 1)
+	n, err := s.Prefetch(context.Background(), []string{"purchase1"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestPrefetchWarmsNeighbors(t *testing.T) {
 	if err := s.SetParam("purchase1", value.Int(4)); err != nil {
 		t.Fatal(err)
 	}
-	g, err := s.Render()
+	g, err := s.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestPrefetchWarmsNeighbors(t *testing.T) {
 
 func TestTimeToFirstAccurateGuess(t *testing.T) {
 	s := newSession(t, 400)
-	elapsed, worlds, err := s.TimeToFirstAccurateGuess(0.25, 50)
+	elapsed, worlds, err := s.TimeToFirstAccurateGuess(context.Background(), 0.25, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestTimeToFirstAccurateGuess(t *testing.T) {
 
 func TestChartRendering(t *testing.T) {
 	s := newSession(t, 30)
-	g, err := s.Render()
+	g, err := s.Render(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestRenderProgressiveRefines(t *testing.T) {
 	s := newSession(t, 256)
 	var worldsSeen []int
-	g, err := s.RenderProgressive(32, func(g *Graph, worlds int) bool {
+	g, err := s.RenderProgressive(context.Background(), 32, func(g *Graph, worlds int) bool {
 		worldsSeen = append(worldsSeen, worlds)
 		if len(g.X) != 53 {
 			t.Errorf("frame at %d worlds has %d points", worlds, len(g.X))
@@ -37,7 +38,7 @@ func TestRenderProgressiveRefines(t *testing.T) {
 func TestRenderProgressiveEarlyStop(t *testing.T) {
 	s := newSession(t, 256)
 	frames := 0
-	_, err := s.RenderProgressive(32, func(g *Graph, worlds int) bool {
+	_, err := s.RenderProgressive(context.Background(), 32, func(g *Graph, worlds int) bool {
 		frames++
 		return frames < 2
 	})
@@ -51,12 +52,12 @@ func TestRenderProgressiveEarlyStop(t *testing.T) {
 
 func TestRenderProgressiveValidation(t *testing.T) {
 	s := newSession(t, 64)
-	if _, err := s.RenderProgressive(32, nil); err == nil {
+	if _, err := s.RenderProgressive(context.Background(), 32, nil); err == nil {
 		t.Error("nil callback should error")
 	}
 	// startWorlds above the cap clamps to a single frame.
 	frames := 0
-	if _, err := s.RenderProgressive(9999, func(*Graph, int) bool {
+	if _, err := s.RenderProgressive(context.Background(), 9999, func(*Graph, int) bool {
 		frames++
 		return true
 	}); err != nil {
@@ -80,11 +81,11 @@ func TestExplorationMap(t *testing.T) {
 	}
 
 	// A render marks the current pins.
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// A prefetch marks neighbors.
-	if _, err := s.Prefetch([]string{"purchase1"}, 1); err != nil {
+	if _, err := s.Prefetch(context.Background(), []string{"purchase1"}, 1); err != nil {
 		t.Fatal(err)
 	}
 	grid, err = s.ExplorationMap("purchase1", "purchase2")
@@ -119,13 +120,13 @@ func TestExplorationMapValidation(t *testing.T) {
 
 func TestExplorationMapTracksMoves(t *testing.T) {
 	s := newSession(t, 20)
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetParam("purchase1", value.Int(8)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Render(); err != nil {
+	if _, err := s.Render(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	grid, err := s.ExplorationMap("purchase1", "purchase2")

@@ -23,6 +23,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -206,8 +207,11 @@ func enclosed(root sqlparser.Expr, target sqlparser.FuncCall) bool {
 }
 
 // Run explores the full parameter space and returns the optimization
-// outcome.
-func Run(scn *scenario.Scenario, opts Options) (*Result, error) {
+// outcome. The context is checked before every evaluated point (and per
+// world-batch inside the Monte Carlo executor), so cancelling mid-sweep
+// stops within milliseconds; the reuse engine keeps whatever the aborted
+// sweep already computed, ready for a resumed run.
+func Run(ctx context.Context, scn *scenario.Scenario, opts Options) (*Result, error) {
 	if scn.Optimize == nil {
 		return nil, fmt.Errorf("optimize: scenario has no OPTIMIZE statement")
 	}
@@ -274,6 +278,9 @@ func Run(scn *scenario.Scenario, opts Options) (*Result, error) {
 		// Per-term vector across the free sweep.
 		vectors := make(map[string][]float64, len(terms))
 		for _, free := range freePoints {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			pt := make(guide.Point, len(group)+len(free))
 			for k, v := range group {
 				pt[k] = v
@@ -281,7 +288,7 @@ func Run(scn *scenario.Scenario, opts Options) (*Result, error) {
 			for k, v := range free {
 				pt[k] = v
 			}
-			pr, err := ev.EvaluatePoint(pt)
+			pr, err := ev.EvaluatePoint(ctx, pt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"testing"
 
 	"fuzzyprophet/internal/core"
@@ -67,7 +68,7 @@ func TestRunReducedFigure2(t *testing.T) {
 		t.Fatal(err)
 	}
 	progressCalls := 0
-	res, err := Run(scn, Options{
+	res, err := Run(context.Background(), scn, Options{
 		MC: mc.Options{Worlds: 300, Reuse: reuse},
 		Progress: func(done, total int, pt guide.Point, pr *mc.PointResult) {
 			progressCalls++
@@ -169,7 +170,7 @@ func TestRunRequiresOptimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(scn, Options{MC: mc.Options{Worlds: 10}}); err == nil {
+	if _, err := Run(context.Background(), scn, Options{MC: mc.Options{Worlds: 10}}); err == nil {
 		t.Error("scenario without OPTIMIZE should be rejected")
 	}
 }
@@ -205,7 +206,7 @@ FOR MAX @purchase1, MAX @purchase2;
 			}
 			opts.MC.Reuse = reuse
 		}
-		res, err := Run(scn, opts)
+		res, err := Run(context.Background(), scn, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -339,7 +340,7 @@ func TestBudgetedExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(scn, Options{
+	res, err := Run(context.Background(), scn, Options{
 		MC:          mc.Options{Worlds: 80, Reuse: reuse},
 		GroupBudget: 10,
 		BudgetSeed:  7,
@@ -360,7 +361,7 @@ func TestBudgetedExploration(t *testing.T) {
 		t.Errorf("points = %d", res.PointsEvaluated)
 	}
 	// Deterministic in the seed.
-	res2, err := Run(scn, Options{
+	res2, err := Run(context.Background(), scn, Options{
 		MC:          mc.Options{Worlds: 80},
 		GroupBudget: 10,
 		BudgetSeed:  7,
@@ -376,7 +377,7 @@ func TestBudgetedExploration(t *testing.T) {
 		}
 	}
 	// A budget covering the space degrades to exhaustive.
-	res3, err := Run(scn, Options{MC: mc.Options{Worlds: 20}, GroupBudget: 100})
+	res3, err := Run(context.Background(), scn, Options{MC: mc.Options{Worlds: 20}, GroupBudget: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +399,7 @@ OPTIMIZE SELECT @p FROM results WHERE MAX(EXPECT g) < 100 GROUP BY p, p FOR MAX 
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(scn, Options{MC: mc.Options{Worlds: 10}}); err == nil {
+	if _, err := Run(context.Background(), scn, Options{MC: mc.Options{Worlds: 10}}); err == nil {
 		t.Error("duplicate GROUP BY parameter should error")
 	}
 }

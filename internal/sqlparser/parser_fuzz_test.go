@@ -1,0 +1,87 @@
+package sqlparser_test
+
+// Fuzzing the scenario-language front end: neither the parser nor the full
+// compiler may panic on arbitrary input — malformed scripts must come back
+// as ordinary errors (with source positions). The corpus seeds valid
+// scenario scripts plus truncated and malformed fragments of them.
+//
+// Run with: go test -fuzz=FuzzCompile ./internal/sqlparser
+
+import (
+	"testing"
+
+	"fuzzyprophet/internal/models"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/vg"
+)
+
+const fuzzFigure2 = `
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 48 STEP BY 8;
+DECLARE PARAMETER @feature AS SET (12,36,44);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase1) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+GRAPH OVER @current EXPECT overload WITH bold red, EXPECT capacity WITH blue y2;
+OPTIMIZE SELECT @feature, @purchase1 FROM results
+WHERE MAX(EXPECT overload) < 0.05 GROUP BY feature, purchase1
+FOR MAX @purchase1;
+`
+
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		// Valid scripts.
+		fuzzFigure2,
+		"DECLARE PARAMETER @x AS RANGE 0 TO 10 STEP BY 1;\nSELECT Gaussian(@x, 1) AS g;",
+		"DECLARE PARAMETER @p AS SET (1, 2.5, 'a');\nSELECT Uniform(0, @p) AS u;",
+		"SELECT 1 AS one, CASE WHEN 1 < 2 THEN 'y' ELSE 'n' END AS c;",
+		// Truncated fragments.
+		fuzzFigure2[:len(fuzzFigure2)/2],
+		"DECLARE PARAMETER @x AS RANGE 0 TO",
+		"SELECT Gaussian(@x, ",
+		"GRAPH OVER",
+		"OPTIMIZE SELECT @a FROM r WHERE MAX(",
+		// Malformed fragments.
+		"DECLARE PARAMETER @ AS SET ();",
+		"SELECT 'unterminated;",
+		"/* unterminated comment",
+		"SELECT 1e999999 AS big;",
+		"SELECT ((((((1))))));",
+		"@;;@",
+		"SELECT a FROM b JOIN JOIN c ON;",
+		"DECLARE PARAMETER @x AS RANGE 10 TO 0 STEP BY -1;",
+		"SELECT CASE WHEN THEN ELSE END;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	reg := vg.NewRegistry()
+	if err := vg.RegisterBuiltins(reg); err != nil {
+		f.Fatal(err)
+	}
+	if err := models.RegisterDefaults(reg); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// Parse must never panic; errors are fine.
+		script, err := sqlparser.Parse(src)
+		if err == nil && script != nil {
+			// The canonical printer must hold its print∘parse fixpoint on
+			// everything the parser accepts.
+			canonical := sqlparser.Print(script)
+			reparsed, err := sqlparser.Parse(canonical)
+			if err != nil {
+				t.Fatalf("canonical form does not re-parse: %v\ninput: %q\ncanonical: %q", err, src, canonical)
+			}
+			if got := sqlparser.Print(reparsed); got != canonical {
+				t.Fatalf("print/parse fixpoint violated\ninput: %q\nfirst: %q\nsecond: %q", src, canonical, got)
+			}
+		}
+		// The full compiler must never panic either (errors are fine).
+		_, _ = scenario.Compile(src, reg)
+	})
+}

@@ -18,6 +18,10 @@ type Series struct {
 	Name string
 	// Y holds the values, parallel to the chart's X axis.
 	Y []float64
+	// CIHalf, when non-nil, holds the 95% confidence half-width around each
+	// Y value; the chart shades the band with ':' in cells the lines leave
+	// empty. Nil (or all-zero) draws no band.
+	CIHalf []float64
 	// Symbol is the single character used to draw the series.
 	Symbol byte
 	// SecondAxis places the series on the right-hand (y2) scale, like the
@@ -65,6 +69,40 @@ func (c *LineChart) Render() (string, error) {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", width))
 	}
+	rowFor := func(y, lo, span float64) int {
+		row := int(math.Round((y - lo) / span * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	// Confidence bands first, so every series line overdraws the shading.
+	for _, s := range c.Series {
+		if len(s.CIHalf) == 0 {
+			continue
+		}
+		lo, hi := lo1, hi1
+		if s.SecondAxis {
+			lo, hi = lo2, hi2
+		}
+		span := hi - lo
+		if span == 0 {
+			span = 1
+		}
+		for x, y := range s.Y {
+			if math.IsNaN(y) || x >= len(s.CIHalf) || s.CIHalf[x] <= 0 {
+				continue
+			}
+			for row := rowFor(y-s.CIHalf[x], lo, span); row <= rowFor(y+s.CIHalf[x], lo, span); row++ {
+				if grid[height-1-row][x] == ' ' {
+					grid[height-1-row][x] = ':'
+				}
+			}
+		}
+	}
 	for _, s := range c.Series {
 		lo, hi := lo1, hi1
 		if s.SecondAxis {
@@ -78,14 +116,7 @@ func (c *LineChart) Render() (string, error) {
 			if math.IsNaN(y) {
 				continue
 			}
-			row := int(math.Round((y - lo) / span * float64(height-1)))
-			if row < 0 {
-				row = 0
-			}
-			if row >= height {
-				row = height - 1
-			}
-			grid[height-1-row][x] = s.Symbol
+			grid[height-1-rowFor(y, lo, span)][x] = s.Symbol
 		}
 	}
 

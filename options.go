@@ -1,0 +1,170 @@
+package fuzzyprophet
+
+import (
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/mc"
+)
+
+// EvalOption tunes evaluation: world count, seeding, parallelism and the
+// fingerprint-reuse machinery. Options apply to Evaluate, EvaluateBatch,
+// OpenSession, OpenSessionFrom and Optimize; an option irrelevant to a call
+// (e.g. WithGroupBudget outside Optimize) is ignored.
+type EvalOption func(*evalConfig)
+
+// evalConfig is the resolved option set. Zero fields mean "engine default".
+type evalConfig struct {
+	worlds       int
+	seedBase     uint64
+	workers      int
+	disableReuse bool
+	fpLength     int
+	affineTol    float64
+	storeBudget  int64
+	groupBudget  int
+}
+
+func newEvalConfig(opts []EvalOption) evalConfig {
+	var c evalConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithWorlds sets the Monte Carlo world count per point (default 1000).
+func WithWorlds(n int) EvalOption {
+	return func(c *evalConfig) { c.worlds = n }
+}
+
+// WithSeedBase fixes the world seed sequence (default 20110612, the paper's
+// demo week). Changing it changes every sample; reuse state saved under a
+// different seed base is rejected on load.
+func WithSeedBase(seed uint64) EvalOption {
+	return func(c *evalConfig) { c.seedBase = seed }
+}
+
+// WithWorkers bounds VG-invocation parallelism (default GOMAXPROCS).
+func WithWorkers(n int) EvalOption {
+	return func(c *evalConfig) { c.workers = n }
+}
+
+// WithoutReuse turns fingerprint reuse off — naive re-simulation, the
+// baseline mode for benchmarks.
+func WithoutReuse() EvalOption {
+	return func(c *evalConfig) { c.disableReuse = true }
+}
+
+// WithFingerprintLength sets the fingerprint seed count k (default 16).
+func WithFingerprintLength(k int) EvalOption {
+	return func(c *evalConfig) { c.fpLength = k }
+}
+
+// WithAffineTol sets the relative residual budget for affine mappings
+// (default 0.02).
+func WithAffineTol(tol float64) EvalOption {
+	return func(c *evalConfig) { c.affineTol = tol }
+}
+
+// WithStoreBudget bounds the basis-distribution store in bytes (default
+// unbounded).
+func WithStoreBudget(bytes int64) EvalOption {
+	return func(c *evalConfig) { c.storeBudget = bytes }
+}
+
+// WithGroupBudget makes Optimize explore only that many randomly sampled
+// groups instead of the whole grouped space (the result is then
+// approximate; see OptimizeResult.Exhaustive).
+func WithGroupBudget(groups int) EvalOption {
+	return func(c *evalConfig) { c.groupBudget = groups }
+}
+
+// Config tunes evaluation through a single struct whose zero values mean
+// "default".
+//
+// Deprecated: Config survives only as a migration shim — pass it through
+// WithConfig while porting call sites to the equivalent functional options
+// (WithWorlds, WithSeedBase, WithWorkers, WithoutReuse,
+// WithFingerprintLength, WithAffineTol, WithStoreBudget, WithGroupBudget).
+type Config struct {
+	// Worlds is the Monte Carlo world count per point (default 1000).
+	Worlds int
+	// SeedBase fixes the world seed sequence (default 20110612).
+	SeedBase uint64
+	// Workers bounds VG-invocation parallelism (default GOMAXPROCS).
+	Workers int
+	// DisableReuse turns fingerprint reuse off (naive re-simulation;
+	// baseline mode for benchmarks).
+	DisableReuse bool
+	// FingerprintLength is the fingerprint seed count k (default 16).
+	FingerprintLength int
+	// AffineTol is the relative residual budget for affine mappings
+	// (default 0.02).
+	AffineTol float64
+	// StoreBudget bounds the basis-distribution store in bytes (0 =
+	// unbounded).
+	StoreBudget int64
+	// GroupBudget, when positive, makes Optimize explore only that many
+	// randomly sampled groups instead of the whole grouped space (the
+	// result is then approximate; see OptimizeResult.Exhaustive).
+	GroupBudget int
+}
+
+// WithConfig applies a legacy Config as one option, so existing call sites
+// migrate by wrapping their struct: scn.Evaluate(ctx, pt, WithConfig(cfg)).
+// Keeping Config's "zero means default" semantics, zero fields leave the
+// option set untouched, so WithConfig composes with other options.
+//
+// Deprecated: use the individual functional options.
+func WithConfig(cfg Config) EvalOption {
+	return func(c *evalConfig) {
+		if cfg.Worlds != 0 {
+			c.worlds = cfg.Worlds
+		}
+		if cfg.SeedBase != 0 {
+			c.seedBase = cfg.SeedBase
+		}
+		if cfg.Workers != 0 {
+			c.workers = cfg.Workers
+		}
+		if cfg.DisableReuse {
+			c.disableReuse = true
+		}
+		if cfg.FingerprintLength != 0 {
+			c.fpLength = cfg.FingerprintLength
+		}
+		if cfg.AffineTol != 0 {
+			c.affineTol = cfg.AffineTol
+		}
+		if cfg.StoreBudget != 0 {
+			c.storeBudget = cfg.StoreBudget
+		}
+		if cfg.GroupBudget != 0 {
+			c.groupBudget = cfg.GroupBudget
+		}
+	}
+}
+
+func (c evalConfig) fingerprint() core.Config {
+	fp := core.DefaultConfig()
+	if c.fpLength > 0 {
+		fp.Length = c.fpLength
+	}
+	if c.affineTol > 0 {
+		fp.AffineTol = c.affineTol
+	}
+	return fp
+}
+
+func (c evalConfig) mcOptions() (mc.Options, error) {
+	opts := mc.Options{Worlds: c.worlds, SeedBase: c.seedBase, Workers: c.workers}
+	if !c.disableReuse {
+		reuse, err := mc.NewReuse(c.fingerprint(), c.storeBudget)
+		if err != nil {
+			return opts, err
+		}
+		opts.Reuse = reuse
+	}
+	return opts, nil
+}
