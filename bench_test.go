@@ -273,14 +273,37 @@ func benchSweep(b *testing.B, disableReuse bool) {
 	}
 	b.ResetTimer()
 	var inv int64
+	var hits, misses int64
 	for i := 0; i < b.N; i++ {
 		sys.ResetVGInvocations()
-		if _, err := scn.Optimize(context.Background(), nil, fp.WithConfig(fp.Config{Worlds: 100, DisableReuse: disableReuse})); err != nil {
+		opts := []fp.EvalOption{fp.WithWorlds(100)}
+		var cache *fp.ReuseCache
+		if disableReuse {
+			opts = append(opts, fp.WithoutReuse())
+		} else {
+			// A fresh shared cache per iteration, so the basis-store
+			// hit/miss counters measure exactly one sweep.
+			if cache, err = fp.NewReuseCache(); err != nil {
+				b.Fatal(err)
+			}
+			opts = append(opts, fp.WithReuseCache(cache))
+		}
+		if _, err := scn.Optimize(context.Background(), nil, opts...); err != nil {
 			b.Fatal(err)
 		}
 		inv += sys.VGInvocations()
+		if cache != nil {
+			st := cache.StoreStats()
+			hits += st.Hits
+			misses += st.Misses
+		}
 	}
 	b.ReportMetric(float64(inv)/float64(b.N), "vg/op")
+	if !disableReuse && hits+misses > 0 {
+		// The reuse-hit-rate report: what fraction of basis-store lookups
+		// were exact hits across the sweep.
+		b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+	}
 }
 
 // BenchmarkE4_FingerprintLength: the reuse pipeline under different probe

@@ -20,13 +20,12 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
+
+	"fuzzyprophet/internal/cli"
 )
 
 func main() {
@@ -39,7 +38,7 @@ func main() {
 
 	// Ctrl-C cancels the context; the simulation loops check it per
 	// world-batch, so even the big sweep experiments abort in milliseconds.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	runs := map[string]func(context.Context, int, int) error{
@@ -65,7 +64,7 @@ func main() {
 			os.Exit(2)
 		}
 		if err := fn(ctx, *worlds, *step); err != nil {
-			if errors.Is(err, context.Canceled) {
+			if cli.ExitCode(err) == 130 {
 				fmt.Fprintf(os.Stderr, "\nfpbench: %s cancelled\n", name)
 				os.Exit(130)
 			}

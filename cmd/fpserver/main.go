@@ -1,0 +1,131 @@
+// Command fpserver runs Fuzzy Prophet as a long-running multi-tenant HTTP
+// service: scenarios are compiled and registered over the wire, sessions
+// hold slider state server-side, renders stream with fingerprint reuse
+// shared across every client of a scenario, and the reuse state survives
+// restarts through disk snapshots.
+//
+//	fpserver -addr :8080 -snapshot-dir /var/lib/fpserver
+//
+// Then drive the paper workflow with curl (see the README's "Running the
+// server" section for the full tour):
+//
+//	curl -s localhost:8080/scenarios -d '{"sql": "DECLARE PARAMETER ..."}'
+//	curl -s localhost:8080/scenarios/<id>/sessions -X POST -d '{}'
+//	curl -s localhost:8080/sessions/<id>/render
+//
+// A SIGINT/SIGTERM shuts down gracefully: in-flight requests finish,
+// sessions drain, and every scenario's reuse cache is snapshotted so the
+// next boot starts warm.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	fp "fuzzyprophet"
+	"fuzzyprophet/internal/cli"
+	"fuzzyprophet/internal/server"
+)
+
+func main() {
+	var (
+		addr             = flag.String("addr", ":8080", "listen address")
+		worlds           = flag.Int("worlds", 400, "default Monte Carlo worlds per point")
+		maxSessions      = flag.Int("max-sessions", 256, "concurrent session limit (excess opens get 429)")
+		sessionTTL       = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this")
+		snapshotDir      = flag.String("snapshot-dir", "", "directory for reuse snapshots (empty = no persistence)")
+		snapshotInterval = flag.Duration("snapshot-interval", time.Minute, "how often to persist reuse caches")
+		storeBudget      = flag.Int64("store-budget", 0, "per-scenario basis-store budget in bytes (0 = unbounded)")
+	)
+	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	if err := run(ctx, config{
+		addr:             *addr,
+		worlds:           *worlds,
+		maxSessions:      *maxSessions,
+		sessionTTL:       *sessionTTL,
+		snapshotDir:      *snapshotDir,
+		snapshotInterval: *snapshotInterval,
+		storeBudget:      *storeBudget,
+	}); err != nil {
+		cli.Fatal("fpserver", err)
+	}
+}
+
+type config struct {
+	addr             string
+	worlds           int
+	maxSessions      int
+	sessionTTL       time.Duration
+	snapshotDir      string
+	snapshotInterval time.Duration
+	storeBudget      int64
+}
+
+func run(ctx context.Context, cfg config) error {
+	logger := log.New(os.Stderr, "fpserver: ", log.LstdFlags)
+
+	sys, err := fp.New(fp.WithDemoModels())
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		System:           sys,
+		DefaultWorlds:    cfg.worlds,
+		MaxSessions:      cfg.maxSessions,
+		SessionTTL:       cfg.sessionTTL,
+		SnapshotDir:      cfg.snapshotDir,
+		SnapshotInterval: cfg.snapshotInterval,
+		StoreBudget:      cfg.storeBudget,
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (snapshots: %s)", cfg.addr, orNone(cfg.snapshotDir))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if closeErr := srv.Close(); closeErr != nil {
+		logger.Printf("final snapshot: %v", closeErr)
+		if shutdownErr == nil {
+			shutdownErr = closeErr
+		}
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	logger.Printf("bye")
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

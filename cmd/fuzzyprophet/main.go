@@ -18,17 +18,15 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
-	"syscall"
 
 	fp "fuzzyprophet"
+	"fuzzyprophet/internal/cli"
 )
 
 // figure2 is the built-in demo scenario (paper Figure 2, step-8 purchase
@@ -87,7 +85,7 @@ func main() {
 	// Ctrl-C (or SIGTERM) cancels the context; every simulation loop checks
 	// it per world-batch, so a long render or sweep aborts cleanly instead
 	// of running to completion.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	src := figure2
@@ -279,10 +277,5 @@ func fmtMetrics(m map[string]float64) string {
 // any mode — gets the conventional 128+SIGINT exit code so scripts can tell
 // an interrupt from a real failure.
 func fatal(err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "fuzzyprophet: cancelled")
-		os.Exit(130)
-	}
-	fmt.Fprintln(os.Stderr, "fuzzyprophet:", err)
-	os.Exit(1)
+	cli.Fatal("fuzzyprophet", err)
 }

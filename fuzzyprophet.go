@@ -33,6 +33,9 @@ package fuzzyprophet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -252,6 +255,18 @@ func (sc *Scenario) OutputColumns() []string {
 	return append([]string(nil), sc.scn.OutputCols...)
 }
 
+// Fingerprint returns a stable hex identity for the scenario: the SHA-256
+// of the canonical printed form of its script. Two scenarios whose scripts
+// differ only in whitespace or comments share a fingerprint, which is
+// exactly the right key for reuse-snapshot caching — basis distributions
+// depend only on the VG call sites, their arguments and the seed base, all
+// of which the script determines. Side tables added with AddTable are NOT
+// part of the fingerprint (they never influence VG sample vectors).
+func (sc *Scenario) Fingerprint() string {
+	sum := sha256.Sum256([]byte(sqlparser.Print(sc.scn.Script)))
+	return hex.EncodeToString(sum[:])
+}
+
 // SpaceSize returns the total number of parameter-space grid points.
 func (sc *Scenario) SpaceSize() int { return sc.scn.Space.Size() }
 
@@ -266,15 +281,16 @@ func (sc *Scenario) GeneratedSQL(point map[string]any) (string, error) {
 }
 
 // ColumnSummary summarizes one output column's distribution at one point.
+// The JSON field names are the wire format served by cmd/fpserver.
 type ColumnSummary struct {
-	N      int64
-	Mean   float64
-	StdDev float64
-	Min    float64
-	Max    float64
-	Median float64
-	P95    float64
-	CI95   float64
+	N      int64   `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	CI95   float64 `json:"ci95"`
 }
 
 // Evaluate runs the scenario once at a single parameter point and returns
@@ -302,25 +318,25 @@ func (sc *Scenario) Evaluate(ctx context.Context, point map[string]any, opts ...
 // BatchPoint is one point's outcome within an EvaluateBatch call.
 type BatchPoint struct {
 	// Point is the evaluated parameter point, as passed in.
-	Point map[string]any
+	Point map[string]any `json:"point"`
 	// Summaries maps each numeric output column to its distribution
 	// summary at this point.
-	Summaries map[string]ColumnSummary
+	Summaries map[string]ColumnSummary `json:"summaries"`
 	// SiteOutcome records, per VG call site, how its samples were obtained
 	// ("computed", "cached", "identity", "affine").
-	SiteOutcome map[string]string
+	SiteOutcome map[string]string `json:"site_outcome,omitempty"`
 }
 
 // BatchResult is the outcome of EvaluateBatch.
 type BatchResult struct {
 	// Points holds one entry per input point, in input order.
-	Points []BatchPoint
+	Points []BatchPoint `json:"points"`
 	// ReuseCounts tallies per-outcome site counts across the whole batch
 	// ("computed", "cached", "identity", "affine"). Empty when reuse is
 	// disabled.
-	ReuseCounts map[string]int
+	ReuseCounts map[string]int `json:"reuse_counts,omitempty"`
 	// Elapsed is the wall-clock duration of the batch.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // EvaluateBatch evaluates many parameter points through one shared reuse
@@ -470,11 +486,11 @@ func (s *Session) SetParam(name string, val any) error {
 
 // RenderStats quantifies how much of a render was served by reuse.
 type RenderStats struct {
-	Points     int
-	Recomputed int
-	Remapped   int
-	Unchanged  int
-	Elapsed    time.Duration
+	Points     int           `json:"points"`
+	Recomputed int           `json:"recomputed"`
+	Remapped   int           `json:"remapped"`
+	Unchanged  int           `json:"unchanged"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
 }
 
 // RecomputedFraction is the fraction of X positions that needed fresh
@@ -488,22 +504,24 @@ func (r RenderStats) RecomputedFraction() float64 {
 
 // Series is one rendered graph series.
 type Series struct {
-	Name       string
-	Agg        string
-	Column     string
-	Style      []string
-	SecondAxis bool
-	X          []float64
-	Y          []float64
-	CI95       []float64
+	Name       string    `json:"name"`
+	Agg        string    `json:"agg"`
+	Column     string    `json:"column"`
+	Style      []string  `json:"style,omitempty"`
+	SecondAxis bool      `json:"second_axis,omitempty"`
+	X          []float64 `json:"x"`
+	Y          []float64 `json:"y"`
+	CI95       []float64 `json:"ci95,omitempty"`
 }
 
-// Graph is one rendered frame of the online interface (Figure 3).
+// Graph is one rendered frame of the online interface (Figure 3). It
+// marshals to the JSON shape cmd/fpserver's render endpoint serves: the
+// axis, X values, per-series Y vectors with CI95 bands, and reuse stats.
 type Graph struct {
-	Axis   string
-	X      []float64
-	Series []Series
-	Stats  RenderStats
+	Axis   string      `json:"axis"`
+	X      []float64   `json:"x"`
+	Series []Series    `json:"series"`
+	Stats  RenderStats `json:"stats"`
 }
 
 // Render evaluates the graph at the current slider positions. The context
@@ -577,6 +595,18 @@ func (s *Session) ExplorationMap(rowParam, colParam string) (string, error) {
 		return "", err
 	}
 	return grid.Render(), nil
+}
+
+// ExplorationMapJSON is ExplorationMap for machine consumers: the grid
+// encoded as JSON with named cell kinds ("computed", "cached",
+// "unexplored", ...) instead of ASCII glyphs. fpserver serves this from
+// GET /sessions/{id}/map.
+func (s *Session) ExplorationMapJSON(rowParam, colParam string) ([]byte, error) {
+	grid, err := s.inner.ExplorationMap(rowParam, colParam)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(grid)
 }
 
 // TimeToFirstAccurateGuess measures how long the session needs to produce

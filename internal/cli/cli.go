@@ -1,0 +1,47 @@
+// Package cli holds the plumbing shared by the fuzzyprophet, fpbench and
+// fpserver commands: OS-signal-driven context cancellation and the
+// conventional exit-code handling for interrupted runs.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled by Ctrl-C (SIGINT) or SIGTERM.
+// Every simulation loop in the engine checks its context per world-batch,
+// so cancellation aborts long renders and sweeps within milliseconds. Call
+// stop to release the signal handlers.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitCode maps an error to the process exit code: 0 for nil, 130
+// (128+SIGINT, the shell convention) for context cancellation so scripts
+// can tell an interrupt from a real failure, and 1 otherwise.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 130
+	default:
+		return 1
+	}
+}
+
+// Fatal reports err on stderr prefixed with the program name and exits
+// with ExitCode(err). Cancellation prints "cancelled" rather than the raw
+// context error.
+func Fatal(prog string, err error) {
+	if ExitCode(err) == 130 {
+		fmt.Fprintf(os.Stderr, "%s: cancelled\n", prog)
+	} else {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	}
+	os.Exit(ExitCode(err))
+}

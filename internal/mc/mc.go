@@ -146,6 +146,19 @@ func (r *Reuse) record(k ReuseKind) {
 	r.counts[k]++
 }
 
+// install records a freshly computed basis and its fingerprint as one
+// atomic step under the engine lock — the same lock Save holds while
+// capturing the store and index, so a snapshot can never contain an index
+// entry whose basis it lacks (the store write always lands in the same
+// critical section as its index entry).
+func (r *Reuse) install(site, key string, samples []float64, fp core.Fingerprint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store.Put(site, key, samples)
+	r.index.Put(site, key, fp)
+	r.counts[Computed]++
+}
+
 // Evaluator evaluates scenario points.
 type Evaluator struct {
 	scn     *scenario.Scenario
@@ -408,9 +421,7 @@ func (ev *Evaluator) samplesFor(ctx context.Context, site *scenario.Site, pt gui
 	if err != nil {
 		return nil, Computed, err
 	}
-	r.store.Put(site.ID, key, samples)
-	r.index.Put(site.ID, key, fp)
-	r.record(Computed)
+	r.install(site.ID, key, samples, fp)
 	return samples, Computed, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"fuzzyprophet/internal/core"
 	"fuzzyprophet/internal/storage"
@@ -33,21 +35,66 @@ type reuseSnapshot struct {
 
 // Save serializes the reuse engine's basis store and fingerprint index.
 // Counters are not persisted (they describe a run, not the state).
+//
+// The engine lock is held for the duration, and evaluators install each
+// computed basis and its fingerprint under that same lock (Reuse.install),
+// so the captured store and index are mutually consistent: the snapshot
+// never contains an index entry whose basis it lacks. Renders sharing the
+// engine block on their install step until the snapshot is written; keep
+// snapshots off the render hot path (a periodic ticker, not per-request).
 func (r *Reuse) Save(w io.Writer) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	snap := reuseSnapshot{
 		Version:  snapshotVersion,
 		Config:   r.cfg,
 		SeedBase: r.seedBase,
 		Bound:    r.seedBound,
+		Bases:    r.store.Snapshot(),
+		Index:    r.index.Export(),
 	}
-	r.mu.Unlock()
-	snap.Bases = r.store.Snapshot()
-	snap.Index = r.index.Export()
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("mc: saving reuse state: %w", err)
 	}
 	return nil
+}
+
+// SaveSnapshot writes the reuse state to path atomically: the snapshot is
+// encoded to a temporary file in the same directory and renamed into
+// place, so a reader (or a crash mid-write) never observes a torn file.
+// Like Save, it holds the engine lock for the duration.
+func (r *Reuse) SaveSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("mc: snapshot dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("mc: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := r.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mc: snapshot temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("mc: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot, returning a
+// fresh reuse engine with the given store budget.
+func LoadSnapshot(path string, storeBudget int64) (*Reuse, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mc: opening reuse snapshot: %w", err)
+	}
+	defer f.Close()
+	return LoadReuse(f, storeBudget)
 }
 
 // LoadReuse reads a snapshot previously written by Save, returning a reuse

@@ -45,6 +45,31 @@ type Session struct {
 	// ('R' rendered, 'p' prefetched). It feeds the exploration map the
 	// paper's GUI shows next to the chart.
 	explored map[string]byte
+	// stats accumulates per-session render/prefetch totals for monitoring.
+	stats SessionStats
+}
+
+// SessionStats are cumulative per-session counters: how many renders the
+// session served, the wall-clock simulation time they cost, and how many
+// (point, week) evaluations prefetching performed. A metrics endpoint can
+// derive mean render latency and prefetch pressure from them.
+type SessionStats struct {
+	// Renders counts completed Render/RenderProgressive passes.
+	Renders int64
+	// RenderElapsed is the summed wall-clock time of those passes.
+	RenderElapsed time.Duration
+	// PointsRendered is the total X positions evaluated across renders.
+	PointsRendered int64
+	// PrefetchedPoints is the total (point, week) evaluations done by
+	// Prefetch calls.
+	PrefetchedPoints int64
+}
+
+// Stats returns a snapshot of the session's cumulative counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // NewSession opens a session over a compiled scenario that declares a GRAPH
@@ -258,6 +283,11 @@ func (s *Session) renderWith(ctx context.Context, opts mc.Options) (*Graph, erro
 	g.Stats.Points = len(points)
 	g.Stats.Elapsed = time.Since(start)
 	s.markExplored(core.PointKey(pins), 'R')
+	s.mu.Lock()
+	s.stats.Renders++
+	s.stats.RenderElapsed += g.Stats.Elapsed
+	s.stats.PointsRendered += int64(len(points))
+	s.mu.Unlock()
 	return g, nil
 }
 
@@ -442,6 +472,9 @@ func (s *Session) Prefetch(ctx context.Context, axes []string, radius int) (int,
 		}
 		s.markExplored(core.PointKey(pins), 'p')
 	}
+	s.mu.Lock()
+	s.stats.PrefetchedPoints += int64(evaluated)
+	s.mu.Unlock()
 	return evaluated, nil
 }
 

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	fp "fuzzyprophet"
+)
+
+// SnapshotStore wires the reuse engine's gob persistence into the server
+// lifecycle: one snapshot file per scenario fingerprint under a directory.
+// Registering a scenario warm-starts its shared reuse cache from the file
+// when present, and the server persists each registered scenario's cache
+// periodically and on shutdown — so a restarted server answers its first
+// render from remapped bases instead of cold Monte Carlo.
+type SnapshotStore struct {
+	dir string
+
+	saves    atomic.Int64
+	loads    atomic.Int64
+	errors   atomic.Int64
+	lastSave atomic.Int64 // unix nanos of the last successful save
+}
+
+// NewSnapshotStore returns a store rooted at dir, creating it if needed.
+func NewSnapshotStore(dir string) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+// Path returns the snapshot file for a scenario fingerprint.
+func (s *SnapshotStore) Path(fingerprint string) string {
+	return filepath.Join(s.dir, fingerprint+".reuse")
+}
+
+// Load restores the reuse cache snapshotted for fingerprint. The second
+// return reports whether a snapshot existed; a corrupt or incompatible
+// snapshot is surfaced as an error (the caller falls back to a cold cache).
+func (s *SnapshotStore) Load(fingerprint string, opts ...fp.EvalOption) (*fp.ReuseCache, bool, error) {
+	path := s.Path(fingerprint)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	cache, err := fp.LoadReuseCacheFile(path, opts...)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, true, err
+	}
+	s.loads.Add(1)
+	return cache, true, nil
+}
+
+// Save persists the cache under fingerprint (atomic temp-file + rename,
+// consistent under concurrent renders — the engine lock is held for the
+// write).
+func (s *SnapshotStore) Save(fingerprint string, cache *fp.ReuseCache) error {
+	if err := cache.SaveFile(s.Path(fingerprint)); err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	s.saves.Add(1)
+	s.lastSave.Store(time.Now().UnixNano())
+	return nil
+}
+
+// SaveAll persists every entry's cache, returning the first error after
+// attempting all of them.
+func (s *SnapshotStore) SaveAll(entries []*ScenarioEntry) error {
+	var firstErr error
+	for _, e := range entries {
+		if err := s.Save(e.Fingerprint, e.Cache); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Saves, Loads and Errors return lifetime counters; LastSave the time of
+// the most recent successful save (zero if none).
+func (s *SnapshotStore) Saves() int64  { return s.saves.Load() }
+func (s *SnapshotStore) Loads() int64  { return s.loads.Load() }
+func (s *SnapshotStore) Errors() int64 { return s.errors.Load() }
+func (s *SnapshotStore) LastSave() time.Time {
+	ns := s.lastSave.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

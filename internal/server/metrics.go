@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// renderBuckets are the render-latency histogram bounds in seconds.
+var renderBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // one per bucket, plus implicit +Inf via total
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(renderBuckets))}
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.mu.Lock()
+	for i, b := range renderBuckets {
+		if seconds <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.total++
+	h.mu.Unlock()
+}
+
+// write emits the histogram in Prometheus text format (cumulative buckets).
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	for i, b := range renderBuckets {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+// metrics aggregates service-level counters for the /metrics endpoint.
+type metrics struct {
+	start time.Time
+
+	requests         atomic.Int64
+	rendersTotal     atomic.Int64
+	rendersCoalesced atomic.Int64
+	renderErrors     atomic.Int64
+	evaluatesTotal   atomic.Int64
+	pointsEvaluated  atomic.Int64
+
+	renderLatency *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), renderLatency: newHistogram()}
+}
+
+// writeTo renders the Prometheus exposition for the current server state.
+func (m *metrics) writeTo(w io.Writer, s *Server) {
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("fpserver_uptime_seconds", "Seconds since the server started.",
+		int64(time.Since(m.start).Seconds()))
+	counter("fpserver_requests_total", "HTTP requests served.", m.requests.Load())
+
+	// Scenario registry.
+	gauge("fpserver_scenarios_registered", "Currently registered scenarios.", s.registry.Len())
+	counter("fpserver_scenarios_registrations_total", "Scenario registrations ever made.", s.registry.Registered())
+	gauge("fpserver_scenarios_retired_live", "Replaced scenario entries still pinned by sessions.", s.registry.RetiredLive())
+
+	// Session manager.
+	gauge("fpserver_sessions_open", "Currently open sessions.", s.sessions.Len())
+	counter("fpserver_sessions_opened_total", "Sessions ever opened.", s.sessions.Opened())
+	counter("fpserver_sessions_evicted_total", "Sessions evicted by the idle TTL.", s.sessions.Evicted())
+	counter("fpserver_sessions_closed_total", "Sessions closed (explicitly or at shutdown).", s.sessions.Closed())
+
+	// Renders and evaluation.
+	counter("fpserver_renders_total", "Graph renders simulated.", m.rendersTotal.Load())
+	counter("fpserver_renders_coalesced_total", "Render requests served by single-flight coalescing.", m.rendersCoalesced.Load())
+	counter("fpserver_render_errors_total", "Renders that failed.", m.renderErrors.Load())
+	counter("fpserver_evaluate_batches_total", "Batch evaluation requests.", m.evaluatesTotal.Load())
+	counter("fpserver_evaluate_points_total", "Parameter points evaluated in batches.", m.pointsEvaluated.Load())
+	fmt.Fprintf(w, "# HELP fpserver_render_seconds Render latency histogram.\n# TYPE fpserver_render_seconds histogram\n")
+	m.renderLatency.write(w, "fpserver_render_seconds")
+
+	// Reuse cache, aggregated across registered scenarios and broken out
+	// per scenario ID (low-cardinality: one series per registered ID).
+	entries := s.registry.List()
+	var hits, misses, evicted, inserted, bytes int64
+	var entriesTotal int
+	outcomes := map[string]int{}
+	for _, e := range entries {
+		st := e.Cache.StoreStats()
+		hits += st.Hits
+		misses += st.Misses
+		evicted += st.Evicted
+		inserted += st.Inserted
+		bytes += st.UsedBytes
+		entriesTotal += st.Entries
+		for k, v := range e.Cache.Counts() {
+			outcomes[k] += v
+		}
+	}
+	// Gauges, not counters: these sum over the currently registered
+	// caches, so deleting or re-registering a scenario can shrink them — a
+	// counter-typed series would trip Prometheus's reset detection.
+	gauge("fpserver_reuse_store_hits", "Exact basis-store hits across registered caches.", hits)
+	gauge("fpserver_reuse_store_misses", "Basis-store misses across registered caches.", misses)
+	gauge("fpserver_reuse_store_evictions", "Basis entries evicted by the LRU budget.", evicted)
+	gauge("fpserver_reuse_store_insertions", "Basis entries inserted.", inserted)
+	gauge("fpserver_reuse_store_bytes", "Bytes held by basis stores.", bytes)
+	gauge("fpserver_reuse_store_entries", "Entries held by basis stores.", entriesTotal)
+	hitRate := 0.0
+	if total := hits + misses; total > 0 {
+		hitRate = float64(hits) / float64(total)
+	}
+	gauge("fpserver_reuse_hit_rate", "Exact-hit fraction of basis-store lookups.", fmt.Sprintf("%.6f", hitRate))
+	fmt.Fprintf(w, "# HELP fpserver_reuse_outcomes Point evaluations by reuse outcome, across registered caches.\n# TYPE fpserver_reuse_outcomes gauge\n")
+	kinds := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "fpserver_reuse_outcomes{kind=%q} %d\n", k, outcomes[k])
+	}
+
+	// Snapshot persistence.
+	if s.snapshots != nil {
+		counter("fpserver_snapshot_saves_total", "Reuse snapshots written.", s.snapshots.Saves())
+		counter("fpserver_snapshot_loads_total", "Reuse snapshots restored at registration.", s.snapshots.Loads())
+		counter("fpserver_snapshot_errors_total", "Snapshot save/load failures.", s.snapshots.Errors())
+		if last := s.snapshots.LastSave(); !last.IsZero() {
+			gauge("fpserver_snapshot_last_save_timestamp_seconds", "Unix time of the last successful snapshot.", last.Unix())
+		}
+	}
+}

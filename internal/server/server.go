@@ -1,0 +1,747 @@
+// Package server is Fuzzy Prophet's multi-tenant HTTP service layer: the
+// paper's interactive what-if exploration (sliders, progressive renders,
+// prefetch-warmed reuse) exposed as a long-running JSON service instead of
+// a library linked into one binary.
+//
+// Three components grow the architecture toward the ROADMAP's
+// production-scale goal:
+//
+//   - A scenario registry: a concurrent map of compiled scenarios with
+//     ref-counting, so re-registering an ID never breaks sessions opened
+//     against the previous compilation.
+//   - A session manager: TTL-based idle eviction, per-session render
+//     single-flight (a burst of slider moves coalesces into one
+//     simulation), and max-sessions backpressure returning 429.
+//   - A reuse-snapshot store: each scenario's shared fingerprint-reuse
+//     cache is persisted to disk periodically and on shutdown, and
+//     warm-started at registration — a restarted server answers its first
+//     render from remapped bases instead of cold Monte Carlo.
+//
+// Endpoints:
+//
+//	POST   /scenarios                 compile + register (returns scenario ID)
+//	GET    /scenarios                 list registered scenarios
+//	GET    /scenarios/{id}            scenario details + reuse stats
+//	DELETE /scenarios/{id}            unregister (sessions keep the old entry)
+//	POST   /scenarios/{id}/sessions   open an online session
+//	POST   /scenarios/{id}/evaluate   batch point evaluation (shared reuse)
+//	GET    /sessions/{id}             session details
+//	PUT    /sessions/{id}/params      slider moves
+//	GET    /sessions/{id}/render      JSON graph with CI95 bands + reuse stats;
+//	                                  ?stream=1 streams progressive SSE frames
+//	DELETE /sessions/{id}             close the session
+//	GET    /healthz                   liveness + basic occupancy
+//	GET    /metrics                   Prometheus text: reuse hit rate, store
+//	                                  occupancy, session count, render latency
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	fp "fuzzyprophet"
+)
+
+// Config configures a Server. Zero fields take the documented defaults.
+type Config struct {
+	// System compiles scenarios (its VG registry is shared by all of
+	// them). Required.
+	System *fp.System
+	// DefaultWorlds is the world count used when a request does not
+	// specify one (default 400).
+	DefaultWorlds int
+	// MaxSessions bounds concurrently open sessions; excess opens get 429
+	// (default 256; <0 means unbounded).
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (default 15m;
+	// <0 disables eviction).
+	SessionTTL time.Duration
+	// SnapshotDir enables reuse-snapshot persistence when non-empty: one
+	// file per scenario fingerprint, loaded at registration and written
+	// every SnapshotInterval and at Close.
+	SnapshotDir string
+	// SnapshotInterval is the periodic persistence cadence (default 60s;
+	// <0 disables the ticker, leaving registration-load and Close-save).
+	SnapshotInterval time.Duration
+	// StoreBudget bounds each scenario's basis-distribution store in
+	// bytes (0 = unbounded).
+	StoreBudget int64
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultWorlds <= 0 {
+		c.DefaultWorlds = 400
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the HTTP service. It implements http.Handler; run it under any
+// http.Server and call Close on shutdown (final snapshot + session drain).
+type Server struct {
+	cfg       Config
+	registry  *Registry
+	sessions  *Manager
+	snapshots *SnapshotStore // nil when persistence is disabled
+	metrics   *metrics
+	mux       *http.ServeMux
+
+	stop      chan struct{}
+	loops     sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Server from cfg and starts its background loops (idle
+// eviction, periodic snapshots).
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("server: Config.System is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		sessions: NewManager(cfg.MaxSessions, cfg.SessionTTL),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		stop:     make(chan struct{}),
+	}
+	if cfg.SnapshotDir != "" {
+		store, err := NewSnapshotStore(cfg.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		s.snapshots = store
+	}
+	s.routes()
+	s.startLoops()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /scenarios", s.handleRegister)
+	s.mux.HandleFunc("GET /scenarios", s.handleListScenarios)
+	s.mux.HandleFunc("GET /scenarios/{id}", s.handleGetScenario)
+	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleDeleteScenario)
+	s.mux.HandleFunc("POST /scenarios/{id}/sessions", s.handleOpenSession)
+	s.mux.HandleFunc("POST /scenarios/{id}/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("PUT /sessions/{id}/params", s.handleSetParams)
+	s.mux.HandleFunc("GET /sessions/{id}/render", s.handleRender)
+	s.mux.HandleFunc("GET /sessions/{id}/map", s.handleExplorationMap)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+func (s *Server) startLoops() {
+	if s.cfg.SessionTTL > 0 {
+		interval := s.cfg.SessionTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case now := <-t.C:
+					if n := s.sessions.Sweep(now); n > 0 {
+						s.cfg.Logf("evicted %d idle session(s)", n)
+					}
+				}
+			}
+		}()
+	}
+	if s.snapshots != nil && s.cfg.SnapshotInterval > 0 {
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			t := time.NewTicker(s.cfg.SnapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					if err := s.snapshots.SaveAll(s.registry.List()); err != nil {
+						s.cfg.Logf("snapshot save: %v", err)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Close stops the background loops, drains sessions and writes a final
+// snapshot of every registered scenario's reuse cache.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.loops.Wait()
+		s.sessions.CloseAll()
+		if s.snapshots != nil {
+			s.closeErr = s.snapshots.SaveAll(s.registry.List())
+		}
+	})
+	return s.closeErr
+}
+
+// ServeHTTP dispatches to the route table, counting every request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- request/response shapes ----
+
+type tableDef struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+type registerRequest struct {
+	// SQL is the scenario script (required).
+	SQL string `json:"sql"`
+	// ID optionally names the scenario; default is the fingerprint's
+	// first 12 hex digits.
+	ID string `json:"id,omitempty"`
+	// Tables are deterministic side tables the query's FROM may join.
+	Tables []tableDef `json:"tables,omitempty"`
+}
+
+type paramJSON struct {
+	Name   string `json:"name"`
+	Values []any  `json:"values"`
+}
+
+type scenarioJSON struct {
+	ID            string         `json:"id"`
+	Fingerprint   string         `json:"fingerprint"`
+	Generation    int            `json:"generation"`
+	Params        []paramJSON    `json:"params"`
+	OutputColumns []string       `json:"output_columns"`
+	SpaceSize     int            `json:"space_size"`
+	Warm          bool           `json:"warm_start"`
+	Replaced      bool           `json:"replaced,omitempty"`
+	Refs          int64          `json:"refs"`
+	Store         *fp.StoreStats `json:"store,omitempty"`
+	ReuseCounts   map[string]int `json:"reuse_counts,omitempty"`
+	CreatedAt     time.Time      `json:"created_at"`
+}
+
+type openSessionRequest struct {
+	// Worlds overrides the server's default world count.
+	Worlds int `json:"worlds,omitempty"`
+	// Seed, when nonzero, gives the session a private seed base AND a
+	// private reuse engine (the shared cache is bound to one seed base).
+	Seed uint64 `json:"seed,omitempty"`
+	// Params are initial slider positions.
+	Params map[string]any `json:"params,omitempty"`
+}
+
+type sessionJSON struct {
+	ID          string          `json:"id"`
+	ScenarioID  string          `json:"scenario_id"`
+	Axis        string          `json:"axis"`
+	Worlds      int             `json:"worlds"`
+	Params      map[string]any  `json:"params"`
+	Stats       fp.SessionStats `json:"stats"`
+	Renders     int64           `json:"renders"`
+	Coalesced   int64           `json:"coalesced"`
+	ReuseCounts map[string]int  `json:"reuse_counts,omitempty"`
+	CreatedAt   time.Time       `json:"created_at"`
+}
+
+type renderResponse struct {
+	Graph *fp.Graph `json:"graph"`
+	// Coalesced reports the frame was served by single-flight (shared
+	// with, or cached from, another request) rather than freshly
+	// simulated for this call.
+	Coalesced   bool           `json:"coalesced"`
+	ReuseCounts map[string]int `json:"reuse_counts,omitempty"`
+}
+
+type evaluateRequest struct {
+	Points []map[string]any `json:"points"`
+	Worlds int              `json:"worlds,omitempty"`
+}
+
+// ---- handlers ----
+
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("missing \"sql\""))
+		return
+	}
+	scn, err := s.cfg.System.Compile(req.SQL)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, t := range req.Tables {
+		rows := make([][]any, len(t.Rows))
+		for i, row := range t.Rows {
+			rows[i] = make([]any, len(row))
+			for j, v := range row {
+				rows[i][j] = canonicalNumber(v)
+			}
+		}
+		if err := scn.AddTable(t.Name, t.Columns, rows); err != nil {
+			s.error(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	fingerprint := scn.Fingerprint()
+	id := req.ID
+	if id == "" {
+		id = fingerprint[:12]
+	}
+
+	cacheOpts := []fp.EvalOption{fp.WithStoreBudget(s.cfg.StoreBudget)}
+	var cache *fp.ReuseCache
+	warm := false
+	// An idempotent re-registration (same content) keeps the live cache:
+	// it is at least as fresh as any disk snapshot, and sessions of both
+	// generations then keep sharing one reuse engine.
+	if old, ok := s.registry.Get(id); ok && old.Fingerprint == fingerprint {
+		cache, warm = old.Cache, true
+	}
+	if cache == nil && s.snapshots != nil {
+		loaded, found, err := s.snapshots.Load(fingerprint, cacheOpts...)
+		switch {
+		case err != nil:
+			s.cfg.Logf("snapshot for %s unusable, starting cold: %v", id, err)
+		case found:
+			cache, warm = loaded, true
+		}
+	}
+	if cache == nil {
+		if cache, err = fp.NewReuseCache(cacheOpts...); err != nil {
+			s.error(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+
+	entry := &ScenarioEntry{
+		ID:          id,
+		Fingerprint: fingerprint,
+		Scenario:    scn,
+		Cache:       cache,
+		Warm:        warm,
+		CreatedAt:   time.Now(),
+	}
+	replaced := s.registry.Register(entry)
+	s.cfg.Logf("registered scenario %s (fingerprint %.12s, warm=%v, replaced=%v)",
+		id, fingerprint, warm, replaced)
+	resp := scenarioToJSON(entry, false)
+	resp.Replaced = replaced
+	s.json(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleListScenarios(w http.ResponseWriter, r *http.Request) {
+	entries := s.registry.List()
+	out := make([]scenarioJSON, len(entries))
+	for i, e := range entries {
+		out[i] = scenarioToJSON(e, false)
+	}
+	s.json(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+func (s *Server) handleGetScenario(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown scenario %q", r.PathValue("id")))
+		return
+	}
+	s.json(w, http.StatusOK, scenarioToJSON(entry, true))
+}
+
+func (s *Server) handleDeleteScenario(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Remove(id) {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown scenario %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req openSessionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	entry, ok := s.registry.Acquire(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown scenario %q", r.PathValue("id")))
+		return
+	}
+	worlds := req.Worlds
+	if worlds <= 0 {
+		worlds = s.cfg.DefaultWorlds
+	}
+	opts := []fp.EvalOption{fp.WithWorlds(worlds)}
+	if req.Seed != 0 {
+		// A custom seed base changes every sample, so the session cannot
+		// share the scenario cache (bound to the default base): it gets a
+		// private reuse engine instead.
+		opts = append(opts, fp.WithSeedBase(req.Seed), fp.WithStoreBudget(s.cfg.StoreBudget))
+	} else {
+		opts = append(opts, fp.WithReuseCache(entry.Cache))
+	}
+	inner, err := entry.Scenario.OpenSession(opts...)
+	if err != nil {
+		entry.release()
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.sessions.Open(entry, inner, worlds)
+	if err != nil {
+		entry.release()
+		if errors.Is(err, ErrSessionLimit) {
+			w.Header().Set("Retry-After", "1")
+			s.error(w, http.StatusTooManyRequests, err)
+			return
+		}
+		s.error(w, http.StatusInternalServerError, err)
+		return
+	}
+	if len(req.Params) > 0 {
+		if err := sess.SetParams(req.Params); err != nil {
+			s.sessions.Close(sess.ID)
+			s.error(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	s.json(w, http.StatusCreated, sessionToJSON(sess))
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	s.json(w, http.StatusOK, sessionToJSON(sess))
+}
+
+func (s *Server) handleSetParams(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	var params map[string]any
+	if !s.decode(w, r, &params) {
+		return
+	}
+	if len(params) == 0 {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("no parameters in body"))
+		return
+	}
+	if err := sess.SetParams(params); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	s.json(w, http.StatusOK, map[string]any{"params": sess.Params()})
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Has("stream") || r.Header.Get("Accept") == "text/event-stream" {
+		s.renderSSE(w, r, sess)
+		return
+	}
+	start := time.Now()
+	g, coalesced, err := sess.Render(r.Context())
+	if err != nil {
+		s.metrics.renderErrors.Add(1)
+		s.renderError(w, err)
+		return
+	}
+	if coalesced {
+		s.metrics.rendersCoalesced.Add(1)
+	} else {
+		s.metrics.rendersTotal.Add(1)
+		s.metrics.renderLatency.observe(time.Since(start).Seconds())
+	}
+	s.json(w, http.StatusOK, renderResponse{
+		Graph:       g,
+		Coalesced:   coalesced,
+		ReuseCounts: sess.Sess.ReuseCounts(),
+	})
+}
+
+// renderSSE streams RenderProgressive refinements as server-sent events:
+// one "frame" event per world-count pass, then a closing "done" event.
+func (s *Server) renderSSE(w http.ResponseWriter, r *http.Request, sess *Session) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.error(w, http.StatusNotAcceptable, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+	startWorlds := 64
+	if v := r.URL.Query().Get("start_worlds"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("bad start_worlds %q", v))
+			return
+		}
+		startWorlds = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, payload any) bool {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	start := time.Now()
+	final, err := sess.Sess.RenderProgressive(r.Context(), startWorlds, func(g *fp.Graph, worlds int) bool {
+		if r.Context().Err() != nil {
+			return false
+		}
+		return emit("frame", map[string]any{"worlds": worlds, "graph": g})
+	})
+	if err != nil {
+		s.metrics.renderErrors.Add(1)
+		emit("error", map[string]any{"error": err.Error()})
+		return
+	}
+	sess.Touch()
+	s.metrics.rendersTotal.Add(1)
+	s.metrics.renderLatency.observe(time.Since(start).Seconds())
+	emit("done", map[string]any{
+		"stats":        final.Stats,
+		"reuse_counts": sess.Sess.ReuseCounts(),
+	})
+}
+
+// handleExplorationMap serves the paper's Figure 4 exploration grid over
+// two slider parameters (?rows=param&cols=param) as JSON.
+func (s *Server) handleExplorationMap(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	rows, cols := r.URL.Query().Get("rows"), r.URL.Query().Get("cols")
+	if rows == "" || cols == "" {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("need ?rows=<param>&cols=<param>"))
+		return
+	}
+	data, err := sess.Sess.ExplorationMapJSON(rows, cols)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Close(r.PathValue("id")) {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("no points in body"))
+		return
+	}
+	entry, ok := s.registry.Acquire(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown scenario %q", r.PathValue("id")))
+		return
+	}
+	defer entry.release()
+	worlds := req.Worlds
+	if worlds <= 0 {
+		worlds = s.cfg.DefaultWorlds
+	}
+	points := make([]map[string]any, len(req.Points))
+	for i, pt := range req.Points {
+		points[i] = make(map[string]any, len(pt))
+		for k, v := range pt {
+			points[i][k] = canonicalNumber(v)
+		}
+	}
+	res, err := entry.Scenario.EvaluateBatch(r.Context(), points,
+		fp.WithWorlds(worlds), fp.WithReuseCache(entry.Cache))
+	if err != nil {
+		s.renderError(w, err)
+		return
+	}
+	s.metrics.evaluatesTotal.Add(1)
+	s.metrics.pointsEvaluated.Add(int64(len(points)))
+	s.json(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.json(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.metrics.start).Seconds()),
+		"scenarios":      s.registry.Len(),
+		"sessions":       s.sessions.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w, s)
+}
+
+// ---- helpers ----
+
+func scenarioToJSON(e *ScenarioEntry, detailed bool) scenarioJSON {
+	params := e.Scenario.Params()
+	ps := make([]paramJSON, len(params))
+	for i, p := range params {
+		ps[i] = paramJSON{Name: p.Name, Values: p.Values}
+	}
+	out := scenarioJSON{
+		ID:            e.ID,
+		Fingerprint:   e.Fingerprint,
+		Generation:    e.Generation,
+		Params:        ps,
+		OutputColumns: e.Scenario.OutputColumns(),
+		SpaceSize:     e.Scenario.SpaceSize(),
+		Warm:          e.Warm,
+		Refs:          e.Refs(),
+		CreatedAt:     e.CreatedAt,
+	}
+	if detailed {
+		st := e.Cache.StoreStats()
+		out.Store = &st
+		out.ReuseCounts = e.Cache.Counts()
+	}
+	return out
+}
+
+func sessionToJSON(s *Session) sessionJSON {
+	return sessionJSON{
+		ID:          s.ID,
+		ScenarioID:  s.Entry.ID,
+		Axis:        s.Sess.Axis(),
+		Worlds:      s.Worlds,
+		Params:      s.Params(),
+		Stats:       s.Sess.SessionStats(),
+		Renders:     s.Renders(),
+		Coalesced:   s.Coalesced(),
+		ReuseCounts: s.Sess.ReuseCounts(),
+		CreatedAt:   s.CreatedAt,
+	}
+}
+
+// canonicalNumber converts whole JSON numbers (always decoded as float64)
+// to int64, so parameter values and table cells match integer-declared
+// spaces and produce canonical reuse-cache argument keys.
+func canonicalNumber(v any) any {
+	f, ok := v.(float64)
+	if !ok {
+		return v
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+		return int64(f)
+	}
+	return v
+}
+
+// decode reads a JSON body into dst, reporting malformed input as 400.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) json(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		s.cfg.Logf("encoding response: %v", err)
+	}
+}
+
+// error writes a JSON error envelope; compile errors carry line/col.
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	body := map[string]any{"error": err.Error()}
+	var ce *fp.CompileError
+	if errors.As(err, &ce) && ce.Line > 0 {
+		body["line"], body["col"] = ce.Line, ce.Col
+	}
+	s.json(w, status, body)
+}
+
+// renderError maps evaluation failures to statuses: client-caused input
+// errors are 400, client disconnects 499 (nginx convention), everything
+// else 500.
+func (s *Server) renderError(w http.ResponseWriter, err error) {
+	var unknown *fp.UnknownParamError
+	switch {
+	case errors.As(err, &unknown):
+		s.error(w, http.StatusBadRequest, err)
+	case errors.Is(err, context.Canceled):
+		s.error(w, 499, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.error(w, http.StatusGatewayTimeout, err)
+	default:
+		s.error(w, http.StatusInternalServerError, err)
+	}
+}

@@ -8,6 +8,8 @@ package sqlparser_test
 // Run with: go test -fuzz=FuzzCompile ./internal/sqlparser
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fuzzyprophet/internal/models"
@@ -15,6 +17,51 @@ import (
 	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/vg"
 )
+
+// corpusScenarios reads testdata/scenarios/*.fp — the five example
+// programs' scenario scripts, kept as corpus seeds so a regression in the
+// dialect surface (a keyword, the RANGE/SET grammar, comments, joins)
+// breaks the seed round immediately rather than deep into fuzzing.
+func corpusScenarios(tb testing.TB) map[string]string {
+	tb.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.fp"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(paths) < 5 {
+		tb.Fatalf("expected the five example scenarios in testdata/scenarios, found %d", len(paths))
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(data)
+	}
+	return out
+}
+
+// TestCorpusScenariosParse pins the dialect: every example scenario must
+// parse and hold the print∘parse fixpoint, fuzzing or not.
+func TestCorpusScenariosParse(t *testing.T) {
+	for name, src := range corpusScenarios(t) {
+		script, err := sqlparser.Parse(src)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+			continue
+		}
+		canonical := sqlparser.Print(script)
+		reparsed, err := sqlparser.Parse(canonical)
+		if err != nil {
+			t.Errorf("%s: canonical form does not re-parse: %v", name, err)
+			continue
+		}
+		if got := sqlparser.Print(reparsed); got != canonical {
+			t.Errorf("%s: print/parse fixpoint violated", name)
+		}
+	}
+}
 
 const fuzzFigure2 = `
 DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
@@ -56,6 +103,13 @@ func FuzzCompile(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// The five example scenarios, plus truncations exercising mid-token
+	// and mid-statement recovery.
+	for _, src := range corpusScenarios(f) {
+		f.Add(src)
+		f.Add(src[:len(src)/3])
+		f.Add(src[len(src)/3:])
 	}
 
 	reg := vg.NewRegistry()

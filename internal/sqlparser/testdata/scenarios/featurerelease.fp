@@ -1,0 +1,11 @@
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @feature AS SET (8, 20, 32, 44);
+
+SELECT DemandModel(@current, @feature) AS demand,
+       62000                           AS capacity,
+       CASE WHEN demand > capacity THEN 1 ELSE 0 END AS saturated
+INTO results;
+
+GRAPH OVER @current
+      EXPECT demand WITH blue,
+      EXPECT_STDDEV demand WITH orange y2;

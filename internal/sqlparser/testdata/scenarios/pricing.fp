@@ -1,0 +1,12 @@
+DECLARE PARAMETER @week AS RANGE 0 TO 25 STEP BY 1;
+DECLARE PARAMETER @price AS SET (6, 7, 8, 9, 10, 11, 12, 13, 14);
+
+SELECT UnitsModel(@week, @price)   AS units,
+       RevenueModel(@week, @price) AS revenue
+INTO results;
+
+OPTIMIZE SELECT @price
+FROM results
+WHERE MIN(EXPECT units) > 80000
+GROUP BY price
+FOR MAX @price

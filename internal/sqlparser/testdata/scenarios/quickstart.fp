@@ -1,0 +1,6 @@
+DECLARE PARAMETER @week AS RANGE 0 TO 12 STEP BY 1;
+DECLARE PARAMETER @budget AS SET (0, 50, 100, 200);
+
+SELECT OrderVolume(@week, @budget) AS orders,
+       2400                        AS capacity,
+       CASE WHEN orders > capacity THEN 1 ELSE 0 END AS overflow;

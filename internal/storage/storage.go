@@ -14,6 +14,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Entry is one stored basis distribution.
@@ -33,17 +34,19 @@ func (e *Entry) bytes() int64 {
 }
 
 // Store is a bounded, thread-safe basis-distribution store with LRU
-// eviction.
+// eviction. The hit/miss/eviction/insertion counters are atomic so
+// monitoring can read them without contending on the structural lock.
 type Store struct {
-	mu       sync.Mutex
-	budget   int64
-	used     int64
-	order    *list.List               // front = most recent
-	index    map[string]*list.Element // composite key → element
-	hits     int64
-	misses   int64
-	evicted  int64
-	inserted int64
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List               // front = most recent
+	index  map[string]*list.Element // composite key → element
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	evicted  atomic.Int64
+	inserted atomic.Int64
 }
 
 // NewStore returns a store with the given memory budget in bytes. A budget
@@ -79,7 +82,7 @@ func (s *Store) Put(site, key string, samples []float64) {
 		el := s.order.PushFront(e)
 		s.index[ck] = el
 		s.used += e.bytes()
-		s.inserted++
+		s.inserted.Add(1)
 	}
 	s.evictLocked()
 }
@@ -92,10 +95,10 @@ func (s *Store) Get(site, key string) ([]float64, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.index[ck]
 	if !ok {
-		s.misses++
+		s.misses.Add(1)
 		return nil, false
 	}
-	s.hits++
+	s.hits.Add(1)
 	s.order.MoveToFront(el)
 	return el.Value.(*Entry).Samples, true
 }
@@ -142,7 +145,7 @@ func (s *Store) evictLocked() {
 	for s.used > s.budget && s.order.Len() > 0 {
 		el := s.order.Back()
 		s.removeLocked(el)
-		s.evicted++
+		s.evicted.Add(1)
 	}
 }
 
@@ -160,15 +163,16 @@ type Stats struct {
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	entries, used, budget := s.order.Len(), s.used, s.budget
+	s.mu.Unlock()
 	return Stats{
-		Entries:   s.order.Len(),
-		UsedBytes: s.used,
-		Budget:    s.budget,
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evicted:   s.evicted,
-		Inserted:  s.inserted,
+		Entries:   entries,
+		UsedBytes: used,
+		Budget:    budget,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evicted:   s.evicted.Load(),
+		Inserted:  s.inserted.Load(),
 	}
 }
 

@@ -1,0 +1,63 @@
+package viz
+
+import "encoding/json"
+
+// JSON encodings of the two visualizations, for clients that draw with
+// real widgets instead of terminal characters — the fpserver HTTP layer
+// serves these where the CLIs print the ASCII renderings.
+
+// String names the cell kind for structured output.
+func (k CellKind) String() string {
+	switch k {
+	case CellComputed:
+		return "computed"
+	case CellIdentity:
+		return "identity"
+	case CellAffine:
+		return "affine"
+	case CellCached:
+		return "cached"
+	default:
+		return "unexplored"
+	}
+}
+
+// MarshalJSON encodes the map grid with named cell kinds, so a client can
+// color Figure 4 without knowing the ASCII legend.
+func (g *MapGrid) MarshalJSON() ([]byte, error) {
+	cells := make([][]string, len(g.Cells))
+	for i, row := range g.Cells {
+		cells[i] = make([]string, len(row))
+		for j, k := range row {
+			cells[i][j] = k.String()
+		}
+	}
+	return json.Marshal(struct {
+		Title     string     `json:"title"`
+		RowLabel  string     `json:"row_label"`
+		ColLabel  string     `json:"col_label"`
+		RowValues []string   `json:"row_values"`
+		ColValues []string   `json:"col_values"`
+		Cells     [][]string `json:"cells"`
+	}{g.Title, g.RowLabel, g.ColLabel, g.RowValues, g.ColValues, cells})
+}
+
+// MarshalJSON encodes the chart's series data (not its rendered text):
+// per-series Y vectors, optional CI95 half-widths and axis placement.
+func (c *LineChart) MarshalJSON() ([]byte, error) {
+	type seriesJSON struct {
+		Name       string    `json:"name"`
+		Y          []float64 `json:"y"`
+		CI95       []float64 `json:"ci95,omitempty"`
+		SecondAxis bool      `json:"second_axis,omitempty"`
+	}
+	series := make([]seriesJSON, len(c.Series))
+	for i, s := range c.Series {
+		series[i] = seriesJSON{Name: s.Name, Y: s.Y, CI95: s.CIHalf, SecondAxis: s.SecondAxis}
+	}
+	return json.Marshal(struct {
+		Title  string       `json:"title"`
+		XLabel string       `json:"x_label"`
+		Series []seriesJSON `json:"series"`
+	}{c.Title, c.XLabel, series})
+}

@@ -1,0 +1,58 @@
+package viz
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMapGridJSON(t *testing.T) {
+	g := NewMapGrid("slice", "@a", "@b", []string{"1", "2"}, []string{"3"})
+	g.Set(0, 0, CellComputed)
+	g.Set(1, 0, CellCached)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title     string     `json:"title"`
+		RowValues []string   `json:"row_values"`
+		Cells     [][]string `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "slice" || len(decoded.Cells) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Cells[0][0] != "computed" || decoded.Cells[1][0] != "cached" {
+		t.Errorf("cells = %v", decoded.Cells)
+	}
+}
+
+func TestLineChartJSON(t *testing.T) {
+	c := &LineChart{
+		Title:  "t",
+		XLabel: "@x",
+		Series: []Series{
+			{Name: "EXPECT y", Y: []float64{1, 2}, CIHalf: []float64{0.1, 0.2}},
+			{Name: "EXPECT z", Y: []float64{3, 4}, SecondAxis: true},
+		},
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Series []struct {
+			Name       string    `json:"name"`
+			CI95       []float64 `json:"ci95"`
+			SecondAxis bool      `json:"second_axis"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Series) != 2 || len(decoded.Series[0].CI95) != 2 || !decoded.Series[1].SecondAxis {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}

@@ -21,6 +21,9 @@ type evalConfig struct {
 	affineTol    float64
 	storeBudget  int64
 	groupBudget  int
+	// shared, when set by WithReuseCache, is used instead of a private
+	// reuse engine.
+	shared *mc.Reuse
 }
 
 func newEvalConfig(opts []EvalOption) evalConfig {
@@ -159,6 +162,10 @@ func (c evalConfig) fingerprint() core.Config {
 
 func (c evalConfig) mcOptions() (mc.Options, error) {
 	opts := mc.Options{Worlds: c.worlds, SeedBase: c.seedBase, Workers: c.workers}
+	if c.shared != nil {
+		opts.Reuse = c.shared
+		return opts, nil
+	}
 	if !c.disableReuse {
 		reuse, err := mc.NewReuse(c.fingerprint(), c.storeBudget)
 		if err != nil {

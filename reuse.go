@@ -1,0 +1,164 @@
+package fuzzyprophet
+
+import (
+	"io"
+	"time"
+
+	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/storage"
+)
+
+// ReuseCache is a standalone fingerprint-reuse engine that can be shared
+// across sessions and batch evaluations of the same scenario — the paper's
+// Storage Manager lifted to a multi-tenant setting. Every consumer passing
+// the cache via WithReuseCache draws from (and contributes to) one basis-
+// distribution store and one fingerprint index, so a slider position one
+// user explored renders instantly for every other user.
+//
+// A ReuseCache is safe for concurrent use. All consumers must agree on the
+// seed base: the first evaluation binds it, and a consumer configured with
+// a different WithSeedBase is rejected on first use.
+type ReuseCache struct {
+	reuse *mc.Reuse
+}
+
+// NewReuseCache creates an empty shared reuse engine. The relevant options
+// are WithFingerprintLength, WithAffineTol and WithStoreBudget; others are
+// ignored.
+func NewReuseCache(opts ...EvalOption) (*ReuseCache, error) {
+	cfg := newEvalConfig(opts)
+	reuse, err := mc.NewReuse(cfg.fingerprint(), cfg.storeBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &ReuseCache{reuse: reuse}, nil
+}
+
+// LoadReuseCache reads a snapshot previously written by Save, so a new
+// process warm-starts with the basis distributions and fingerprints of an
+// old one. WithStoreBudget bounds the restored store; the snapshot's
+// fingerprint configuration is restored verbatim. The scenario, models and
+// seed base must match the saving process's; a seed-base mismatch is
+// detected and reported on first use.
+func LoadReuseCache(rd io.Reader, opts ...EvalOption) (*ReuseCache, error) {
+	cfg := newEvalConfig(opts)
+	reuse, err := mc.LoadReuse(rd, cfg.storeBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &ReuseCache{reuse: reuse}, nil
+}
+
+// Save serializes the cache (basis distributions plus fingerprint index)
+// for a later LoadReuseCache, possibly in another process. Concurrent
+// renders are locked out for the duration, so the snapshot is consistent.
+func (c *ReuseCache) Save(w io.Writer) error {
+	return c.reuse.Save(w)
+}
+
+// SaveFile atomically writes the snapshot to path (temp file + rename).
+func (c *ReuseCache) SaveFile(path string) error {
+	return c.reuse.SaveSnapshot(path)
+}
+
+// LoadReuseCacheFile is LoadReuseCache reading from a snapshot file.
+func LoadReuseCacheFile(path string, opts ...EvalOption) (*ReuseCache, error) {
+	cfg := newEvalConfig(opts)
+	reuse, err := mc.LoadSnapshot(path, cfg.storeBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &ReuseCache{reuse: reuse}, nil
+}
+
+// Counts returns per-outcome site counts ("computed", "cached", "identity",
+// "affine") accumulated across every consumer of the cache.
+func (c *ReuseCache) Counts() map[string]int {
+	out := map[string]int{}
+	for k, v := range c.reuse.Counts() {
+		out[k.String()] = v
+	}
+	return out
+}
+
+// StoreStats is a snapshot of a basis-distribution store's counters — the
+// occupancy and hit/miss/eviction telemetry a metrics endpoint reports.
+type StoreStats struct {
+	// Entries and UsedBytes describe current occupancy; Budget is the
+	// configured bound (0 = unbounded).
+	Entries   int   `json:"entries"`
+	UsedBytes int64 `json:"used_bytes"`
+	Budget    int64 `json:"budget_bytes,omitempty"`
+	// Hits/Misses count exact (site, args) lookups; Evicted and Inserted
+	// count entry lifecycle events.
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Evicted  int64 `json:"evicted"`
+	Inserted int64 `json:"inserted"`
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s StoreStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+func convertStoreStats(st storage.Stats) StoreStats {
+	return StoreStats{
+		Entries:   st.Entries,
+		UsedBytes: st.UsedBytes,
+		Budget:    st.Budget,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evicted:   st.Evicted,
+		Inserted:  st.Inserted,
+	}
+}
+
+// StoreStats returns the cache's basis-store counters.
+func (c *ReuseCache) StoreStats() StoreStats {
+	return convertStoreStats(c.reuse.StoreStats())
+}
+
+// StoreStats returns the basis-store counters of the session's reuse
+// engine (shared or private). A session with reuse disabled reports zeros.
+func (s *Session) StoreStats() StoreStats {
+	if s.reuse == nil {
+		return StoreStats{}
+	}
+	return convertStoreStats(s.reuse.StoreStats())
+}
+
+// SessionStats are cumulative per-session counters: renders served, their
+// summed wall-clock cost, X positions evaluated, and prefetched points.
+type SessionStats struct {
+	Renders          int64         `json:"renders"`
+	RenderElapsed    time.Duration `json:"render_elapsed_ns"`
+	PointsRendered   int64         `json:"points_rendered"`
+	PrefetchedPoints int64         `json:"prefetched_points"`
+}
+
+// SessionStats returns the session's cumulative render/prefetch counters.
+func (s *Session) SessionStats() SessionStats {
+	st := s.inner.Stats()
+	return SessionStats{
+		Renders:          st.Renders,
+		RenderElapsed:    st.RenderElapsed,
+		PointsRendered:   st.PointsRendered,
+		PrefetchedPoints: st.PrefetchedPoints,
+	}
+}
+
+// WithReuseCache makes the evaluation draw from (and contribute to) the
+// given shared reuse engine instead of a private one. It overrides
+// WithoutReuse, WithFingerprintLength, WithAffineTol and WithStoreBudget —
+// those were fixed when the cache was created.
+func WithReuseCache(c *ReuseCache) EvalOption {
+	return func(cfg *evalConfig) {
+		if c != nil {
+			cfg.shared = c.reuse
+		}
+	}
+}
