@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fuzzyprophet/internal/benchfix"
+	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/sqlparser"
+)
+
+// The engine experiment: the 1000-world render path — executing the Query
+// Generator's pure TSQL over a materialized possible-worlds table — timed
+// on the legacy row-at-a-time engine versus the vectorized columnar engine,
+// for each of the five bundled example scenarios. Results are printed as a
+// table and written as JSON (BENCH_engine.json) for CI artifact upload and
+// the README's performance section.
+
+// engineBenchResult is one scenario's row-vs-vectorized measurement.
+type engineBenchResult struct {
+	Scenario          string  `json:"scenario"`
+	Worlds            int     `json:"worlds"`
+	RowNsPerOp        float64 `json:"row_ns_per_op"`
+	VectorizedNsPerOp float64 `json:"vectorized_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// engineBenchReport is the BENCH_engine.json schema.
+type engineBenchReport struct {
+	Benchmark string              `json:"benchmark"`
+	GOOS      string              `json:"goos"`
+	GOARCH    string              `json:"goarch"`
+	CPUs      int                 `json:"cpus"`
+	Worlds    int                 `json:"worlds"`
+	Results   []engineBenchResult `json:"results"`
+}
+
+// materializeWorlds simulates every VG call site at the scenario's default
+// point with the Monte Carlo executor's world-seed derivation
+// (mc.WorldSeed under the default seed base), producing the columnar
+// possible-worlds table the render path executes over.
+func materializeWorlds(ctx context.Context, scn *scenario.Scenario, worlds int) (*sqlengine.ColTable, error) {
+	cols := []string{scenario.WorldColumn}
+	ord := make([]int64, worlds)
+	for i := range ord {
+		ord[i] = int64(i)
+	}
+	columns := []*sqlengine.Column{sqlengine.IntColumn(ord)}
+	pt := scn.DefaultPoint()
+	for si := range scn.Sites {
+		site := &scn.Sites[si]
+		args, _, err := site.ArgValues(pt)
+		if err != nil {
+			return nil, err
+		}
+		samples := make([]float64, worlds)
+		for i := 0; i < worlds; i++ {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			seed := mc.WorldSeed(mc.DefaultSeedBase, site.ID, i)
+			v, err := scn.Registry.Invoke(site.Name, seed, args)
+			if err != nil {
+				return nil, err
+			}
+			samples[i], err = v.AsFloat()
+			if err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, site.Column)
+		columns = append(columns, sqlengine.FloatColumn(samples))
+	}
+	return sqlengine.NewColTable(scenario.WorldsTable, cols, columns)
+}
+
+// timeEngine measures ns/op of one execution mode, running at least
+// minIters iterations and at least minDur of wall clock.
+func timeEngine(ctx context.Context, run func() error) (float64, error) {
+	const (
+		minIters = 20
+		minDur   = 200 * time.Millisecond
+	)
+	// Warm up (catalog columnar conversions, allocator).
+	if err := run(); err != nil {
+		return 0, err
+	}
+	iters := 0
+	start := time.Now()
+	for iters < minIters || time.Since(start) < minDur {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if err := run(); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// runEngineBench is experiment "engine": before/after render benchmarks on
+// the five example scenarios, written to outPath.
+func runEngineBench(ctx context.Context, worlds int, outPath string) error {
+	section(fmt.Sprintf("ENGINE: row vs vectorized render path (%d worlds)", worlds))
+	reg, err := benchfix.Registry()
+	if err != nil {
+		return err
+	}
+	report := engineBenchReport{
+		Benchmark: "engine-render",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Worlds:    worlds,
+	}
+	fmt.Printf("%-20s %14s %14s %9s\n", "scenario", "row ns/op", "vec ns/op", "speedup")
+	for _, name := range sqlparser.ExampleScenarioNames() {
+		src := sqlparser.ExampleScenarios()[name]
+		scn, err := scenario.Compile(src, reg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if name == "serverfleet" {
+			regions, err := benchfix.RegionsTable()
+			if err != nil {
+				return err
+			}
+			if err := scn.AddTable(regions); err != nil {
+				return err
+			}
+		}
+		sql, err := scn.GenerateSQL(scn.DefaultPoint())
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		script, err := sqlparser.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("%s: generated SQL does not parse: %w", name, err)
+		}
+		worldsTable, err := materializeWorlds(ctx, scn, worlds)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		mkEngine := func(rowMode bool) *sqlengine.Engine {
+			cat := sqlengine.NewCatalog()
+			for _, t := range scn.StaticTables {
+				cat.Put(t)
+			}
+			cat.PutColumns(worldsTable)
+			e := sqlengine.New(cat)
+			e.RowMode = rowMode
+			return e
+		}
+		rowEngine := mkEngine(true)
+		rowNs, err := timeEngine(ctx, func() error {
+			_, err := rowEngine.ExecScript(script, nil)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s (row): %w", name, err)
+		}
+		vecEngine := mkEngine(false)
+		vecNs, err := timeEngine(ctx, func() error {
+			_, err := vecEngine.ExecScriptColumnar(script, nil)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s (vectorized): %w", name, err)
+		}
+		r := engineBenchResult{
+			Scenario:          name,
+			Worlds:            worlds,
+			RowNsPerOp:        rowNs,
+			VectorizedNsPerOp: vecNs,
+			Speedup:           rowNs / vecNs,
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("%-20s %14.0f %14.0f %8.1fx\n", name, rowNs, vecNs, r.Speedup)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return nil
+}

@@ -8,14 +8,16 @@
 //
 // Experiments:
 //
-//	fig2  Figure 2: the example scenario parses verbatim and compiles
-//	fig3  Figure 3: the online interface graph (per-week series + chart)
-//	fig4  Figure 4: 2-D slice of fingerprint mappings for the Capacity model
-//	e1    §3.2: time to first accurate statistics, cold vs warm session
-//	e2    §3.2: fraction of the graph recomputed after slider adjustments
-//	e3    §3.3: offline sweep, naive vs fingerprint (invocations, time, optimum)
-//	e4    ablation: fingerprint length k vs reuse rate and estimate error
-//	e5    ablation: Markovian non-Markovian estimators on the capacity chain
+//	fig2   Figure 2: the example scenario parses verbatim and compiles
+//	fig3   Figure 3: the online interface graph (per-week series + chart)
+//	fig4   Figure 4: 2-D slice of fingerprint mappings for the Capacity model
+//	e1     §3.2: time to first accurate statistics, cold vs warm session
+//	e2     §3.2: fraction of the graph recomputed after slider adjustments
+//	e3     §3.3: offline sweep, naive vs fingerprint (invocations, time, optimum)
+//	e4     ablation: fingerprint length k vs reuse rate and estimate error
+//	e5     ablation: Markovian non-Markovian estimators on the capacity chain
+//	engine row vs vectorized SQL engine on the five example scenarios'
+//	       1000-world render path; writes BENCH_engine.json (see -engineworlds, -out)
 package main
 
 import (
@@ -30,9 +32,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|all")
-		worlds = flag.Int("worlds", 300, "Monte Carlo worlds per point")
-		step   = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|all")
+		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
+		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
+		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
+		benchOut     = flag.String("out", "BENCH_engine.json", "output path for the engine benchmark JSON")
 	)
 	flag.Parse()
 
@@ -50,8 +54,11 @@ func main() {
 		"e3":   func(ctx context.Context, w, s int) error { return runE3(ctx, w, s) },
 		"e4":   func(ctx context.Context, w, s int) error { return runE4(ctx, w) },
 		"e5":   func(ctx context.Context, w, s int) error { return runE5() },
+		"engine": func(ctx context.Context, w, s int) error {
+			return runEngineBench(ctx, *engineWorlds, *benchOut)
+		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5"}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -1,0 +1,49 @@
+package fuzzyprophet_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks checks every relative markdown link in README.md and
+// docs/*.md points at a file or directory that exists, so the docs cannot
+// silently rot as the tree moves. External links (scheme prefixes) and
+// pure in-page anchors are skipped. CI runs this in the docs job.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docEntries, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docEntries...)
+	if len(docEntries) == 0 {
+		t.Fatal("no docs/*.md files found")
+	}
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-page anchor from a file link.
+			if i := strings.Index(target, "#"); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", f, m[1], resolved, err)
+			}
+		}
+	}
+}

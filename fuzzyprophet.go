@@ -1,34 +1,3 @@
-// Package fuzzyprophet is a probabilistic database tool for constructing,
-// simulating and analyzing business scenarios with uncertain data — a Go
-// reproduction of "Fuzzy Prophet: Parameter Exploration in Uncertain
-// Enterprise Scenarios" (Kennedy, Lee, Loboz, Smyl, Nath; SIGMOD 2011).
-//
-// Scenarios are written in a Transact-SQL dialect with probabilistic
-// extensions (see Figure 2 of the paper, reproduced in the README).
-// Stochastic inputs come from black-box VG-Functions; Monte Carlo
-// simulation turns a scenario plus a parameter point into output
-// distributions. The system's core contribution is *fingerprinting*:
-// parameter points whose VG-Function outputs are correlated are detected by
-// comparing output vectors under a fixed seed sequence, and already-
-// computed sample sets are re-mapped onto new points instead of
-// re-simulated. The effect is interactive-speed what-if exploration (online
-// mode) and much cheaper full-space optimization (offline mode).
-//
-// Every simulation entry point takes a context.Context first and honors
-// cancellation within one world-batch, so a slider adjustment can abort the
-// render it supersedes and Ctrl-C stops an offline sweep in milliseconds. A
-// Session is safe for concurrent use: sliders are mutex-guarded and renders
-// work from a snapshot of the positions they started with.
-//
-// # Quick start
-//
-//	sys, _ := fuzzyprophet.New(fuzzyprophet.WithDemoModels())
-//	scn, _ := sys.Compile(scenarioSQL)
-//	session, _ := scn.OpenSession(fuzzyprophet.WithWorlds(1000))
-//	session.SetParam("purchase1", 12)
-//	graph, _ := session.Render(ctx)
-//
-// See the examples directory for complete programs.
 package fuzzyprophet
 
 import (

@@ -39,6 +39,10 @@ type Options struct {
 	Reuse *Reuse
 }
 
+// DefaultSeedBase is the seed base used when Options.SeedBase is zero:
+// the paper's demo week.
+const DefaultSeedBase = 20110612
+
 // WithDefaults returns a copy of o with zero fields replaced by defaults —
 // the effective options an Evaluator built from o will run with.
 func (o Options) WithDefaults() Options {
@@ -46,7 +50,7 @@ func (o Options) WithDefaults() Options {
 		o.Worlds = 1000
 	}
 	if o.SeedBase == 0 {
-		o.SeedBase = 20110612
+		o.SeedBase = DefaultSeedBase
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -192,11 +196,17 @@ func (ev *Evaluator) Options() Options { return ev.opts }
 // Scenario returns the compiled scenario.
 func (ev *Evaluator) Scenario() *scenario.Scenario { return ev.scn }
 
-// worldSeed returns the fixed seed for (site, world i). World seeds are
-// disjoint from fingerprint seeds by construction (different derivation
-// labels).
+// WorldSeed returns the fixed seed for (site, world i) under the given
+// seed base. World seeds are disjoint from fingerprint seeds by
+// construction (different derivation labels). Exported so harnesses (the
+// fpbench engine benchmark) can materialize a worlds table identical to
+// the executor's.
+func WorldSeed(seedBase uint64, siteID string, i int) uint64 {
+	return rng.Derive(seedBase, "world."+siteID, uint64(i)).Uint64()
+}
+
 func (ev *Evaluator) worldSeed(siteID string, i int) uint64 {
-	return rng.Derive(ev.opts.SeedBase, "world."+siteID, uint64(i)).Uint64()
+	return WorldSeed(ev.opts.SeedBase, siteID, i)
 }
 
 // PointResult holds one point's per-world outputs.
@@ -263,26 +273,26 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 		res.SiteOutcome[site.ID] = kind
 	}
 
-	// 2. Materialize the possible-worlds table.
+	// 2. Materialize the possible-worlds table — directly as columns: the
+	// world ordinal is an int vector and each site's sample vector becomes a
+	// float column as-is, with no row transpose and no boxing.
 	cols := make([]string, 0, len(ev.scn.Sites)+1)
 	cols = append(cols, scenario.WorldColumn)
-	for _, s := range ev.scn.Sites {
+	columns := make([]*sqlengine.Column, 0, len(ev.scn.Sites)+1)
+	ord := make([]int64, ev.opts.Worlds)
+	for i := range ord {
+		ord[i] = int64(i)
+	}
+	columns = append(columns, sqlengine.IntColumn(ord))
+	for si, s := range ev.scn.Sites {
 		cols = append(cols, s.Column)
+		columns = append(columns, sqlengine.FloatColumn(siteSamples[si]))
 	}
-	rows := make([][]value.Value, ev.opts.Worlds)
-	for i := 0; i < ev.opts.Worlds; i++ {
-		row := make([]value.Value, len(cols))
-		row[0] = value.Int(int64(i))
-		for si := range siteSamples {
-			row[si+1] = value.Float(siteSamples[si][i])
-		}
-		rows[i] = row
-	}
-	worlds, err := sqlengine.NewTable(scenario.WorldsTable, cols, rows)
+	worlds, err := sqlengine.NewColTable(scenario.WorldsTable, cols, columns)
 	if err != nil {
 		return nil, err
 	}
-	ev.catalog.Put(worlds)
+	ev.catalog.PutColumns(worlds)
 
 	// 3. Query Generator: emit pure TSQL, re-parse, execute.
 	sql, err := ev.scn.GenerateSQL(pt)
@@ -294,7 +304,7 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	if err != nil {
 		return nil, fmt.Errorf("mc: generated SQL does not parse: %w\n%s", err, sql)
 	}
-	out, err := ev.engine.ExecScript(script, nil)
+	out, err := ev.engine.ExecScriptColumnar(script, nil)
 	if err != nil {
 		return nil, fmt.Errorf("mc: executing generated SQL: %w", err)
 	}
@@ -302,34 +312,22 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 		return nil, fmt.Errorf("mc: generated SQL produced no result")
 	}
 
-	// 4. Collect output samples. Purely categorical (string) columns are
-	// carried in the SQL result but have no distribution to aggregate, so
-	// they are skipped here; NULLs or mixed types in a numeric column are
-	// errors.
+	// 4. Collect output samples as column slices — the Result Aggregator
+	// consumes float vectors, so the engine's typed columns convert without
+	// boxing a single row. Purely categorical (string) columns are carried
+	// in the SQL result but have no distribution to aggregate, so they are
+	// skipped here; NULLs or mixed types in a numeric column are errors.
 	for _, colName := range ev.scn.OutputCols {
-		vals, err := out.Column(colName)
+		col, err := out.Column(colName)
 		if err != nil {
 			return nil, err
 		}
-		if len(vals) > 0 && vals[0].Kind() == value.KindString {
-			categorical := true
-			for _, v := range vals {
-				if v.Kind() != value.KindString {
-					categorical = false
-					break
-				}
-			}
-			if categorical {
-				continue
-			}
+		if col.Len() > 0 && col.AllStrings() {
+			continue
 		}
-		fs := make([]float64, len(vals))
-		for i, v := range vals {
-			f, err := v.AsFloat()
-			if err != nil {
-				return nil, fmt.Errorf("mc: output column %q row %d: %w", colName, i, err)
-			}
-			fs[i] = f
+		fs, err := col.Float64s()
+		if err != nil {
+			return nil, fmt.Errorf("mc: output column %q: %w", colName, err)
 		}
 		res.Columns[colName] = fs
 	}

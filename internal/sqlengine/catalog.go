@@ -13,6 +13,15 @@
 // EXPECT(x) ≡ AVG(x), EXPECT_STDDEV(x) ≡ STDDEV(x) and PROB(x) ≡ AVG(x) of
 // a 0/1 indicator — the engine implements them under their own names so
 // queries stay faithful to the paper's surface syntax.
+//
+// Execution is columnar and vectorized: tables store typed column vectors
+// (Column) with null bitmaps, filters produce selection vectors instead of
+// copied rows, and expressions and aggregates run over whole vectors in
+// tight loops (see vexec.go / veval.go). The original row-at-a-time
+// executor is retained behind Engine.RowMode as a semantic oracle for
+// differential testing and as the before-measurement of the engine
+// benchmarks; the Table rows API remains as a thin compatibility shim over
+// the columnar storage.
 package sqlengine
 
 import (
@@ -23,7 +32,9 @@ import (
 	"fuzzyprophet/internal/value"
 )
 
-// Table is a named in-memory relation.
+// Table is a named in-memory relation in the legacy row layout. It remains
+// the convenience construction API (tests, static side tables); the catalog
+// converts it to columnar form on demand and caches both layouts.
 type Table struct {
 	Name string
 	Cols []string
@@ -64,7 +75,9 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// Append adds a row, validating its width.
+// Append adds a row, validating its width. Appending after the table has
+// been installed in a catalog is not supported (the catalog caches a
+// columnar conversion).
 func (t *Table) Append(row []value.Value) error {
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("sqlengine: table %q append: %d values, want %d", t.Name, len(row), len(t.Cols))
@@ -73,30 +86,89 @@ func (t *Table) Append(row []value.Value) error {
 	return nil
 }
 
-// Catalog is a thread-safe name → table map.
+// catEntry holds a catalog table in up to two layouts; whichever was not
+// supplied at Put time is materialized lazily and cached.
+type catEntry struct {
+	rows *Table
+	cols *ColTable
+}
+
+// Catalog is a thread-safe name → table map over columnar storage.
 type Catalog struct {
 	mu     sync.RWMutex
-	tables map[string]*Table
+	tables map[string]*catEntry
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*catEntry)}
 }
 
-// Put stores or replaces a table.
+// Put stores or replaces a table given in row form. The table must not be
+// mutated afterwards.
 func (c *Catalog) Put(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.tables[t.Name] = t
+	c.tables[t.Name] = &catEntry{rows: t}
 }
 
-// Get returns the named table.
+// PutColumns stores or replaces a table given in columnar form — the
+// zero-transpose path the Monte Carlo executor uses for the possible-worlds
+// table. The columns must not be mutated afterwards.
+func (c *Catalog) PutColumns(ct *ColTable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[ct.Name] = &catEntry{cols: ct}
+}
+
+// Get returns the named table in row form, converting from columnar
+// storage on first access.
 func (c *Catalog) Get(name string) (*Table, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.tables[name]
-	return t, ok
+	e, ok := c.tables[name]
+	if ok && e.rows != nil {
+		c.mu.RUnlock()
+		return e.rows, true
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok = c.tables[name]
+	if !ok {
+		return nil, false
+	}
+	if e.rows == nil {
+		e.rows = rowsFromColumns(e.cols)
+	}
+	return e.rows, true
+}
+
+// GetColumns returns the named table in columnar form, converting from row
+// storage on first access.
+func (c *Catalog) GetColumns(name string) (*ColTable, bool) {
+	c.mu.RLock()
+	e, ok := c.tables[name]
+	if ok && e.cols != nil {
+		c.mu.RUnlock()
+		return e.cols, true
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok = c.tables[name]
+	if !ok {
+		return nil, false
+	}
+	if e.cols == nil {
+		e.cols = columnsFromRows(e.rows)
+	}
+	return e.cols, true
 }
 
 // Drop removes the named table; it is a no-op when absent.
@@ -125,17 +197,12 @@ type colBinding struct {
 	name  string
 }
 
-// relation is an intermediate result: a schema plus rows.
-type relation struct {
-	schema []colBinding
-	rows   [][]value.Value
-}
-
-// lookup resolves a (table, name) reference against the schema. Unqualified
-// names must be unambiguous.
-func (r *relation) lookup(table, name string) (int, error) {
+// lookupBinding resolves a (table, name) reference against a schema.
+// Unqualified names must be unambiguous. Both the row and the columnar
+// executors resolve through it, so name-resolution errors are identical.
+func lookupBinding(schema []colBinding, table, name string) (int, error) {
 	found := -1
-	for i, b := range r.schema {
+	for i, b := range schema {
 		if b.name != name {
 			continue
 		}
@@ -154,4 +221,16 @@ func (r *relation) lookup(table, name string) (int, error) {
 		return -1, fmt.Errorf("sqlengine: unknown column %q", name)
 	}
 	return found, nil
+}
+
+// relation is an intermediate result of the row executor: a schema plus
+// boxed rows.
+type relation struct {
+	schema []colBinding
+	rows   [][]value.Value
+}
+
+// lookup resolves a (table, name) reference against the schema.
+func (r *relation) lookup(table, name string) (int, error) {
+	return lookupBinding(r.schema, table, name)
 }

@@ -9,10 +9,15 @@ import (
 	"fuzzyprophet/internal/value"
 )
 
-// Engine evaluates SELECT statements against a catalog.
+// Engine evaluates SELECT statements against a catalog. Execution is
+// columnar and vectorized by default; RowMode selects the legacy
+// row-at-a-time executor, kept as a semantic oracle for differential
+// testing and benchmarking.
 type Engine struct {
 	Catalog  *Catalog
 	Resolver FuncResolver // optional; consulted before scalar builtins
+	// RowMode forces the legacy row-at-a-time execution path.
+	RowMode bool
 }
 
 // New returns an engine over the given catalog.
@@ -70,8 +75,22 @@ func (e *Engine) ExecScript(script *sqlparser.Script, params map[string]value.Va
 
 // ExecSelect evaluates one SELECT with the given parameter bindings. When
 // the statement has an INTO clause the result is also materialized in the
-// catalog under that name.
+// catalog under that name. The vectorized path runs unless RowMode is set;
+// both paths produce identical results (the differential suite asserts
+// this), the row path just does it one boxed value at a time.
 func (e *Engine) ExecSelect(sel sqlparser.Select, params map[string]value.Value) (*Result, error) {
+	if e.RowMode {
+		return e.execSelectRow(sel, params)
+	}
+	cres, err := e.ExecSelectColumnar(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	return cres.Result(), nil
+}
+
+// execSelectRow is the legacy row-at-a-time SELECT path.
+func (e *Engine) execSelectRow(sel sqlparser.Select, params map[string]value.Value) (*Result, error) {
 	src, err := e.buildFrom(sel.From, params)
 	if err != nil {
 		return nil, err
@@ -282,7 +301,9 @@ func (e *Engine) execGrouped(sel sqlparser.Select, src *relation, params map[str
 	var orderEnvs []func(sqlparser.Expr) (value.Value, error)
 	for _, g := range groups {
 		evalInGroup := func(x sqlparser.Expr, extra map[string]value.Value) (value.Value, error) {
-			rewritten, err := e.substituteAggregates(x, src, g.rows, params)
+			rewritten, err := substituteAggregatesWith(x, func(fc sqlparser.FuncCall) (value.Value, error) {
+				return e.computeAggregate(fc, src, g.rows, params)
+			})
 			if err != nil {
 				return value.Null, err
 			}
@@ -318,31 +339,33 @@ func (e *Engine) execGrouped(sel sqlparser.Select, src *relation, params map[str
 		extraCopy := extra
 		gRows := g.rows
 		orderEnvs = append(orderEnvs, func(x sqlparser.Expr) (value.Value, error) {
-			return func() (value.Value, error) {
-				rewritten, err := e.substituteAggregates(x, src, gRows, params)
-				if err != nil {
-					return value.Null, err
-				}
-				var row []value.Value
-				if len(gRows) > 0 {
-					row = gRows[0]
-				}
-				ev := &env{params: params, rel: src, row: row, extra: extraCopy, resolver: e.Resolver}
-				return ev.eval(rewritten)
-			}()
+			rewritten, err := substituteAggregatesWith(x, func(fc sqlparser.FuncCall) (value.Value, error) {
+				return e.computeAggregate(fc, src, gRows, params)
+			})
+			if err != nil {
+				return value.Null, err
+			}
+			var row []value.Value
+			if len(gRows) > 0 {
+				row = gRows[0]
+			}
+			ev := &env{params: params, rel: src, row: row, extra: extraCopy, resolver: e.Resolver}
+			return ev.eval(rewritten)
 		})
 	}
 	return res, orderEnvs, nil
 }
 
-// substituteAggregates rewrites x, replacing every aggregate call with a
-// literal holding its value computed over the group rows. The rewritten
-// expression then evaluates with the ordinary scalar evaluator.
-func (e *Engine) substituteAggregates(x sqlparser.Expr, rel *relation, group [][]value.Value, params map[string]value.Value) (sqlparser.Expr, error) {
+// substituteAggregatesWith rewrites x, replacing every aggregate call with
+// a literal holding the value compute returns for it. The rewritten
+// expression then evaluates with the ordinary scalar evaluator. Both the
+// row and the columnar grouped executors share this rewrite; they differ
+// only in how compute folds the group.
+func substituteAggregatesWith(x sqlparser.Expr, compute func(sqlparser.FuncCall) (value.Value, error)) (sqlparser.Expr, error) {
 	switch n := x.(type) {
 	case sqlparser.FuncCall:
 		if isAggregateName(n.Name) {
-			v, err := e.computeAggregate(n, rel, group, params)
+			v, err := compute(n)
 			if err != nil {
 				return nil, err
 			}
@@ -350,7 +373,7 @@ func (e *Engine) substituteAggregates(x sqlparser.Expr, rel *relation, group [][
 		}
 		args := make([]sqlparser.Expr, len(n.Args))
 		for i, a := range n.Args {
-			ra, err := e.substituteAggregates(a, rel, group, params)
+			ra, err := substituteAggregatesWith(a, compute)
 			if err != nil {
 				return nil, err
 			}
@@ -358,17 +381,17 @@ func (e *Engine) substituteAggregates(x sqlparser.Expr, rel *relation, group [][
 		}
 		return sqlparser.FuncCall{Name: n.Name, Args: args, Star: n.Star}, nil
 	case sqlparser.Unary:
-		rx, err := e.substituteAggregates(n.X, rel, group, params)
+		rx, err := substituteAggregatesWith(n.X, compute)
 		if err != nil {
 			return nil, err
 		}
 		return sqlparser.Unary{Op: n.Op, X: rx}, nil
 	case sqlparser.Binary:
-		l, err := e.substituteAggregates(n.L, rel, group, params)
+		l, err := substituteAggregatesWith(n.L, compute)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.substituteAggregates(n.R, rel, group, params)
+		r, err := substituteAggregatesWith(n.R, compute)
 		if err != nil {
 			return nil, err
 		}
@@ -376,11 +399,11 @@ func (e *Engine) substituteAggregates(x sqlparser.Expr, rel *relation, group [][
 	case sqlparser.Case:
 		whens := make([]sqlparser.When, len(n.Whens))
 		for i, w := range n.Whens {
-			c, err := e.substituteAggregates(w.Cond, rel, group, params)
+			c, err := substituteAggregatesWith(w.Cond, compute)
 			if err != nil {
 				return nil, err
 			}
-			th, err := e.substituteAggregates(w.Then, rel, group, params)
+			th, err := substituteAggregatesWith(w.Then, compute)
 			if err != nil {
 				return nil, err
 			}
@@ -389,34 +412,34 @@ func (e *Engine) substituteAggregates(x sqlparser.Expr, rel *relation, group [][
 		var els sqlparser.Expr
 		if n.Else != nil {
 			var err error
-			els, err = e.substituteAggregates(n.Else, rel, group, params)
+			els, err = substituteAggregatesWith(n.Else, compute)
 			if err != nil {
 				return nil, err
 			}
 		}
 		return sqlparser.Case{Whens: whens, Else: els}, nil
 	case sqlparser.Between:
-		xx, err := e.substituteAggregates(n.X, rel, group, params)
+		xx, err := substituteAggregatesWith(n.X, compute)
 		if err != nil {
 			return nil, err
 		}
-		lo, err := e.substituteAggregates(n.Lo, rel, group, params)
+		lo, err := substituteAggregatesWith(n.Lo, compute)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := e.substituteAggregates(n.Hi, rel, group, params)
+		hi, err := substituteAggregatesWith(n.Hi, compute)
 		if err != nil {
 			return nil, err
 		}
 		return sqlparser.Between{X: xx, Lo: lo, Hi: hi, Not: n.Not}, nil
 	case sqlparser.InList:
-		xx, err := e.substituteAggregates(n.X, rel, group, params)
+		xx, err := substituteAggregatesWith(n.X, compute)
 		if err != nil {
 			return nil, err
 		}
 		items := make([]sqlparser.Expr, len(n.Items))
 		for i, it := range n.Items {
-			ri, err := e.substituteAggregates(it, rel, group, params)
+			ri, err := substituteAggregatesWith(it, compute)
 			if err != nil {
 				return nil, err
 			}
@@ -424,7 +447,7 @@ func (e *Engine) substituteAggregates(x sqlparser.Expr, rel *relation, group [][
 		}
 		return sqlparser.InList{X: xx, Items: items, Not: n.Not}, nil
 	case sqlparser.IsNull:
-		xx, err := e.substituteAggregates(n.X, rel, group, params)
+		xx, err := substituteAggregatesWith(n.X, compute)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,162 @@
+package sqlengine_test
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzyprophet/internal/benchfix"
+	"fuzzyprophet/internal/rng"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/sqlparser"
+)
+
+// Scenario-level differential tests and the engine render benchmarks: the
+// pure TSQL the Query Generator emits for the five example scenarios runs
+// over a materialized possible-worlds table on both execution paths. This
+// is exactly the per-point render workload of the online mode, isolated
+// from VG sampling cost.
+
+// scenarioFixture is one compiled example scenario with its generated SQL
+// and synthesized per-site world vectors.
+type scenarioFixture struct {
+	name    string
+	script  *sqlparser.Script
+	statics []*sqlengine.Table
+	worlds  *sqlengine.ColTable
+}
+
+// buildScenarioFixtures compiles the bundled scenarios, generates the pure
+// TSQL for their default points and materializes a worlds table with
+// deterministic synthetic sample vectors (the engine does not care whether
+// they came from a real VG-Function).
+func buildScenarioFixtures(tb testing.TB, worlds int) []scenarioFixture {
+	tb.Helper()
+	reg, err := benchfix.Registry()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var out []scenarioFixture
+	for _, name := range sqlparser.ExampleScenarioNames() {
+		src := sqlparser.ExampleScenarios()[name]
+		scn, err := scenario.Compile(src, reg)
+		if err != nil {
+			tb.Fatalf("%s: %v", name, err)
+		}
+		if name == "serverfleet" {
+			regions, err := benchfix.RegionsTable()
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if err := scn.AddTable(regions); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		sql, err := scn.GenerateSQL(scn.DefaultPoint())
+		if err != nil {
+			tb.Fatalf("%s: %v", name, err)
+		}
+		script, err := sqlparser.Parse(sql)
+		if err != nil {
+			tb.Fatalf("%s: generated SQL does not parse: %v\n%s", name, err, sql)
+		}
+		cols := []string{scenario.WorldColumn}
+		ord := make([]int64, worlds)
+		for i := range ord {
+			ord[i] = int64(i)
+		}
+		columns := []*sqlengine.Column{sqlengine.IntColumn(ord)}
+		for si, site := range scn.Sites {
+			samples := make([]float64, worlds)
+			src := rng.Derive(20110612, "bench."+name+"."+site.ID, uint64(si))
+			for i := range samples {
+				// Magnitudes in the rough range of the demo models, so CASE
+				// thresholds in the scenarios flip both ways.
+				samples[i] = src.Normal(45000, 20000)
+			}
+			cols = append(cols, site.Column)
+			columns = append(columns, sqlengine.FloatColumn(samples))
+		}
+		wt, err := sqlengine.NewColTable(scenario.WorldsTable, cols, columns)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, scenarioFixture{name: name, script: script, statics: scn.StaticTables, worlds: wt})
+	}
+	if len(out) != 5 {
+		tb.Fatalf("expected the five example scenarios, got %d", len(out))
+	}
+	return out
+}
+
+func (f *scenarioFixture) engine(rowMode bool) *sqlengine.Engine {
+	cat := sqlengine.NewCatalog()
+	for _, t := range f.statics {
+		cat.Put(t)
+	}
+	cat.PutColumns(f.worlds)
+	e := sqlengine.New(cat)
+	e.RowMode = rowMode
+	return e
+}
+
+// TestScenarioSQLDifferential renders every example scenario's generated
+// TSQL through both paths and asserts identical per-world outputs.
+func TestScenarioSQLDifferential(t *testing.T) {
+	for _, f := range buildScenarioFixtures(t, 200) {
+		vres, verr := f.engine(false).ExecScript(f.script, nil)
+		rres, rerr := f.engine(true).ExecScript(f.script, nil)
+		if (verr == nil) != (rerr == nil) {
+			t.Fatalf("%s: vectorized err = %v, row err = %v", f.name, verr, rerr)
+		}
+		if verr != nil {
+			t.Fatalf("%s: %v", f.name, verr)
+		}
+		if strings.Join(vres.Cols, ",") != strings.Join(rres.Cols, ",") {
+			t.Fatalf("%s: cols %v vs %v", f.name, vres.Cols, rres.Cols)
+		}
+		if len(vres.Rows) != len(rres.Rows) {
+			t.Fatalf("%s: %d vs %d rows", f.name, len(vres.Rows), len(rres.Rows))
+		}
+		for i := range vres.Rows {
+			for j := range vres.Cols {
+				a, b := vres.Rows[i][j], rres.Rows[i][j]
+				if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+					t.Fatalf("%s: world %d col %s: vectorized %v vs row %v", f.name, i, vres.Cols[j], a, b)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEngineRender1000 times the 1000-world render path — parse-free
+// execution of each scenario's generated TSQL — on both engines. The
+// speedup these report is the one recorded in BENCH_engine.json.
+func BenchmarkEngineRender1000(b *testing.B) {
+	for _, f := range buildScenarioFixtures(b, 1000) {
+		for _, mode := range []struct {
+			name string
+			row  bool
+		}{{"vectorized", false}, {"row", true}} {
+			b.Run(f.name+"/"+mode.name, func(b *testing.B) {
+				e := f.engine(mode.row)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Each path drains results the way the Monte Carlo
+					// executor does (or did): columnar consumers read the
+					// typed columns, the row path reads boxed rows.
+					if mode.row {
+						if _, err := e.ExecScript(f.script, nil); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						if _, err := e.ExecScriptColumnar(f.script, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -373,34 +373,66 @@ type Key struct {
 	b    bool
 }
 
+// AppendKey appends v's canonical key encoding to dst and returns the
+// extended slice. The encoding is shared between the row engine's boxed
+// KeyString and the columnar engine's unboxed key builders (see
+// sqlengine.Column), so GROUP BY and DISTINCT group identically on both
+// paths: numerically equal INT and FLOAT values share an encoding, strings
+// are length-prefixed so embedded separators cannot collide.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n', ';')
+	case KindInt, KindFloat:
+		f, _ := v.AsFloat()
+		dst = append(dst, 'f')
+		dst = strconv.AppendFloat(dst, f, 'b', -1, 64)
+		return append(dst, ';')
+	case KindString:
+		return AppendStringKey(dst, v.s)
+	case KindBool:
+		if v.b {
+			return append(dst, 'b', '1', ';')
+		}
+		return append(dst, 'b', '0', ';')
+	default:
+		return dst
+	}
+}
+
+// AppendFloatKey appends the key encoding of a non-NULL numeric value.
+func AppendFloatKey(dst []byte, f float64) []byte {
+	dst = append(dst, 'f')
+	dst = strconv.AppendFloat(dst, f, 'b', -1, 64)
+	return append(dst, ';')
+}
+
+// AppendStringKey appends the key encoding of a non-NULL string value.
+func AppendStringKey(dst []byte, s string) []byte {
+	dst = append(dst, 's')
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, s...)
+	return append(dst, ';')
+}
+
+// AppendBoolKey appends the key encoding of a non-NULL bool value.
+func AppendBoolKey(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 'b', '1', ';')
+	}
+	return append(dst, 'b', '0', ';')
+}
+
+// AppendNullKey appends the key encoding of NULL.
+func AppendNullKey(dst []byte) []byte { return append(dst, 'n', ';') }
+
 // KeyString returns a canonical string key for a tuple of values, suitable
-// as a composite GROUP BY key. Numerically equal INT and FLOAT values map to
-// the same key; strings are length-prefixed so embedded separators cannot
-// collide.
+// as a composite GROUP BY key. See AppendKey for the encoding.
 func KeyString(vs []Value) string {
 	var sb []byte
 	for _, v := range vs {
-		switch v.kind {
-		case KindNull:
-			sb = append(sb, 'n', ';')
-		case KindInt, KindFloat:
-			f, _ := v.AsFloat()
-			sb = append(sb, 'f')
-			sb = strconv.AppendFloat(sb, f, 'b', -1, 64)
-			sb = append(sb, ';')
-		case KindString:
-			sb = append(sb, 's')
-			sb = strconv.AppendInt(sb, int64(len(v.s)), 10)
-			sb = append(sb, ':')
-			sb = append(sb, v.s...)
-			sb = append(sb, ';')
-		case KindBool:
-			if v.b {
-				sb = append(sb, 'b', '1', ';')
-			} else {
-				sb = append(sb, 'b', '0', ';')
-			}
-		}
+		sb = AppendKey(sb, v)
 	}
 	return string(sb)
 }
