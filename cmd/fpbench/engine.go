@@ -17,18 +17,32 @@ import (
 
 // The engine experiment: the 1000-world render path — executing the Query
 // Generator's pure TSQL over a materialized possible-worlds table — timed
-// on the legacy row-at-a-time engine versus the vectorized columnar engine,
-// for each of the five bundled example scenarios. Results are printed as a
-// table and written as JSON (BENCH_engine.json) for CI artifact upload and
-// the README's performance section.
+// on the legacy row-at-a-time engine, the interpreted vectorized engine,
+// and the compiled-plan path, for each of the five bundled example
+// scenarios. Besides ns/op, the vectorized and compiled paths report
+// allocs/op and bytes/op, so the plans' buffer-reuse win is tracked, not
+// just raw latency. Results are printed as a table and written as JSON
+// (BENCH_engine.json) for CI artifact upload, the README's performance
+// section, and the -check regression gate.
 
-// engineBenchResult is one scenario's row-vs-vectorized measurement.
+// engineBenchResult is one scenario's measurement across the three paths.
 type engineBenchResult struct {
 	Scenario          string  `json:"scenario"`
 	Worlds            int     `json:"worlds"`
 	RowNsPerOp        float64 `json:"row_ns_per_op"`
 	VectorizedNsPerOp float64 `json:"vectorized_ns_per_op"`
-	Speedup           float64 `json:"speedup"`
+	CompiledNsPerOp   float64 `json:"compiled_ns_per_op"`
+	// Speedup is row/vectorized (the PR 3 metric, kept for continuity);
+	// CompiledSpeedup is vectorized/compiled — the compiled plans' win over
+	// the interpreted vectorized baseline.
+	Speedup         float64 `json:"speedup"`
+	CompiledSpeedup float64 `json:"compiled_speedup"`
+	// Allocation profiles of the two columnar paths (the row path's boxed
+	// allocations are not worth tracking).
+	VectorizedAllocsPerOp float64 `json:"vectorized_allocs_per_op"`
+	VectorizedBytesPerOp  float64 `json:"vectorized_bytes_per_op"`
+	CompiledAllocsPerOp   float64 `json:"compiled_allocs_per_op"`
+	CompiledBytesPerOp    float64 `json:"compiled_bytes_per_op"`
 }
 
 // engineBenchReport is the BENCH_engine.json schema.
@@ -82,38 +96,53 @@ func materializeWorlds(ctx context.Context, scn *scenario.Scenario, worlds int) 
 	return sqlengine.NewColTable(scenario.WorldsTable, cols, columns)
 }
 
-// timeEngine measures ns/op of one execution mode, running at least
-// minIters iterations and at least minDur of wall clock.
-func timeEngine(ctx context.Context, run func() error) (float64, error) {
-	const (
-		minIters = 20
-		minDur   = 200 * time.Millisecond
-	)
-	// Warm up (catalog columnar conversions, allocator).
+// timeEngine measures ns/op, allocs/op and bytes/op of one execution mode,
+// running at least minIters iterations and at least minDur of wall clock.
+// Allocation counters come from runtime.MemStats deltas over the
+// single-goroutine timing loop.
+func timeEngine(ctx context.Context, run func() error, minIters int, minDur time.Duration) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
+	// Warm up (catalog columnar conversions, plan buffer pools).
 	if err := run(); err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	iters := 0
 	start := time.Now()
 	for iters < minIters || time.Since(start) < minDur {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		if err := run(); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		iters++
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+	return nsPerOp, allocsPerOp, bytesPerOp, nil
 }
 
-// runEngineBench is experiment "engine": before/after render benchmarks on
-// the five example scenarios, written to outPath.
-func runEngineBench(ctx context.Context, worlds int, outPath string) error {
-	section(fmt.Sprintf("ENGINE: row vs vectorized render path (%d worlds)", worlds))
+// runEngineBench is experiment "engine": render benchmarks for the three
+// execution paths on the five example scenarios. With check=false the
+// report is written to outPath; with check=true outPath is instead read as
+// the committed baseline and the run fails when a render path regressed
+// more than 20% against it (the CI bench regression gate).
+func runEngineBench(ctx context.Context, worlds int, outPath string, check bool) error {
+	section(fmt.Sprintf("ENGINE: row vs vectorized vs compiled render path (%d worlds)", worlds))
 	reg, err := benchfix.Registry()
 	if err != nil {
 		return err
+	}
+	// Gate runs measure longer: the -check thresholds must not flake on a
+	// noisy shared CI runner, so each path gets more iterations and wall
+	// clock than an informational run does.
+	minIters, minDur := 20, 200*time.Millisecond
+	if check {
+		minIters, minDur = 50, 600*time.Millisecond
 	}
 	report := engineBenchReport{
 		Benchmark: "engine-render",
@@ -122,7 +151,8 @@ func runEngineBench(ctx context.Context, worlds int, outPath string) error {
 		CPUs:      runtime.NumCPU(),
 		Worlds:    worlds,
 	}
-	fmt.Printf("%-20s %14s %14s %9s\n", "scenario", "row ns/op", "vec ns/op", "speedup")
+	fmt.Printf("%-16s %12s %12s %12s %8s %8s %11s %11s\n",
+		"scenario", "row ns/op", "vec ns/op", "plan ns/op", "r/v", "v/p", "vec allocs", "plan allocs")
 	for _, name := range sqlparser.ExampleScenarioNames() {
 		src := sqlparser.ExampleScenarios()[name]
 		scn, err := scenario.Compile(src, reg)
@@ -161,30 +191,55 @@ func runEngineBench(ctx context.Context, worlds int, outPath string) error {
 			return e
 		}
 		rowEngine := mkEngine(true)
-		rowNs, err := timeEngine(ctx, func() error {
+		rowNs, _, _, err := timeEngine(ctx, func() error {
 			_, err := rowEngine.ExecScript(script, nil)
 			return err
-		})
+		}, minIters, minDur)
 		if err != nil {
 			return fmt.Errorf("%s (row): %w", name, err)
 		}
 		vecEngine := mkEngine(false)
-		vecNs, err := timeEngine(ctx, func() error {
+		vecNs, vecAllocs, vecBytes, err := timeEngine(ctx, func() error {
 			_, err := vecEngine.ExecScriptColumnar(script, nil)
 			return err
-		})
+		}, minIters, minDur)
 		if err != nil {
 			return fmt.Errorf("%s (vectorized): %w", name, err)
 		}
+		// The compiled path executes the same generated TSQL via a plan
+		// compiled once — the scenario render loop's configuration.
+		plan := sqlengine.CompileScript(script)
+		planEngine := mkEngine(false)
+		planNs, planAllocs, planBytes, err := timeEngine(ctx, func() error {
+			res, err := plan.Exec(planEngine, nil)
+			if err != nil {
+				return err
+			}
+			res.Release()
+			return nil
+		}, minIters, minDur)
+		if err != nil {
+			return fmt.Errorf("%s (compiled): %w", name, err)
+		}
 		r := engineBenchResult{
-			Scenario:          name,
-			Worlds:            worlds,
-			RowNsPerOp:        rowNs,
-			VectorizedNsPerOp: vecNs,
-			Speedup:           rowNs / vecNs,
+			Scenario:              name,
+			Worlds:                worlds,
+			RowNsPerOp:            rowNs,
+			VectorizedNsPerOp:     vecNs,
+			CompiledNsPerOp:       planNs,
+			Speedup:               rowNs / vecNs,
+			CompiledSpeedup:       vecNs / planNs,
+			VectorizedAllocsPerOp: vecAllocs,
+			VectorizedBytesPerOp:  vecBytes,
+			CompiledAllocsPerOp:   planAllocs,
+			CompiledBytesPerOp:    planBytes,
 		}
 		report.Results = append(report.Results, r)
-		fmt.Printf("%-20s %14.0f %14.0f %8.1fx\n", name, rowNs, vecNs, r.Speedup)
+		fmt.Printf("%-16s %12.0f %12.0f %12.0f %7.1fx %7.1fx %11.1f %11.1f\n",
+			name, rowNs, vecNs, planNs, r.Speedup, r.CompiledSpeedup, vecAllocs, planAllocs)
+	}
+	if check {
+		return checkEngineBaseline(outPath, &report)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -195,5 +250,58 @@ func runEngineBench(ctx context.Context, worlds int, outPath string) error {
 		return err
 	}
 	fmt.Printf("\nwrote %s\n", outPath)
+	return nil
+}
+
+// checkEngineBaseline compares a fresh run against the committed baseline.
+// The gate compares MACHINE-NORMALIZED ratios — each columnar path's
+// speedup over the row engine measured in the same process — so a slower
+// CI runner does not trip it; only a real relative regression of the
+// vectorized or compiled path (>20%) does.
+func checkEngineBaseline(baselinePath string, current *engineBenchReport) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench check: reading baseline: %w", err)
+	}
+	var baseline engineBenchReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("bench check: parsing baseline %s: %w", baselinePath, err)
+	}
+	base := map[string]engineBenchResult{}
+	for _, r := range baseline.Results {
+		base[r.Scenario] = r
+	}
+	const tolerance = 0.8 // fail below 80% of the baseline ratio
+	fmt.Printf("\nregression gate vs %s (fail below %.0f%% of baseline):\n", baselinePath, tolerance*100)
+	failed := false
+	for _, cur := range current.Results {
+		b, ok := base[cur.Scenario]
+		if !ok || b.RowNsPerOp == 0 {
+			fmt.Printf("  %-16s no baseline entry, skipped\n", cur.Scenario)
+			continue
+		}
+		type gate struct {
+			name       string
+			cur, floor float64
+		}
+		gates := []gate{
+			{"row/vectorized", cur.RowNsPerOp / cur.VectorizedNsPerOp, (b.RowNsPerOp / b.VectorizedNsPerOp) * tolerance},
+		}
+		if b.CompiledNsPerOp > 0 && cur.CompiledNsPerOp > 0 {
+			gates = append(gates, gate{"row/compiled", cur.RowNsPerOp / cur.CompiledNsPerOp, (b.RowNsPerOp / b.CompiledNsPerOp) * tolerance})
+		}
+		for _, g := range gates {
+			status := "ok"
+			if g.cur < g.floor {
+				status = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("  %-16s %-16s %8.1fx (floor %8.1fx)  %s\n", cur.Scenario, g.name, g.cur, g.floor, status)
+		}
+	}
+	if failed {
+		return fmt.Errorf("bench check: render path regressed >20%% against %s", baselinePath)
+	}
+	fmt.Println("bench check: no regression")
 	return nil
 }

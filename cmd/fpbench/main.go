@@ -36,7 +36,8 @@ func main() {
 		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
 		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
 		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
-		benchOut     = flag.String("out", "BENCH_engine.json", "output path for the engine benchmark JSON")
+		benchOut     = flag.String("out", "BENCH_engine.json", "output path for the engine benchmark JSON (with -check: the baseline to compare against)")
+		benchCheck   = flag.Bool("check", false, "engine experiment only: compare against the committed baseline instead of writing; exit non-zero on >20% regression")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 		"e4":   func(ctx context.Context, w, s int) error { return runE4(ctx, w) },
 		"e5":   func(ctx context.Context, w, s int) error { return runE5() },
 		"engine": func(ctx context.Context, w, s int) error {
-			return runEngineBench(ctx, *engineWorlds, *benchOut)
+			return runEngineBench(ctx, *engineWorlds, *benchOut, *benchCheck)
 		},
 	}
 	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine"}

@@ -42,6 +42,7 @@ func main() {
 		snapshotDir      = flag.String("snapshot-dir", "", "directory for reuse snapshots (empty = no persistence)")
 		snapshotInterval = flag.Duration("snapshot-interval", time.Minute, "how often to persist reuse caches")
 		storeBudget      = flag.Int64("store-budget", 0, "per-scenario basis-store budget in bytes (0 = unbounded)")
+		enablePprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (do not expose publicly)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		snapshotDir:      *snapshotDir,
 		snapshotInterval: *snapshotInterval,
 		storeBudget:      *storeBudget,
+		enablePprof:      *enablePprof,
 	}); err != nil {
 		cli.Fatal("fpserver", err)
 	}
@@ -69,6 +71,7 @@ type config struct {
 	snapshotDir      string
 	snapshotInterval time.Duration
 	storeBudget      int64
+	enablePprof      bool
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -86,6 +89,7 @@ func run(ctx context.Context, cfg config) error {
 		SnapshotDir:      cfg.snapshotDir,
 		SnapshotInterval: cfg.snapshotInterval,
 		StoreBudget:      cfg.storeBudget,
+		EnablePprof:      cfg.enablePprof,
 		Logf:             logger.Printf,
 	})
 	if err != nil {

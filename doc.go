@@ -41,9 +41,15 @@
 // Under the hood the per-point render executes the Query Generator's pure
 // TSQL on a vectorized columnar engine (internal/sqlengine): Monte Carlo
 // worlds are laid out as typed column vectors and aggregated in tight
-// unboxed loops. See docs/ARCHITECTURE.md for how the packages map onto the
-// paper's pipeline, and the README's Performance section for the measured
-// row-versus-vectorized speedups.
+// unboxed loops. Each compiled Scenario additionally carries a compiled
+// execution plan — pre-bound operator kernels over pooled, reusable column
+// buffers — shared by all of its Sessions, Evaluate/EvaluateBatch calls and
+// Optimize sweeps. Plan caching is entirely transparent to this API: it is
+// keyed by Scenario.Fingerprint, so compiling an identical script (or
+// re-registering one with fpserver) reuses the warmed plan automatically,
+// and no public type or call changes. See docs/ARCHITECTURE.md ("Plan
+// compilation & buffer reuse") for the design, and the README's Performance
+// section for the measured speedups and allocation counts.
 //
 // See the examples directory for complete programs, and cmd/fuzzyprophet
 // and cmd/fpserver for the CLI and the multi-tenant HTTP service.

@@ -2,8 +2,6 @@ package fuzzyprophet
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -230,10 +228,12 @@ func (sc *Scenario) OutputColumns() []string {
 // exactly the right key for reuse-snapshot caching — basis distributions
 // depend only on the VG call sites, their arguments and the seed base, all
 // of which the script determines. Side tables added with AddTable are NOT
-// part of the fingerprint (they never influence VG sample vectors).
+// part of the fingerprint (they never influence VG sample vectors). The
+// engine also keys its compiled-plan cache off this identity, so
+// re-compiling an identical script (e.g. fpserver re-registration) reuses
+// the warmed execution plan transparently.
 func (sc *Scenario) Fingerprint() string {
-	sum := sha256.Sum256([]byte(sqlparser.Print(sc.scn.Script)))
-	return hex.EncodeToString(sum[:])
+	return sc.scn.Fingerprint()
 }
 
 // SpaceSize returns the total number of parameter-space grid points.

@@ -21,7 +21,6 @@ import (
 	"fuzzyprophet/internal/rng"
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlengine"
-	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 )
@@ -294,23 +293,26 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	}
 	ev.catalog.PutColumns(worlds)
 
-	// 3. Query Generator: emit pure TSQL, re-parse, execute.
+	// 3. Query Generator: emit pure TSQL for diagnostics (the paper's GUI
+	// displays it), then execute the scenario's COMPILED plan with the
+	// point's parameter bindings — semantically identical to parsing and
+	// executing the generated SQL (the differential suite asserts so), but
+	// with zero parse cost and, after warm-up, zero per-operator
+	// allocation: the plan's kernels write into pooled buffers that are
+	// recycled on Release below.
 	sql, err := ev.scn.GenerateSQL(pt)
 	if err != nil {
 		return nil, err
 	}
 	res.SQL = sql
-	script, err := sqlparser.Parse(sql)
+	out, err := ev.scn.Plan().Exec(ev.engine, pt)
 	if err != nil {
-		return nil, fmt.Errorf("mc: generated SQL does not parse: %w\n%s", err, sql)
-	}
-	out, err := ev.engine.ExecScriptColumnar(script, nil)
-	if err != nil {
-		return nil, fmt.Errorf("mc: executing generated SQL: %w", err)
+		return nil, fmt.Errorf("mc: executing scenario plan: %w", err)
 	}
 	if out == nil {
-		return nil, fmt.Errorf("mc: generated SQL produced no result")
+		return nil, fmt.Errorf("mc: scenario plan produced no result")
 	}
+	defer out.Release()
 
 	// 4. Collect output samples as column slices — the Result Aggregator
 	// consumes float vectors, so the engine's typed columns convert without

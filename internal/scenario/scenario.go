@@ -14,8 +14,11 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync"
 
 	"fuzzyprophet/internal/guide"
 	"fuzzyprophet/internal/sqlengine"
@@ -90,6 +93,64 @@ type Scenario struct {
 	// may reference (joined against the generated worlds table). They are
 	// installed into every evaluator's catalog.
 	StaticTables []*sqlengine.Table
+
+	planOnce sync.Once
+	plan     *sqlengine.Plan
+}
+
+// Fingerprint returns a stable hex identity for the scenario's script: the
+// SHA-256 of its canonical printed form. Scenarios whose scripts differ
+// only in whitespace or comments share a fingerprint; reuse snapshots and
+// the compiled-plan cache key off it.
+func (scn *Scenario) Fingerprint() string {
+	sum := sha256.Sum256([]byte(sqlparser.Print(scn.Script)))
+	return hex.EncodeToString(sum[:])
+}
+
+// planCache shares compiled plans between scenarios with identical
+// content: when fpserver re-registers a scenario (same script, fresh
+// *Scenario), the new registration picks up the already-warm plan, like
+// the reuse cache does for basis vectors. Keyed by the script fingerprint
+// PLUS the rewritten execution query — two registries could rewrite the
+// same script differently (different VG-function sets), and plans are
+// only interchangeable when the rewritten tree matches.
+var planCache = struct {
+	mu    sync.Mutex
+	plans map[string]*sqlengine.Plan
+	order []string
+}{plans: map[string]*sqlengine.Plan{}}
+
+// planCacheMax bounds the cache; beyond it the oldest entry is dropped
+// (plans are cheap to recompile — the cache exists for warm buffer pools).
+const planCacheMax = 512
+
+// Plan returns the scenario's compiled execution plan: the rewritten query
+// (VG calls already column references) compiled once into reusable
+// kernels. The plan is safe for concurrent execution; every evaluator and
+// session of the scenario shares it, so slider moves and concurrent
+// renders reuse its warmed buffer pools. Parameters are bound at execution
+// time, which is semantically identical to executing the Query Generator's
+// literal-substituted TSQL.
+func (scn *Scenario) Plan() *sqlengine.Plan {
+	scn.planOnce.Do(func() {
+		key := scn.Fingerprint() + "|" + scn.Exec.SQL()
+		planCache.mu.Lock()
+		defer planCache.mu.Unlock()
+		if p, ok := planCache.plans[key]; ok {
+			scn.plan = p
+			return
+		}
+		p := sqlengine.CompileSelect(scn.Exec)
+		if len(planCache.order) >= planCacheMax {
+			oldest := planCache.order[0]
+			planCache.order = planCache.order[1:]
+			delete(planCache.plans, oldest)
+		}
+		planCache.plans[key] = p
+		planCache.order = append(planCache.order, key)
+		scn.plan = p
+	})
+	return scn.plan
 }
 
 // AddTable attaches a deterministic side table the scenario query may

@@ -302,3 +302,104 @@ SELECT Gaussian(ABS(@w - 3), 1) AS g;`
 		t.Errorf("key = %q", key)
 	}
 }
+
+// TestPlanSharedAcrossRecompiles asserts the compiled-plan cache carries
+// plans across re-compilations of identical content — the fpserver
+// re-registration path: a planner re-deploying an unchanged scenario must
+// pick up the already-warm execution plan, not compile a cold one.
+func TestPlanSharedAcrossRecompiles(t *testing.T) {
+	reg := testRegistry(t)
+	a, err := Compile(figure2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whitespace-only differences share a fingerprint and must share a plan.
+	b, err := Compile(figure2+"\n\n", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan() == nil {
+		t.Fatal("nil plan")
+	}
+	if a.Plan() != b.Plan() {
+		t.Error("re-compiled identical scenario did not share the cached plan")
+	}
+	if a.Plan() != a.Plan() {
+		t.Error("Plan is not stable per scenario")
+	}
+	// A genuinely different script must not share.
+	c, err := Compile(strings.Replace(figure2, "@feature AS SET (12,36,44)", "@feature AS SET (12,36)", 1), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Plan() == a.Plan() {
+		t.Error("different scenarios share one plan")
+	}
+}
+
+// TestPlanMatchesGeneratedSQL asserts executing the compiled plan with
+// parameter bindings is exactly the generated-SQL render: same columns,
+// same per-world values.
+func TestPlanMatchesGeneratedSQL(t *testing.T) {
+	scn, err := Compile(figure2, testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := scn.DefaultPoint()
+	sql, err := scn.GenerateSQL(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny deterministic worlds table: the engine does not care that the
+	// samples came from a test vector.
+	worlds := 16
+	cols := []string{WorldColumn}
+	ord := make([]int64, worlds)
+	demand := make([]float64, worlds)
+	capacity := make([]float64, worlds)
+	for i := 0; i < worlds; i++ {
+		ord[i] = int64(i)
+		demand[i] = float64(40000 + 1000*i)
+		capacity[i] = float64(52000 - 500*i)
+	}
+	columns := []*sqlengine.Column{sqlengine.IntColumn(ord)}
+	cols = append(cols, scn.Sites[0].Column, scn.Sites[1].Column)
+	columns = append(columns, sqlengine.FloatColumn(demand), sqlengine.FloatColumn(capacity))
+	wt, err := sqlengine.NewColTable(WorldsTable, cols, columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkEngine := func() *sqlengine.Engine {
+		cat := sqlengine.NewCatalog()
+		cat.PutColumns(wt)
+		return sqlengine.New(cat)
+	}
+	ref, err := mkEngine().ExecScript(script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := scn.Plan().Exec(mkEngine(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pres.Result()
+	pres.Release()
+	if strings.Join(got.Cols, ",") != strings.Join(ref.Cols, ",") {
+		t.Fatalf("cols %v vs %v", got.Cols, ref.Cols)
+	}
+	if len(got.Rows) != len(ref.Rows) {
+		t.Fatalf("%d vs %d rows", len(got.Rows), len(ref.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Cols {
+			a, b := got.Rows[i][j], ref.Rows[i][j]
+			if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+				t.Fatalf("world %d col %s: plan %v vs generated-SQL %v", i, got.Cols[j], a, b)
+			}
+		}
+	}
+}

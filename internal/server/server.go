@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -73,6 +74,10 @@ type Config struct {
 	// StoreBudget bounds each scenario's basis-distribution store in
 	// bytes (0 = unbounded).
 	StoreBudget int64
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ so
+	// the serving path can be profiled in place (fpserver -pprof). Leave
+	// off on exposed deployments: the profiles reveal internals.
+	EnablePprof bool
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -153,6 +158,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// Registered explicitly: importing net/http/pprof for side effects
+		// would mount the handlers on the DefaultServeMux, not ours.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 func (s *Server) startLoops() {

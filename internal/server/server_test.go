@@ -595,3 +595,30 @@ func TestRegisterValidation(t *testing.T) {
 		t.Errorf("bogus point key = %d, want 400", code)
 	}
 }
+
+// TestPprofEndpoints asserts the profiling handlers are mounted only when
+// EnablePprof is set (they expose internals, so off must mean absent, not
+// merely empty).
+func TestPprofEndpoints(t *testing.T) {
+	_, off := newTestServer(t, nil)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, func(c *Config) { c.EnablePprof = true })
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof enabled: GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -223,6 +223,27 @@ func lookupBinding(schema []colBinding, table, name string) (int, error) {
 	return found, nil
 }
 
+// findBinding is lookupBinding without error construction: it returns -1
+// for unknown or ambiguous references. Hot callers that only need to know
+// whether a reference resolves (the compiled plans' bind pass) use it to
+// stay allocation-free; lookupBinding still produces the user-facing error.
+func findBinding(schema []colBinding, table, name string) int {
+	found := -1
+	for i, b := range schema {
+		if b.name != name {
+			continue
+		}
+		if table != "" && b.table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1 // ambiguous
+		}
+		found = i
+	}
+	return found
+}
+
 // relation is an intermediate result of the row executor: a schema plus
 // boxed rows.
 type relation struct {

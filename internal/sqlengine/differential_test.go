@@ -52,9 +52,10 @@ func diffData(t *testing.T) *Catalog {
 	return cat
 }
 
-// runBothEngines executes src on a vectorized and a row engine over fresh
-// identical catalogs and asserts the outcomes match. It returns the
-// vectorized result for any additional assertions.
+// runBothEngines executes src on the compiled-plan path, the interpreted
+// vectorized path and the row engine over fresh identical catalogs and
+// asserts all three outcomes match. It returns the vectorized result for
+// any additional assertions.
 func runBothEngines(t *testing.T, src string, params map[string]value.Value) *Result {
 	t.Helper()
 	vec := New(diffData(t))
@@ -67,6 +68,24 @@ func runBothEngines(t *testing.T, src string, params map[string]value.Value) *Re
 	vres, verr := vec.ExecScript(script, params)
 	rres, rerr := row.ExecScript(script, params)
 	compareOutcomes(t, src, vres, verr, rres, rerr)
+
+	// Compiled-plan leg: compile once, execute twice on one engine — the
+	// second pass reuses the plan's buffers, so any cross-execution buffer
+	// contamination shows up as a mismatch here.
+	plan := CompileScript(script)
+	comp := New(diffData(t))
+	for pass := 0; pass < 2; pass++ {
+		pres, perr := plan.Exec(comp, params)
+		var cres *Result
+		if perr == nil && pres != nil {
+			cres = pres.Result()
+			pres.Release()
+		}
+		compareOutcomes(t, src+" [compiled]", cres, perr, rres, rerr)
+		if perr != nil {
+			break
+		}
+	}
 	return vres
 }
 
@@ -162,6 +181,19 @@ func TestDifferentialFixedQueries(t *testing.T) {
 		"SELECT t.a FROM t LEFT JOIN dim ON t.g = dim.g WHERE dim.label IS NULL ORDER BY t.a;",
 		"SELECT x.a, y.weight FROM t x JOIN dim y ON x.g = y.g WHERE y.weight > 1 ORDER BY x.a;",
 		"SELECT COUNT(*) AS n FROM t JOIN dim ON t.b > dim.weight;",
+		// Equality joins with swapped/expression keys (the hash path) and
+		// all-NULL key sides.
+		"SELECT t.a, dim.label FROM t JOIN dim ON dim.g = t.g ORDER BY t.a;",
+		"SELECT t.a FROM t JOIN dim ON t.b = dim.weight * 4 ORDER BY t.a;",
+		"SELECT COUNT(*) AS n FROM allnull JOIN dim ON allnull.v = dim.weight;",
+		"SELECT dim.label FROM dim LEFT JOIN allnull ON dim.weight = allnull.v ORDER BY dim.label;",
+		// GROUP BY over a hash equi-join with NULL keys on both sides: the
+		// NULL t.g rows and dim's NULL-g row must never match (row-engine
+		// semantics), and the grouped aggregates must see exactly the
+		// joined multiplicities.
+		"SELECT dim.label, COUNT(*) AS n, SUM(t.a) AS s FROM t JOIN dim ON t.g = dim.g GROUP BY dim.label ORDER BY dim.label;",
+		"SELECT dim.label, COUNT(t.a) AS n, AVG(t.b) AS avgb FROM t LEFT JOIN dim ON t.g = dim.g GROUP BY dim.label ORDER BY dim.label;",
+		"SELECT t.g, COUNT(*) AS n FROM t JOIN dim ON t.g = dim.g GROUP BY t.g HAVING COUNT(*) > 1 ORDER BY t.g;",
 		// INTO materialization and re-query.
 		"SELECT g, COUNT(*) AS n INTO agg FROM t GROUP BY g; SELECT g, n FROM agg ORDER BY n DESC, g;",
 		"SELECT a, b INTO copy FROM t WHERE a IS NOT NULL; SELECT SUM(a) AS s FROM copy;",

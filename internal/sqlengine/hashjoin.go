@@ -1,0 +1,209 @@
+package sqlengine
+
+import (
+	"math"
+
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/value"
+)
+
+// Hash equi-join: for JOIN … ON <left-expr> = <right-expr> the engine
+// hashes the right (usually small dimension) side on its pre-computed key
+// column and probes it with the left side, instead of materializing the
+// full nl×nr cross product and filtering it — the serverfleet shape
+// (worlds × dimension) never needs the quadratic intermediate.
+//
+// The hash path must be observationally identical to the quadratic filter,
+// which compares keys through compareColumns/value.Compare. That forces
+// three guard rails:
+//
+//   - key columns must be of one comparison family (numeric×numeric,
+//     string×string, bool×bool); anything boxed or cross-family falls back
+//     to the quadratic path so per-row comparison errors surface exactly
+//     as the row oracle reports them;
+//   - NULL keys never match (they are skipped on build and probe, matching
+//     NULL = x ⇒ NULL ⇒ not truthy);
+//   - float keys encode -0 as +0 (compareColumns treats them equal) and
+//     any NaN key aborts the hash path entirely — the engines' two-way
+//     comparison makes NaN compare equal to everything, which no hash key
+//     can express.
+
+// equiJoinKeys inspects an ON condition and, when it is a single equality
+// whose two sides each reference columns of exactly one input, returns the
+// key expressions ordered (leftKey over acc, rightKey over next).
+func equiJoinKeys(cond sqlparser.Expr, acc, next *vRel) (leftKey, rightKey sqlparser.Expr, ok bool) {
+	bin, isBin := cond.(sqlparser.Binary)
+	if !isBin || bin.Op != "=" {
+		return nil, nil, false
+	}
+	combined := append(append([]colBinding(nil), acc.schema...), next.schema...)
+	side := func(x sqlparser.Expr) int {
+		// 0: no columns, 1: acc only, 2: next only, 3: mixed/unresolvable.
+		s := 0
+		var bad bool
+		sqlparser.WalkExpr(x, func(e sqlparser.Expr) {
+			cr, isCol := e.(sqlparser.ColumnRef)
+			if !isCol || bad {
+				return
+			}
+			idx, err := lookupBinding(combined, cr.Table, cr.Name)
+			if err != nil {
+				// Ambiguous or unknown: let the quadratic path surface the
+				// same error.
+				bad = true
+				return
+			}
+			var this int
+			if idx < len(acc.schema) {
+				this = 1
+			} else {
+				this = 2
+			}
+			if s == 0 {
+				s = this
+			} else if s != this {
+				s = 3
+			}
+		})
+		if bad {
+			return 3
+		}
+		return s
+	}
+	ls, rs := side(bin.L), side(bin.R)
+	switch {
+	case ls <= 1 && rs == 2:
+		return bin.L, bin.R, true
+	case ls == 2 && rs <= 1:
+		return bin.R, bin.L, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// hashableJoinKinds reports whether two key columns belong to one
+// comparison family the hash encoding can represent faithfully.
+func hashableJoinKinds(l, r *Column) bool {
+	family := func(c *Column) int {
+		switch c.kind {
+		case ColInt, ColFloat:
+			return 1
+		case ColString:
+			return 2
+		case ColBool:
+			return 3
+		default:
+			return 0 // ColNull handled by callers; ColBoxed never hashable
+		}
+	}
+	lf, rf := family(l), family(r)
+	if l.kind == ColNull || r.kind == ColNull {
+		// All-NULL key side: no row can match; the probe loop handles it.
+		return true
+	}
+	return lf != 0 && rf != 0 && lf == rf
+}
+
+// appendJoinKey appends row i's hash-join key to dst, reporting ok=false
+// for a NaN float key (unhashable: NaN compares equal to everything under
+// the engines' two-way comparison).
+func appendJoinKey(c *Column, i int, dst []byte) ([]byte, bool) {
+	switch c.kind {
+	case ColFloat:
+		f := c.f[i]
+		if math.IsNaN(f) {
+			return dst, false
+		}
+		if f == 0 {
+			f = 0 // normalize -0: compareColumns treats -0 = +0
+		}
+		return value.AppendFloatKey(dst, f), true
+	case ColInt:
+		return value.AppendFloatKey(dst, float64(c.i[i])), true
+	case ColString:
+		return value.AppendStringKey(dst, c.s[i]), true
+	case ColBool:
+		return value.AppendBoolKey(dst, c.b[i]), true
+	default:
+		return dst, false
+	}
+}
+
+// hashEquiJoin evaluates the key expressions over their sides and builds
+// the (outL, outR) gather lists of the inner or left join, appending to the
+// provided buffers (pass nil to allocate). ok=false means the keys turned
+// out unhashable (kind family mismatch, boxed keys, or a NaN key) and the
+// caller must run the quadratic path; err means key evaluation failed,
+// which the quadratic path would also report.
+func (e *Engine) hashEquiJoin(acc, next *vRel, leftKeyX, rightKeyX sqlparser.Expr, leftJoin bool, params map[string]value.Value, outL, outR []int) (gl, gr []int, ok bool, err error) {
+	// Evaluate left before right: the quadratic path's evalBinary does the
+	// same, so when both sides error the same one wins.
+	lvc := &vctx{params: params, rel: acc, resolver: e.Resolver}
+	lkey, err := lvc.eval(leftKeyX, fullFrame(acc.n))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	rvc := &vctx{params: params, rel: next, resolver: e.Resolver}
+	rkey, err := rvc.eval(rightKeyX, fullFrame(next.n))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if !hashableJoinKinds(lkey, rkey) {
+		return nil, nil, false, nil
+	}
+	outL, outR = outL[:0], outR[:0]
+
+	// All-NULL on either side: nothing matches; LEFT JOIN pads everything.
+	if lkey.kind == ColNull || rkey.kind == ColNull {
+		if leftJoin {
+			for l := 0; l < acc.n; l++ {
+				outL = append(outL, l)
+				outR = append(outR, -1)
+			}
+		}
+		return outL, outR, true, nil
+	}
+
+	// Build on the right side, preserving right-row order per key so the
+	// probe emits matches in exactly the quadratic path's order.
+	var keyBuf []byte
+	build := make(map[string][]int32, rkey.n)
+	for r := 0; r < rkey.n; r++ {
+		if rkey.IsNull(r) {
+			continue
+		}
+		var kok bool
+		keyBuf, kok = appendJoinKey(rkey, r, keyBuf[:0])
+		if !kok {
+			return nil, nil, false, nil
+		}
+		build[string(keyBuf)] = append(build[string(keyBuf)], int32(r))
+	}
+	for l := 0; l < lkey.n; l++ {
+		if lkey.IsNull(l) {
+			if leftJoin {
+				outL = append(outL, l)
+				outR = append(outR, -1)
+			}
+			continue
+		}
+		var kok bool
+		keyBuf, kok = appendJoinKey(lkey, l, keyBuf[:0])
+		if !kok {
+			return nil, nil, false, nil
+		}
+		matches := build[string(keyBuf)]
+		if len(matches) == 0 {
+			if leftJoin {
+				outL = append(outL, l)
+				outR = append(outR, -1)
+			}
+			continue
+		}
+		for _, r := range matches {
+			outL = append(outL, l)
+			outR = append(outR, int(r))
+		}
+	}
+	return outL, outR, true, nil
+}

@@ -1,0 +1,768 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/value"
+)
+
+// The kernel compiler: lowers the hot subset of the expression language —
+// column/alias references, literals and parameters as scalars, arithmetic,
+// comparisons, and the compare→CASE shape every bundled scenario uses —
+// into closures over pre-allocated buffer slots. Anything outside the
+// subset compiles to a fallback kernel that runs the interpreted
+// vectorized evaluator over the same relation and selection, so compiled
+// and interpreted execution agree by construction.
+//
+// Fusion: a CASE whose conditions are plain comparisons of simple operands
+// and whose results are simple operands (the scenarios'
+// "CASE WHEN capacity < demand THEN 1 ELSE 0 END") executes as one
+// mask-and-pick pass with no intermediate columns and no scatter lists.
+// Comparisons and arithmetic against literals/parameters specialize to
+// col⊕const loops that never materialize the scalar as a column.
+
+type compiler struct {
+	p       *Plan
+	specIDs map[colRefSpec]int
+}
+
+// colRef interns a (table, name) reference, giving it a gather slot.
+func (c *compiler) colRef(table, name string) int {
+	key := colRefSpec{table: table, name: name}
+	if id, ok := c.specIDs[key]; ok {
+		return id
+	}
+	id := len(c.p.colRefs)
+	c.specIDs[key] = id
+	c.p.colRefs = append(c.p.colRefs, key)
+	c.p.gatherSlot = append(c.p.gatherSlot, c.newSlot())
+	return id
+}
+
+func (c *compiler) newSlot() int {
+	id := c.p.slots
+	c.p.slots++
+	return id
+}
+
+// registerExprCols interns every column reference of a subtree so the
+// relation materializes the columns a fallback kernel will resolve by
+// name. Alias-shadowed names may intern a base column needlessly; that
+// costs one extra gather, never correctness.
+func (c *compiler) registerExprCols(x sqlparser.Expr) {
+	sqlparser.WalkExpr(x, func(e sqlparser.Expr) {
+		if cr, ok := e.(sqlparser.ColumnRef); ok {
+			c.colRef(cr.Table, cr.Name)
+		}
+	})
+}
+
+// compileRoot compiles an expression, falling back to the interpreted
+// evaluator for anything outside the kernel subset.
+func (c *compiler) compileRoot(x sqlparser.Expr, aliases map[string]int) kernel {
+	if k, ok := c.compile(x, aliases); ok {
+		return k
+	}
+	c.registerExprCols(x)
+	return fallbackKernel(x)
+}
+
+// fallbackKernel evaluates x through the interpreted vectorized evaluator
+// over the current relation, selection and alias columns.
+func fallbackKernel(x sqlparser.Expr) kernel {
+	return func(st *planState) (*Column, error) {
+		vc := &vctx{params: st.params, rel: &st.rel, extras: st.extras, resolver: st.e.Resolver}
+		return vc.eval(x, frame{rows: st.sel, n: st.n})
+	}
+}
+
+// scalarSrc is a compile-time scalar operand: a literal value or a
+// parameter fetched at execution time.
+type scalarSrc struct {
+	isParam bool
+	name    string
+	val     value.Value
+}
+
+func (s *scalarSrc) resolve(st *planState) (value.Value, error) {
+	if !s.isParam {
+		return s.val, nil
+	}
+	if st.params != nil {
+		if v, ok := st.params[s.name]; ok {
+			return v, nil
+		}
+	}
+	return value.Null, fmt.Errorf("sqlengine: unbound parameter @%s", s.name)
+}
+
+// operand is one side of a compiled binary operator: a scalar or a
+// compiled sub-kernel.
+type operand struct {
+	scalar *scalarSrc
+	k      kernel
+}
+
+func (c *compiler) compileOperand(x sqlparser.Expr, aliases map[string]int) (operand, bool) {
+	switch n := x.(type) {
+	case sqlparser.Literal:
+		return operand{scalar: &scalarSrc{val: n.Val}}, true
+	case sqlparser.ParamRef:
+		return operand{scalar: &scalarSrc{isParam: true, name: n.Name}}, true
+	}
+	k, ok := c.compile(x, aliases)
+	if !ok {
+		return operand{}, false
+	}
+	return operand{k: k}, true
+}
+
+// compile lowers x to a kernel; ok=false means the subtree is outside the
+// compiled subset.
+func (c *compiler) compile(x sqlparser.Expr, aliases map[string]int) (kernel, bool) {
+	switch n := x.(type) {
+	case sqlparser.ColumnRef:
+		if n.Table == "" && aliases != nil {
+			if idx, ok := aliases[n.Name]; ok {
+				return aliasKernel(idx), true
+			}
+		}
+		spec := c.colRef(n.Table, n.Name)
+		return func(st *planState) (*Column, error) { return st.colRefCol(spec) }, true
+	case sqlparser.Literal:
+		slot := c.newSlot()
+		v := n.Val
+		return func(st *planState) (*Column, error) {
+			return splatInto(st.slot(slot), v, st.n), nil
+		}, true
+	case sqlparser.ParamRef:
+		slot := c.newSlot()
+		src := &scalarSrc{isParam: true, name: n.Name}
+		return func(st *planState) (*Column, error) {
+			v, err := src.resolve(st)
+			if err != nil {
+				return nil, err
+			}
+			return splatInto(st.slot(slot), v, st.n), nil
+		}, true
+	case sqlparser.Binary:
+		switch n.Op {
+		case "+", "-", "*", "/", "%":
+			return c.compileArith(n, aliases)
+		case "=", "<>", "<", "<=", ">", ">=":
+			return c.compileCompare(n, aliases)
+		}
+		return nil, false
+	case sqlparser.Case:
+		return c.compileFusedCase(n, aliases)
+	default:
+		return nil, false
+	}
+}
+
+func aliasKernel(idx int) kernel {
+	return func(st *planState) (*Column, error) { return st.itemCols[idx], nil }
+}
+
+// resolveOperandCol evaluates a kernel operand (nil column for scalars).
+func resolveOperandCol(st *planState, o operand) (*Column, value.Value, error) {
+	if o.scalar != nil {
+		v, err := o.scalar.resolve(st)
+		return nil, v, err
+	}
+	col, err := o.k(st)
+	return col, value.Null, err
+}
+
+// compileArith lowers an arithmetic node. Typed numeric operands run
+// through the shared no-null/masked cores into plan buffers; anything else
+// degrades to arithColumns (identical semantics, interpreted speed).
+func (c *compiler) compileArith(n sqlparser.Binary, aliases map[string]int) (kernel, bool) {
+	l, lok := c.compileOperand(n.L, aliases)
+	r, rok := c.compileOperand(n.R, aliases)
+	if !lok || !rok || (l.scalar != nil && r.scalar != nil) {
+		return nil, false
+	}
+	op := n.Op[0]
+	out := c.newSlot()
+	scratchL := c.newSlot()
+	scratchR := c.newSlot()
+	return func(st *planState) (*Column, error) {
+		lcol, lval, err := resolveOperandCol(st, l)
+		if err != nil {
+			return nil, err
+		}
+		rcol, rval, err := resolveOperandCol(st, r)
+		if err != nil {
+			return nil, err
+		}
+		sl := st.slot(out)
+		n := st.n
+		// Scalar-side handling: a NULL scalar or NULL column nullifies the
+		// whole result (arithColumns semantics).
+		if (lcol == nil && lval.IsNull()) || (rcol == nil && rval.IsNull()) ||
+			(lcol != nil && lcol.kind == ColNull) || (rcol != nil && rcol.kind == ColNull) {
+			return sl.nullCol(n), nil
+		}
+		if lcol != nil && rcol != nil {
+			if !lcol.isTypedNumeric() || !rcol.isTypedNumeric() {
+				return arithColumns(op, lcol, rcol)
+			}
+			nulls, nbuf := mergeNullsInto(sl.nulls, n, lcol.nulls, rcol.nulls)
+			sl.nulls = nbuf
+			if lcol.kind == ColInt && rcol.kind == ColInt && op != '/' {
+				_, dst := sl.intCol(n)
+				var err error
+				switch op {
+				case '+':
+					addIntsInto(dst, lcol.i, rcol.i)
+				case '-':
+					subIntsInto(dst, lcol.i, rcol.i)
+				case '*':
+					mulIntsInto(dst, lcol.i, rcol.i)
+				case '%':
+					err = modIntsInto(dst, lcol.i, rcol.i, nulls)
+				}
+				if err != nil {
+					return nil, err
+				}
+				sl.col.nulls = nulls
+				return &sl.col, nil
+			}
+			lf := st.slot(scratchL).floatsInto(lcol)
+			rf := st.slot(scratchR).floatsInto(rcol)
+			_, dst := sl.floatCol(n)
+			var ferr error
+			switch op {
+			case '+':
+				addFloatsInto(dst, lf, rf)
+			case '-':
+				subFloatsInto(dst, lf, rf)
+			case '*':
+				mulFloatsInto(dst, lf, rf)
+			case '/':
+				ferr = divFloatsInto(dst, lf, rf, nulls)
+			case '%':
+				ferr = modFloatsInto(dst, lf, rf, nulls)
+			}
+			if ferr != nil {
+				return nil, ferr
+			}
+			sl.col.nulls = nulls
+			return &sl.col, nil
+		}
+		// col ⊕ scalar / scalar ⊕ col.
+		col, sv := lcol, rval
+		constLeft := false
+		if col == nil {
+			col, sv = rcol, lval
+			constLeft = true
+		}
+		svKind := sv.Kind()
+		if !col.isTypedNumeric() || (svKind != value.KindInt && svKind != value.KindFloat) {
+			// Degrade: splat the scalar and use the interpreted operator.
+			splat := splatInto(st.slot(scratchL), sv, n)
+			if constLeft {
+				return arithColumns(op, splat, col)
+			}
+			return arithColumns(op, col, splat)
+		}
+		if col.kind == ColInt && svKind == value.KindInt && op != '/' {
+			ci, _ := sv.AsInt()
+			_, dst := sl.intCol(n)
+			if err := arithIntsConstInto(op, dst, col.i, ci, constLeft, col.nulls); err != nil {
+				return nil, err
+			}
+			sl.col.nulls = col.nulls
+			return &sl.col, nil
+		}
+		cf, _ := sv.AsFloat()
+		af := st.slot(scratchR).floatsInto(col)
+		_, dst := sl.floatCol(n)
+		if err := arithFloatsConstInto(op, dst, af, cf, constLeft, col.nulls); err != nil {
+			return nil, err
+		}
+		sl.col.nulls = col.nulls
+		return &sl.col, nil
+	}, true
+}
+
+// compileCompare lowers a comparison node with the same degradation
+// ladder as compileArith.
+func (c *compiler) compileCompare(n sqlparser.Binary, aliases map[string]int) (kernel, bool) {
+	l, lok := c.compileOperand(n.L, aliases)
+	r, rok := c.compileOperand(n.R, aliases)
+	if !lok || !rok || (l.scalar != nil && r.scalar != nil) {
+		return nil, false
+	}
+	op := n.Op
+	out := c.newSlot()
+	scratchL := c.newSlot()
+	scratchR := c.newSlot()
+	return func(st *planState) (*Column, error) {
+		lcol, lval, err := resolveOperandCol(st, l)
+		if err != nil {
+			return nil, err
+		}
+		rcol, rval, err := resolveOperandCol(st, r)
+		if err != nil {
+			return nil, err
+		}
+		sl := st.slot(out)
+		n := st.n
+		if (lcol == nil && lval.IsNull()) || (rcol == nil && rval.IsNull()) ||
+			(lcol != nil && lcol.kind == ColNull) || (rcol != nil && rcol.kind == ColNull) {
+			// compareColumns yields an all-NULL column for NULL operands.
+			return sl.nullCol(n), nil
+		}
+		if lcol != nil && rcol != nil {
+			if lcol.isTypedNumeric() && rcol.isTypedNumeric() {
+				nulls, nbuf := mergeNullsInto(sl.nulls, n, lcol.nulls, rcol.nulls)
+				sl.nulls = nbuf
+				_, dst := sl.boolCol(n)
+				if lcol.kind == ColInt && rcol.kind == ColInt {
+					cmpIntsInto(op, dst, lcol.i, rcol.i)
+				} else {
+					lf := st.slot(scratchL).floatsInto(lcol)
+					rf := st.slot(scratchR).floatsInto(rcol)
+					cmpFloatsInto(op, dst, lf, rf)
+				}
+				sl.col.nulls = nulls
+				return &sl.col, nil
+			}
+			return compareColumns(op, lcol, rcol)
+		}
+		col, sv := lcol, rval
+		constLeft := false
+		if col == nil {
+			col, sv = rcol, lval
+			constLeft = true
+		}
+		svKind := sv.Kind()
+		if !col.isTypedNumeric() || (svKind != value.KindInt && svKind != value.KindFloat) {
+			splat := splatInto(st.slot(scratchL), sv, n)
+			if constLeft {
+				return compareColumns(op, splat, col)
+			}
+			return compareColumns(op, col, splat)
+		}
+		cf, _ := sv.AsFloat()
+		af := st.slot(scratchR).floatsInto(col)
+		_, dst := sl.boolCol(n)
+		cmpFloatsConstInto(op, dst, af, cf, constLeft)
+		sl.col.nulls = col.nulls
+		return &sl.col, nil
+	}, true
+}
+
+// caseOperand is a simple operand of a fused CASE: a scalar, an alias
+// column, or a base column reference.
+type caseOperand struct {
+	scalar   *scalarSrc
+	aliasIdx int // >= 0: item column
+	spec     int // >= 0: base column reference
+}
+
+func (c *compiler) compileCaseOperand(x sqlparser.Expr, aliases map[string]int) (caseOperand, bool) {
+	switch n := x.(type) {
+	case sqlparser.Literal:
+		return caseOperand{scalar: &scalarSrc{val: n.Val}, aliasIdx: -1, spec: -1}, true
+	case sqlparser.ParamRef:
+		return caseOperand{scalar: &scalarSrc{isParam: true, name: n.Name}, aliasIdx: -1, spec: -1}, true
+	case sqlparser.ColumnRef:
+		if n.Table == "" && aliases != nil {
+			if idx, ok := aliases[n.Name]; ok {
+				return caseOperand{aliasIdx: idx, spec: -1}, true
+			}
+		}
+		return caseOperand{aliasIdx: -1, spec: c.colRef(n.Table, n.Name)}, true
+	default:
+		return caseOperand{}, false
+	}
+}
+
+// resolve returns the operand as either a column or a scalar value.
+func (o *caseOperand) resolve(st *planState) (*Column, value.Value, error) {
+	switch {
+	case o.scalar != nil:
+		v, err := o.scalar.resolve(st)
+		return nil, v, err
+	case o.aliasIdx >= 0:
+		return st.itemCols[o.aliasIdx], value.Null, nil
+	default:
+		col, err := st.colRefCol(o.spec)
+		return col, value.Null, err
+	}
+}
+
+type fusedWhen struct {
+	op   string
+	l, r caseOperand
+}
+
+// compileFusedCase lowers CASE WHEN <cmp> THEN <simple> … [ELSE <simple>]
+// into a mask-and-pick pass. Shapes or runtime operand kinds outside the
+// fusable set bail to the interpreted CASE, which is always correct.
+func (c *compiler) compileFusedCase(n sqlparser.Case, aliases map[string]int) (kernel, bool) {
+	if len(n.Whens) == 0 {
+		return nil, false
+	}
+	whens := make([]fusedWhen, len(n.Whens))
+	outs := make([]caseOperand, len(n.Whens))
+	for i, w := range n.Whens {
+		cmp, ok := w.Cond.(sqlparser.Binary)
+		if !ok {
+			return nil, false
+		}
+		switch cmp.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return nil, false
+		}
+		l, lok := c.compileCaseOperand(cmp.L, aliases)
+		r, rok := c.compileCaseOperand(cmp.R, aliases)
+		if !lok || !rok {
+			return nil, false
+		}
+		whens[i] = fusedWhen{op: cmp.Op, l: l, r: r}
+		out, ok := c.compileCaseOperand(w.Then, aliases)
+		if !ok {
+			return nil, false
+		}
+		outs[i] = out
+	}
+	var elseOut *caseOperand
+	if n.Else != nil {
+		eo, ok := c.compileCaseOperand(n.Else, aliases)
+		if !ok {
+			return nil, false
+		}
+		elseOut = &eo
+	}
+	// The interpreted CASE, for when runtime kinds fall outside the fused
+	// set; its column references are interned so the relation carries them.
+	c.registerExprCols(n)
+	bail := fallbackKernel(n)
+
+	maskSlots := make([]int, len(whens))
+	cmpScratchL := make([]int, len(whens))
+	cmpScratchR := make([]int, len(whens))
+	for i := range whens {
+		maskSlots[i] = c.newSlot()
+		cmpScratchL[i] = c.newSlot()
+		cmpScratchR[i] = c.newSlot()
+	}
+	outSlot := c.newSlot()
+
+	return func(st *planState) (*Column, error) {
+		n := st.n
+		cs := &st.cs
+		cs.reset(len(whens))
+		// Resolve every operand; any shape the fused pass cannot represent
+		// exactly routes to the interpreted CASE.
+		for i := range whens {
+			lc, lv, err := whens[i].l.resolve(st)
+			if err != nil {
+				return bail(st)
+			}
+			rc, rv, err := whens[i].r.resolve(st)
+			if err != nil {
+				return bail(st)
+			}
+			if (lc != nil && !numericColKind(lc)) || (rc != nil && !numericColKind(rc)) ||
+				(lc == nil && !numericValKind(lv)) || (rc == nil && !numericValKind(rv)) ||
+				(lc == nil && rc == nil) {
+				return bail(st)
+			}
+			cs.condLC[i], cs.condLV[i] = lc, lv
+			cs.condRC[i], cs.condRV[i] = rc, rv
+		}
+		outKind := ColNull
+		var elseC *Column
+		var elseV value.Value
+		for i := range outs {
+			col, v, ok := resolveFusedOut(st, &outs[i], &outKind)
+			if !ok {
+				return bail(st)
+			}
+			cs.outC[i], cs.outV[i] = col, v
+		}
+		if elseOut != nil {
+			col, v, ok := resolveFusedOut(st, elseOut, &outKind)
+			if !ok {
+				return bail(st)
+			}
+			elseC, elseV = col, v
+		}
+
+		// Pass 1: one bool mask per arm (cond true AND operands non-NULL).
+		for w := range whens {
+			_, mask := st.slot(maskSlots[w]).boolCol(n)
+			lc, rc := cs.condLC[w], cs.condRC[w]
+			switch {
+			case lc != nil && rc != nil:
+				if lc.kind == ColInt && rc.kind == ColInt {
+					cmpIntsInto(whens[w].op, mask, lc.i, rc.i)
+				} else {
+					lf := st.slot(cmpScratchL[w]).floatsInto(lc)
+					rf := st.slot(cmpScratchR[w]).floatsInto(rc)
+					cmpFloatsInto(whens[w].op, mask, lf, rf)
+				}
+			case lc != nil:
+				cf, _ := cs.condRV[w].AsFloat()
+				lf := st.slot(cmpScratchL[w]).floatsInto(lc)
+				cmpFloatsConstInto(whens[w].op, mask, lf, cf, false)
+			default:
+				cf, _ := cs.condLV[w].AsFloat()
+				rf := st.slot(cmpScratchR[w]).floatsInto(rc)
+				cmpFloatsConstInto(whens[w].op, mask, rf, cf, true)
+			}
+			// NULL condition operands are "not taken".
+			if lc != nil && lc.nulls != nil {
+				for i := 0; i < n; i++ {
+					if lc.nulls.get(i) {
+						mask[i] = false
+					}
+				}
+			}
+			if rc != nil && rc.nulls != nil {
+				for i := 0; i < n; i++ {
+					if rc.nulls.get(i) {
+						mask[i] = false
+					}
+				}
+			}
+			cs.masks[w] = mask
+		}
+
+		// Pass 2: first-match pick into the output buffer.
+		sl := st.slot(outSlot)
+		needNulls := elseOut == nil
+		for _, oc := range cs.outC {
+			if oc != nil && oc.nulls != nil {
+				needNulls = true
+			}
+		}
+		if elseC != nil && elseC.nulls != nil {
+			needNulls = true
+		}
+		var nulls bitmap
+		if needNulls {
+			nulls = sl.clearedBitmap(n)
+		}
+		anyNull := false
+		var dstF []float64
+		var dstI []int64
+		switch outKind {
+		case ColFloat:
+			_, dstF = sl.floatCol(n)
+		case ColInt:
+			_, dstI = sl.intCol(n)
+		default:
+			// No arm contributed a kind (possible only when n == 0).
+			return sl.nullCol(n), nil
+		}
+		// Precompute primitive output sources so the pick loops touch no
+		// boxed values.
+		for w := range cs.masks {
+			cs.outColF[w], cs.outColI[w], cs.outNulls[w], cs.outConstF[w], cs.outConstI[w] = describeFusedOut(cs.outC[w], cs.outV[w])
+		}
+		var elseColF []float64
+		var elseColI []int64
+		var elseNulls bitmap
+		var elseConstF float64
+		var elseConstI int64
+		if elseOut != nil {
+			elseColF, elseColI, elseNulls, elseConstF, elseConstI = describeFusedOut(elseC, elseV)
+		}
+		hasElse := elseOut != nil
+		// The dominant shape — one WHEN plus ELSE, no NULLs anywhere —
+		// reduces to a branch-predictable two-way select.
+		if len(cs.masks) == 1 && nulls == nil {
+			m := cs.masks[0]
+			if dstF != nil {
+				af, ac := cs.outColF[0], cs.outConstF[0]
+				bf, bc := elseColF, elseConstF
+				switch {
+				case af == nil && bf == nil:
+					for i, t := range m {
+						if t {
+							dstF[i] = ac
+						} else {
+							dstF[i] = bc
+						}
+					}
+				case af == nil:
+					for i, t := range m {
+						if t {
+							dstF[i] = ac
+						} else {
+							dstF[i] = bf[i]
+						}
+					}
+				case bf == nil:
+					for i, t := range m {
+						if t {
+							dstF[i] = af[i]
+						} else {
+							dstF[i] = bc
+						}
+					}
+				default:
+					for i, t := range m {
+						if t {
+							dstF[i] = af[i]
+						} else {
+							dstF[i] = bf[i]
+						}
+					}
+				}
+			} else {
+				ai, ac := cs.outColI[0], cs.outConstI[0]
+				bi, bc := elseColI, elseConstI
+				switch {
+				case ai == nil && bi == nil:
+					for i, t := range m {
+						if t {
+							dstI[i] = ac
+						} else {
+							dstI[i] = bc
+						}
+					}
+				case ai == nil:
+					for i, t := range m {
+						if t {
+							dstI[i] = ac
+						} else {
+							dstI[i] = bi[i]
+						}
+					}
+				case bi == nil:
+					for i, t := range m {
+						if t {
+							dstI[i] = ai[i]
+						} else {
+							dstI[i] = bc
+						}
+					}
+				default:
+					for i, t := range m {
+						if t {
+							dstI[i] = ai[i]
+						} else {
+							dstI[i] = bi[i]
+						}
+					}
+				}
+			}
+			sl.col.nulls = nil
+			return &sl.col, nil
+		}
+		if dstF != nil {
+			for i := 0; i < n; i++ {
+				cf, constF, onulls := elseColF, elseConstF, elseNulls
+				matched := hasElse
+				for w := range cs.masks {
+					if cs.masks[w][i] {
+						cf, constF, onulls = cs.outColF[w], cs.outConstF[w], cs.outNulls[w]
+						matched = true
+						break
+					}
+				}
+				switch {
+				case !matched || (onulls != nil && onulls.get(i)):
+					nulls.set(i)
+					anyNull = true
+				case cf != nil:
+					dstF[i] = cf[i]
+				default:
+					dstF[i] = constF
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				ci, constI, onulls := elseColI, elseConstI, elseNulls
+				matched := hasElse
+				for w := range cs.masks {
+					if cs.masks[w][i] {
+						ci, constI, onulls = cs.outColI[w], cs.outConstI[w], cs.outNulls[w]
+						matched = true
+						break
+					}
+				}
+				switch {
+				case !matched || (onulls != nil && onulls.get(i)):
+					nulls.set(i)
+					anyNull = true
+				case ci != nil:
+					dstI[i] = ci[i]
+				default:
+					dstI[i] = constI
+				}
+			}
+		}
+		if anyNull {
+			sl.col.nulls = nulls
+		} else {
+			sl.col.nulls = nil
+		}
+		return &sl.col, nil
+	}, true
+}
+
+// describeFusedOut lowers one fused-CASE output operand to primitive
+// sources: a typed slice (+ null bitmap) for columns, a constant for
+// scalars.
+func describeFusedOut(oc *Column, ov value.Value) (cf []float64, ci []int64, onulls bitmap, constF float64, constI int64) {
+	if oc != nil {
+		return oc.f, oc.i, oc.nulls, 0, 0
+	}
+	f, _ := ov.AsFloat()
+	iv, _ := ov.AsInt()
+	return nil, nil, nil, f, iv
+}
+
+func numericColKind(col *Column) bool {
+	return col != nil && (col.kind == ColFloat || col.kind == ColInt)
+}
+
+func numericValKind(v value.Value) bool {
+	return v.Kind() == value.KindInt || v.Kind() == value.KindFloat
+}
+
+// resolveFusedOut resolves one THEN/ELSE operand, accumulating the fused
+// output kind; ok=false means the fused pass cannot represent it (mixed
+// INT/FLOAT arms must stay boxed-exact, so they run interpreted).
+func resolveFusedOut(st *planState, o *caseOperand, outKind *ColKind) (*Column, value.Value, bool) {
+	col, v, err := o.resolve(st)
+	if err != nil {
+		return nil, value.Null, false
+	}
+	note := func(k ColKind) bool {
+		if *outKind == ColNull {
+			*outKind = k
+			return true
+		}
+		return *outKind == k
+	}
+	if col != nil {
+		if !numericColKind(col) || !note(col.kind) {
+			return nil, value.Null, false
+		}
+		return col, value.Null, true
+	}
+	switch v.Kind() {
+	case value.KindInt:
+		if !note(ColInt) {
+			return nil, value.Null, false
+		}
+	case value.KindFloat:
+		if !note(ColFloat) {
+			return nil, value.Null, false
+		}
+	default:
+		return nil, value.Null, false
+	}
+	return nil, v, true
+}

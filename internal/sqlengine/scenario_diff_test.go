@@ -1,7 +1,9 @@
 package sqlengine_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"fuzzyprophet/internal/benchfix"
@@ -100,8 +102,29 @@ func (f *scenarioFixture) engine(rowMode bool) *sqlengine.Engine {
 	return e
 }
 
+// assertSameResults fails unless two results agree exactly (NULL matches
+// only NULL).
+func assertSameResults(tb testing.TB, name, labelA, labelB string, a, b *sqlengine.Result) {
+	tb.Helper()
+	if strings.Join(a.Cols, ",") != strings.Join(b.Cols, ",") {
+		tb.Fatalf("%s: cols %v (%s) vs %v (%s)", name, a.Cols, labelA, b.Cols, labelB)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		tb.Fatalf("%s: %d rows (%s) vs %d rows (%s)", name, len(a.Rows), labelA, len(b.Rows), labelB)
+	}
+	for i := range a.Rows {
+		for j := range a.Cols {
+			av, bv := a.Rows[i][j], b.Rows[i][j]
+			if av.IsNull() != bv.IsNull() || (!av.IsNull() && !av.Equal(bv)) {
+				tb.Fatalf("%s: world %d col %s: %s %v vs %s %v", name, i, a.Cols[j], labelA, av, labelB, bv)
+			}
+		}
+	}
+}
+
 // TestScenarioSQLDifferential renders every example scenario's generated
-// TSQL through both paths and asserts identical per-world outputs.
+// TSQL through all three paths — compiled plan, interpreted vectorized,
+// row oracle — and asserts identical per-world outputs.
 func TestScenarioSQLDifferential(t *testing.T) {
 	for _, f := range buildScenarioFixtures(t, 200) {
 		vres, verr := f.engine(false).ExecScript(f.script, nil)
@@ -112,48 +135,108 @@ func TestScenarioSQLDifferential(t *testing.T) {
 		if verr != nil {
 			t.Fatalf("%s: %v", f.name, verr)
 		}
-		if strings.Join(vres.Cols, ",") != strings.Join(rres.Cols, ",") {
-			t.Fatalf("%s: cols %v vs %v", f.name, vres.Cols, rres.Cols)
-		}
-		if len(vres.Rows) != len(rres.Rows) {
-			t.Fatalf("%s: %d vs %d rows", f.name, len(vres.Rows), len(rres.Rows))
-		}
-		for i := range vres.Rows {
-			for j := range vres.Cols {
-				a, b := vres.Rows[i][j], rres.Rows[i][j]
-				if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
-					t.Fatalf("%s: world %d col %s: vectorized %v vs row %v", f.name, i, vres.Cols[j], a, b)
-				}
+		assertSameResults(t, f.name, "vectorized", "row", vres, rres)
+
+		plan := sqlengine.CompileScript(f.script)
+		e := f.engine(false)
+		for pass := 0; pass < 2; pass++ { // second pass reuses warm buffers
+			pres, perr := plan.Exec(e, nil)
+			if perr != nil {
+				t.Fatalf("%s (compiled pass %d): %v", f.name, pass, perr)
 			}
+			cres := pres.Result()
+			pres.Release()
+			assertSameResults(t, f.name, "compiled", "row", cres, rres)
+		}
+	}
+}
+
+// TestScenarioPlanConcurrentRenders exercises the render configuration the
+// fpserver session manager runs: many goroutines executing ONE shared
+// compiled plan (each with its own engine/catalog, as mc evaluators have).
+// Run under -race this asserts the plan's pooled states are properly
+// isolated; results must match the row oracle exactly.
+func TestScenarioPlanConcurrentRenders(t *testing.T) {
+	for _, f := range buildScenarioFixtures(t, 200) {
+		rres, rerr := f.engine(true).ExecScript(f.script, nil)
+		if rerr != nil {
+			t.Fatalf("%s: %v", f.name, rerr)
+		}
+		plan := sqlengine.CompileScript(f.script)
+		const goroutines = 8
+		const rendersEach = 10
+		var wg sync.WaitGroup
+		errCh := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e := f.engine(false)
+				for k := 0; k < rendersEach; k++ {
+					pres, err := plan.Exec(e, nil)
+					if err != nil {
+						errCh <- fmt.Errorf("%s: %w", f.name, err)
+						return
+					}
+					cres := pres.Result()
+					pres.Release()
+					if len(cres.Rows) != len(rres.Rows) {
+						errCh <- fmt.Errorf("%s: %d vs %d rows", f.name, len(cres.Rows), len(rres.Rows))
+						return
+					}
+					for i := range cres.Rows {
+						for j := range cres.Cols {
+							a, b := cres.Rows[i][j], rres.Rows[i][j]
+							if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+								errCh <- fmt.Errorf("%s: world %d col %s: %v vs %v", f.name, i, cres.Cols[j], a, b)
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			t.Fatal(err)
+		default:
 		}
 	}
 }
 
 // BenchmarkEngineRender1000 times the 1000-world render path — parse-free
-// execution of each scenario's generated TSQL — on both engines. The
-// speedup these report is the one recorded in BENCH_engine.json.
+// execution of each scenario's generated TSQL — on the row engine, the
+// interpreted vectorized engine, and the compiled-plan path (the Monte
+// Carlo executor's configuration since plans landed). The speedups these
+// report are the ones recorded in BENCH_engine.json.
 func BenchmarkEngineRender1000(b *testing.B) {
 	for _, f := range buildScenarioFixtures(b, 1000) {
-		for _, mode := range []struct {
-			name string
-			row  bool
-		}{{"vectorized", false}, {"row", true}} {
-			b.Run(f.name+"/"+mode.name, func(b *testing.B) {
-				e := f.engine(mode.row)
+		for _, mode := range []string{"compiled", "vectorized", "row"} {
+			b.Run(f.name+"/"+mode, func(b *testing.B) {
+				e := f.engine(mode == "row")
+				plan := sqlengine.CompileScript(f.script)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					// Each path drains results the way the Monte Carlo
 					// executor does (or did): columnar consumers read the
 					// typed columns, the row path reads boxed rows.
-					if mode.row {
+					switch mode {
+					case "row":
 						if _, err := e.ExecScript(f.script, nil); err != nil {
 							b.Fatal(err)
 						}
-					} else {
+					case "vectorized":
 						if _, err := e.ExecScriptColumnar(f.script, nil); err != nil {
 							b.Fatal(err)
 						}
+					default:
+						res, err := plan.Exec(e, nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						res.Release()
 					}
 				}
 			})

@@ -2,7 +2,6 @@ package sqlengine
 
 import (
 	"fmt"
-	"math"
 
 	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/value"
@@ -463,7 +462,10 @@ func (vc *vctx) evalLogical(n sqlparser.Binary, fr frame) (*Column, error) {
 // arithColumns applies an arithmetic operator element-wise with SQL NULL
 // propagation and the value system's type rules: INT op INT stays integral
 // except division, anything involving FLOAT widens, non-numeric operands
-// degrade to the boxed path (which reports the row engine's errors).
+// degrade to the boxed path (which reports the row engine's errors). The
+// typed folds run through the shared cores in kernels.go: a no-nulls
+// unrolled fast path, and a bitmap-masked path only where NULL rows must be
+// skipped (division/modulo zero checks).
 func arithColumns(op byte, l, r *Column) (*Column, error) {
 	n := l.n
 	if l.kind == ColNull || r.kind == ColNull {
@@ -472,86 +474,39 @@ func arithColumns(op byte, l, r *Column) (*Column, error) {
 	if !l.isTypedNumeric() || !r.isTypedNumeric() {
 		return boxedArith(op, l, r)
 	}
-	var nulls bitmap
-	merge := func() {
-		if l.nulls == nil && r.nulls == nil {
-			return
-		}
-		nulls = newBitmap(n)
-		if l.nulls != nil {
-			copy(nulls, l.nulls)
-		}
-		if r.nulls != nil {
-			for i := range nulls {
-				nulls[i] |= r.nulls[i]
-			}
-		}
-	}
-	isNull := func(i int) bool { return nulls != nil && nulls.get(i) }
+	nulls := mergedNulls(n, l.nulls, r.nulls)
 	if l.kind == ColInt && r.kind == ColInt && op != '/' {
-		merge()
 		out := make([]int64, n)
 		switch op {
 		case '+':
-			for i := range out {
-				out[i] = l.i[i] + r.i[i]
-			}
+			addIntsInto(out, l.i, r.i)
 		case '-':
-			for i := range out {
-				out[i] = l.i[i] - r.i[i]
-			}
+			subIntsInto(out, l.i, r.i)
 		case '*':
-			for i := range out {
-				out[i] = l.i[i] * r.i[i]
-			}
+			mulIntsInto(out, l.i, r.i)
 		case '%':
-			for i := range out {
-				if isNull(i) {
-					continue
-				}
-				if r.i[i] == 0 {
-					return nil, fmt.Errorf("value: modulo by zero")
-				}
-				out[i] = l.i[i] % r.i[i]
+			if err := modIntsInto(out, l.i, r.i, nulls); err != nil {
+				return nil, err
 			}
 		}
 		return &Column{kind: ColInt, n: n, i: out, nulls: nulls}, nil
 	}
 	lf, rf := l.floats(), r.floats()
-	merge()
 	out := make([]float64, n)
 	switch op {
 	case '+':
-		for i := range out {
-			out[i] = lf[i] + rf[i]
-		}
+		addFloatsInto(out, lf, rf)
 	case '-':
-		for i := range out {
-			out[i] = lf[i] - rf[i]
-		}
+		subFloatsInto(out, lf, rf)
 	case '*':
-		for i := range out {
-			out[i] = lf[i] * rf[i]
-		}
+		mulFloatsInto(out, lf, rf)
 	case '/':
-		for i := range out {
-			if isNull(i) {
-				continue
-			}
-			if rf[i] == 0 {
-				return nil, fmt.Errorf("value: division by zero")
-			}
-			out[i] = lf[i] / rf[i]
+		if err := divFloatsInto(out, lf, rf, nulls); err != nil {
+			return nil, err
 		}
 	case '%':
-		for i := range out {
-			if isNull(i) {
-				continue
-			}
-			if rf[i] == 0 {
-				return nil, fmt.Errorf("value: modulo by zero")
-			}
-			out[i] = math.Mod(lf[i], rf[i])
+		if err := modFloatsInto(out, lf, rf, nulls); err != nil {
+			return nil, err
 		}
 	}
 	return &Column{kind: ColFloat, n: n, f: out, nulls: nulls}, nil
@@ -590,6 +545,27 @@ func compareColumns(op string, l, r *Column) (*Column, error) {
 	if l.kind == ColNull || r.kind == ColNull {
 		return nullColumn(n), nil
 	}
+	out := make([]bool, n)
+	switch {
+	case l.isTypedNumeric() && r.isTypedNumeric():
+		// NULL rows compare to garbage, but the merged bitmap overrides the
+		// stored bool, so the compare loop runs branch-free over every row.
+		nulls := mergedNulls(n, l.nulls, r.nulls)
+		if l.kind == ColInt && r.kind == ColInt {
+			cmpIntsInto(op, out, l.i, r.i)
+		} else {
+			cmpFloatsInto(op, out, l.floats(), r.floats())
+		}
+		return &Column{kind: ColBool, n: n, b: out, nulls: nulls}, nil
+	case l.kind == ColString && r.kind == ColString:
+		nulls := mergedNulls(n, l.nulls, r.nulls)
+		cmpStringsInto(op, out, l.s, r.s)
+		return &Column{kind: ColBool, n: n, b: out, nulls: nulls}, nil
+	case l.kind == ColBool && r.kind == ColBool:
+		nulls := mergedNulls(n, l.nulls, r.nulls)
+		cmpBoolsInto(op, out, l.b, r.b)
+		return &Column{kind: ColBool, n: n, b: out, nulls: nulls}, nil
+	}
 	decide := func(c int) bool {
 		switch op {
 		case "=":
@@ -606,74 +582,21 @@ func compareColumns(op string, l, r *Column) (*Column, error) {
 			return c >= 0
 		}
 	}
-	out := make([]bool, n)
 	var nulls bitmap
-	setNull := func(i int) {
-		if nulls == nil {
-			nulls = newBitmap(n)
+	for i := 0; i < n; i++ {
+		a, b := l.Value(i), r.Value(i)
+		if a.IsNull() || b.IsNull() {
+			if nulls == nil {
+				nulls = newBitmap(n)
+			}
+			nulls.set(i)
+			continue
 		}
-		nulls.set(i)
-	}
-	switch {
-	case l.isTypedNumeric() && r.isTypedNumeric():
-		lf, rf := l.floats(), r.floats()
-		for i := 0; i < n; i++ {
-			if l.nulls != nil && l.nulls.get(i) || r.nulls != nil && r.nulls.get(i) {
-				setNull(i)
-				continue
-			}
-			c := 0
-			switch {
-			case lf[i] < rf[i]:
-				c = -1
-			case lf[i] > rf[i]:
-				c = 1
-			}
-			out[i] = decide(c)
+		c, err := value.Compare(a, b)
+		if err != nil {
+			return nil, err
 		}
-	case l.kind == ColString && r.kind == ColString:
-		for i := 0; i < n; i++ {
-			if l.nulls != nil && l.nulls.get(i) || r.nulls != nil && r.nulls.get(i) {
-				setNull(i)
-				continue
-			}
-			c := 0
-			switch {
-			case l.s[i] < r.s[i]:
-				c = -1
-			case l.s[i] > r.s[i]:
-				c = 1
-			}
-			out[i] = decide(c)
-		}
-	case l.kind == ColBool && r.kind == ColBool:
-		for i := 0; i < n; i++ {
-			if l.nulls != nil && l.nulls.get(i) || r.nulls != nil && r.nulls.get(i) {
-				setNull(i)
-				continue
-			}
-			c := 0
-			switch {
-			case !l.b[i] && r.b[i]:
-				c = -1
-			case l.b[i] && !r.b[i]:
-				c = 1
-			}
-			out[i] = decide(c)
-		}
-	default:
-		for i := 0; i < n; i++ {
-			a, b := l.Value(i), r.Value(i)
-			if a.IsNull() || b.IsNull() {
-				setNull(i)
-				continue
-			}
-			c, err := value.Compare(a, b)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = decide(c)
-		}
+		out[i] = decide(c)
 	}
 	return &Column{kind: ColBool, n: n, b: out, nulls: nulls}, nil
 }

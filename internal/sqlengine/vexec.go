@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"fuzzyprophet/internal/sqlparser"
@@ -213,11 +214,33 @@ func (e *Engine) buildFromVec(refs []sqlparser.TableRef, params map[string]value
 
 // joinVec combines acc with next under the ref's join semantics (cross,
 // inner ON, LEFT JOIN), producing gather lists first and gathering each
-// column once.
+// column once. Equality ON conditions take the hash path (hashjoin.go)
+// and never materialize the quadratic intermediate.
 func (e *Engine) joinVec(acc, next *vRel, ref sqlparser.TableRef, params map[string]value.Value) (*vRel, error) {
 	nl, nr := acc.n, next.n
 	total := nl * nr
 	schema := append(append([]colBinding(nil), acc.schema...), next.schema...)
+
+	// Hash equi-join fast path. Empty inputs skip it: the quadratic loop
+	// never evaluates the condition then, so neither may the key pass.
+	if ref.JoinCond != nil && nl > 0 && nr > 0 {
+		if lx, rx, ok := equiJoinKeys(ref.JoinCond, acc, next); ok {
+			outL, outR, hashed, err := e.hashEquiJoin(acc, next, lx, rx, ref.LeftJoin, params, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			if hashed {
+				cols := make([]*Column, 0, len(acc.cols)+len(next.cols))
+				for _, c := range acc.cols {
+					cols = append(cols, c.gather(outL))
+				}
+				for _, c := range next.cols {
+					cols = append(cols, c.gatherPad(outR))
+				}
+				return &vRel{schema: schema, cols: cols, n: len(outL)}, nil
+			}
+		}
+	}
 
 	var keepMask []bool // nil = cross join, everything kept
 	if ref.JoinCond != nil {
@@ -569,6 +592,20 @@ func (vc *vctx) computeAggVec(f sqlparser.FuncCall, gFr frame) (value.Value, err
 	}
 	switch f.Name {
 	case "COUNT":
+		switch {
+		case col.kind == ColNull:
+			return value.Int(0), nil
+		case col.kind != ColBoxed && col.nulls == nil:
+			return value.Int(int64(col.n)), nil
+		case col.kind != ColBoxed:
+			// Word-wise popcount of the null bitmap instead of a per-row
+			// branch.
+			nulls := 0
+			for _, w := range col.nulls {
+				nulls += bits.OnesCount64(w)
+			}
+			return value.Int(int64(col.n - nulls)), nil
+		}
 		n := 0
 		for i := 0; i < col.n; i++ {
 			if !col.IsNull(i) {
@@ -579,10 +616,18 @@ func (vc *vctx) computeAggVec(f sqlparser.FuncCall, gFr frame) (value.Value, err
 	case "SUM":
 		switch col.kind {
 		case ColInt:
+			if col.nulls == nil {
+				// No-nulls fast path: 8 partial accumulators, exact for
+				// two's-complement addition.
+				if col.n == 0 {
+					return value.Null, nil
+				}
+				return value.Int(sumIntsNoNull(col.i)), nil
+			}
 			var acc int64
 			seen := false
 			for i, v := range col.i {
-				if col.nulls != nil && col.nulls.get(i) {
+				if col.nulls.get(i) {
 					continue
 				}
 				acc += v
@@ -593,10 +638,23 @@ func (vc *vctx) computeAggVec(f sqlparser.FuncCall, gFr frame) (value.Value, err
 			}
 			return value.Int(acc), nil
 		case ColFloat:
+			// The float fold stays strictly sequential so the sum is
+			// bit-identical to the row oracle's left-to-right value.Add
+			// chain; the fast path only drops the per-element bitmap branch.
+			if col.nulls == nil {
+				if col.n == 0 {
+					return value.Null, nil
+				}
+				var acc float64
+				for _, v := range col.f {
+					acc += v
+				}
+				return value.Float(acc), nil
+			}
 			var acc float64
 			seen := false
 			for i, v := range col.f {
-				if col.nulls != nil && col.nulls.get(i) {
+				if col.nulls.get(i) {
 					continue
 				}
 				acc += v
@@ -626,18 +684,33 @@ func (vc *vctx) computeAggVec(f sqlparser.FuncCall, gFr frame) (value.Value, err
 			return acc, nil
 		}
 	case "AVG", "EXPECT", "PROB", "STDDEV", "EXPECT_STDDEV":
+		// Welford accumulation is order-dependent, so both paths fold
+		// sequentially (bit-parity with the row oracle); the no-nulls fast
+		// path removes only the per-element bitmap branch.
 		var m stats.Moments
 		switch col.kind {
 		case ColFloat:
+			if col.nulls == nil {
+				for _, v := range col.f {
+					m.Add(v)
+				}
+				break
+			}
 			for i, v := range col.f {
-				if col.nulls != nil && col.nulls.get(i) {
+				if col.nulls.get(i) {
 					continue
 				}
 				m.Add(v)
 			}
 		case ColInt:
+			if col.nulls == nil {
+				for _, v := range col.i {
+					m.Add(float64(v))
+				}
+				break
+			}
 			for i, v := range col.i {
-				if col.nulls != nil && col.nulls.get(i) {
+				if col.nulls.get(i) {
 					continue
 				}
 				m.Add(float64(v))
@@ -663,8 +736,34 @@ func (vc *vctx) computeAggVec(f sqlparser.FuncCall, gFr frame) (value.Value, err
 		}
 		return value.Float(m.Mean()), nil
 	case "MIN", "MAX":
-		best := -1
 		min := f.Name == "MIN"
+		// No-nulls typed numeric fast path: strict-inequality scan, which
+		// keeps the first of tied/incomparable (NaN) rows exactly like
+		// value.Compare's two-way test does.
+		if col.nulls == nil && col.n > 0 && (col.kind == ColFloat || col.kind == ColInt) {
+			if col.kind == ColFloat {
+				best := col.f[0]
+				for _, v := range col.f[1:] {
+					if (min && v < best) || (!min && v > best) {
+						best = v
+					}
+				}
+				return value.Float(best), nil
+			}
+			// INT orders through float64 widening (value.Compare semantics),
+			// but the representative keeps its exact integer value.
+			bestIdx := 0
+			bestF := float64(col.i[0])
+			for i, v := range col.i[1:] {
+				vf := float64(v)
+				if (min && vf < bestF) || (!min && vf > bestF) {
+					bestF = vf
+					bestIdx = i + 1
+				}
+			}
+			return value.Int(col.i[bestIdx]), nil
+		}
+		best := -1
 		for i := 0; i < col.n; i++ {
 			if col.IsNull(i) {
 				continue
