@@ -32,12 +32,14 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|all")
 		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
 		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
 		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
 		benchOut     = flag.String("out", "BENCH_engine.json", "output path for the engine benchmark JSON (with -check: the baseline to compare against)")
 		benchCheck   = flag.Bool("check", false, "engine experiment only: compare against the committed baseline instead of writing; exit non-zero on >20% regression")
+		shardWorlds  = flag.Int("shardworlds", 100000, "worlds for the shard-scaling benchmark")
+		shardOut     = flag.String("shardout", "BENCH_shard.json", "output path for the shard benchmark JSON")
 	)
 	flag.Parse()
 
@@ -58,8 +60,11 @@ func main() {
 		"engine": func(ctx context.Context, w, s int) error {
 			return runEngineBench(ctx, *engineWorlds, *benchOut, *benchCheck)
 		},
+		"shard": func(ctx context.Context, w, s int) error {
+			return runShardBench(ctx, *shardWorlds, *shardOut)
+		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine"}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

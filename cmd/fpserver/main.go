@@ -13,6 +13,15 @@
 //	curl -s localhost:8080/scenarios/<id>/sessions -X POST -d '{}'
 //	curl -s localhost:8080/sessions/<id>/render
 //
+// For fleet-scale rendering, run shard workers and point a coordinator at
+// them (see the README's "World sharding" section): every render's Monte
+// Carlo world range is split across the workers and stitched back
+// bit-identically, with per-shard retry and local fallback.
+//
+//	fpserver -worker -addr :8081
+//	fpserver -worker -addr :8082
+//	fpserver -addr :8080 -workers http://localhost:8081,http://localhost:8082
+//
 // A SIGINT/SIGTERM shuts down gracefully: in-flight requests finish,
 // sessions drain, and every scenario's reuse cache is snapshotted so the
 // next boot starts warm.
@@ -26,6 +35,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	fp "fuzzyprophet"
@@ -43,11 +53,23 @@ func main() {
 		snapshotInterval = flag.Duration("snapshot-interval", time.Minute, "how often to persist reuse caches")
 		storeBudget      = flag.Int64("store-budget", 0, "per-scenario basis-store budget in bytes (0 = unbounded)")
 		enablePprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (do not expose publicly)")
+		workerMode       = flag.Bool("worker", false, "run as a shard worker: serve only POST /shard/render (+ health/metrics)")
+		workerURLs       = flag.String("workers", "", "comma-separated shard-worker base URLs; renders fan out across them")
 	)
 	flag.Parse()
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
+
+	var workers []string
+	for _, u := range strings.Split(*workerURLs, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workers = append(workers, strings.TrimRight(u, "/"))
+		}
+	}
+	if *workerMode && len(workers) > 0 {
+		cli.Fatal("fpserver", fmt.Errorf("-worker and -workers are mutually exclusive (a worker never fans out)"))
+	}
 
 	if err := run(ctx, config{
 		addr:             *addr,
@@ -58,6 +80,8 @@ func main() {
 		snapshotInterval: *snapshotInterval,
 		storeBudget:      *storeBudget,
 		enablePprof:      *enablePprof,
+		workerMode:       *workerMode,
+		workers:          workers,
 	}); err != nil {
 		cli.Fatal("fpserver", err)
 	}
@@ -72,6 +96,8 @@ type config struct {
 	snapshotInterval time.Duration
 	storeBudget      int64
 	enablePprof      bool
+	workerMode       bool
+	workers          []string
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -90,6 +116,8 @@ func run(ctx context.Context, cfg config) error {
 		SnapshotInterval: cfg.snapshotInterval,
 		StoreBudget:      cfg.storeBudget,
 		EnablePprof:      cfg.enablePprof,
+		WorkerMode:       cfg.workerMode,
+		Workers:          cfg.workers,
 		Logf:             logger.Printf,
 	})
 	if err != nil {
@@ -99,7 +127,15 @@ func run(ctx context.Context, cfg config) error {
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (snapshots: %s)", cfg.addr, orNone(cfg.snapshotDir))
+		switch {
+		case cfg.workerMode:
+			logger.Printf("listening on %s (shard worker)", cfg.addr)
+		case len(cfg.workers) > 0:
+			logger.Printf("listening on %s (coordinator for %d shard worker(s): %s; snapshots: %s)",
+				cfg.addr, len(cfg.workers), strings.Join(cfg.workers, ", "), orNone(cfg.snapshotDir))
+		default:
+			logger.Printf("listening on %s (snapshots: %s)", cfg.addr, orNone(cfg.snapshotDir))
+		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

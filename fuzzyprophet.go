@@ -377,6 +377,84 @@ func summarize(res *mc.PointResult) map[string]ColumnSummary {
 	return out
 }
 
+// WorldShard is a half-open Monte Carlo world range [Lo, Hi) within a
+// render's total world count — the unit of distributed evaluation.
+type WorldShard struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// ColumnSketch is the serializable mergeable aggregate of one output
+// column over one world range: raw Welford moments plus a t-digest
+// centroid list. Shard workers return sketches alongside partial sample
+// vectors; merging sketches in shard order reproduces the whole range's
+// moments exactly (up to float rounding) and its quantiles within the
+// sketch tolerance.
+type ColumnSketch = aggregate.ColumnSketch
+
+// ShardResult is a partial render over one world shard: per-column sample
+// vectors for the rows the shard's worlds produced, in world order, plus a
+// mergeable sketch per column.
+type ShardResult struct {
+	// Rows is the number of output rows the shard produced (equals the
+	// shard's world count for plain scenarios; joins can yield more, WHERE
+	// fewer).
+	Rows int `json:"rows"`
+	// Columns maps each numeric output column to its partial sample vector.
+	Columns map[string][]float64 `json:"columns"`
+	// Sketches maps each column to its mergeable aggregate.
+	Sketches map[string]ColumnSketch `json:"sketches,omitempty"`
+}
+
+// ShardEvaluator evaluates one world shard of a point render, typically on
+// another machine (fpserver's shard fan-out implements it over HTTP).
+// Implementations must be safe for concurrent calls; an error makes the
+// caller re-evaluate the shard locally.
+type ShardEvaluator interface {
+	EvaluateShard(ctx context.Context, point map[string]any, worlds int, seed uint64, shard WorldShard) (*ShardResult, error)
+}
+
+// EvaluateShard evaluates ONLY the worlds in shard (within [0, worlds))
+// at one parameter point — the worker half of distributed rendering.
+// Because world seeds derive per (site, world) from the seed base, the
+// returned partial vectors are bit-identical to the corresponding rows of
+// a full local evaluation; a coordinator concatenates shard results in
+// world order to reproduce the single-range render exactly. The shard is
+// split across WithShards-many in-process sub-shards (pass GOMAXPROCS to
+// saturate a worker's cores). Fingerprint reuse is not consulted — partial
+// vectors are not valid bases. The scenario's query must be shardable
+// (non-grouped, within the compiled-plan subset); others are rejected.
+func (sc *Scenario) EvaluateShard(ctx context.Context, point map[string]any, worlds int, seed uint64, shard WorldShard, opts ...EvalOption) (*ShardResult, error) {
+	pt, err := sc.toDeclaredPoint(point)
+	if err != nil {
+		return nil, err
+	}
+	cfg := newEvalConfig(opts)
+	cfg.disableReuse = true // shard evaluation never consults reuse
+	if worlds > 0 {
+		cfg.worlds = worlds
+	}
+	if seed != 0 {
+		cfg.seedBase = seed
+	}
+	mcOpts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
+	mcOpts.Runner = nil // a worker never re-fans out
+	ev := mc.NewEvaluator(sc.scn, mcOpts)
+	out, err := ev.EvaluateShard(ctx, pt, mc.WorldRange{Lo: shard.Lo, Hi: shard.Hi})
+	if err != nil {
+		return nil, err
+	}
+	res := &ShardResult{Columns: out.Columns, Sketches: out.Sketches}
+	for _, fs := range out.Columns {
+		res.Rows = len(fs)
+		break
+	}
+	return res, nil
+}
+
 // Session is an online-mode exploration (paper §3.2): sliders plus a live
 // graph with fingerprint reuse across adjustments. A Session is safe for
 // concurrent use — slider state is mutex-guarded, and a render works from a
@@ -417,7 +495,10 @@ func (sc *Scenario) OpenSessionFrom(rd io.Reader, opts ...EvalOption) (*Session,
 	if err != nil {
 		return nil, err
 	}
-	mcOpts := mc.Options{Worlds: cfg.worlds, SeedBase: cfg.seedBase, Workers: cfg.workers, Reuse: reuse}
+	mcOpts := mc.Options{Worlds: cfg.worlds, SeedBase: cfg.seedBase, Workers: cfg.workers, Shards: cfg.shards, Reuse: reuse}
+	if cfg.shardEval != nil {
+		mcOpts.Runner = shardRunnerFor(cfg.shardEval)
+	}
 	inner, err := online.NewSession(sc.scn, mcOpts)
 	if err != nil {
 		return nil, err

@@ -14,31 +14,26 @@ import (
 )
 
 // ColumnStats aggregates the samples of one output column at one parameter
-// point.
+// point. It is MERGEABLE: two ColumnStats built over disjoint world ranges
+// combine with Merge into the statistics of the union — moments via the
+// parallel Welford merge, quantiles via the t-digest sketch (which replaced
+// the earlier P² estimator precisely because P² markers cannot merge).
+// World sharding leans on this: each shard folds its own range, the
+// coordinator merges.
 type ColumnStats struct {
 	Moments stats.Moments
-	median  *stats.P2Quantile
-	p95     *stats.P2Quantile
+	digest  *stats.TDigest
 }
 
 // NewColumnStats returns an empty aggregator.
 func NewColumnStats() *ColumnStats {
-	med, err := stats.NewP2Quantile(0.5)
-	if err != nil {
-		panic(err) // 0.5 is always valid
-	}
-	p95, err := stats.NewP2Quantile(0.95)
-	if err != nil {
-		panic(err)
-	}
-	return &ColumnStats{median: med, p95: p95}
+	return &ColumnStats{digest: stats.NewTDigest(stats.DefaultCompression)}
 }
 
 // Add folds in one world's value.
 func (c *ColumnStats) Add(x float64) {
 	c.Moments.Add(x)
-	c.median.Add(x)
-	c.p95.Add(x)
+	c.digest.Add(x)
 }
 
 // AddAll folds in a whole sample vector.
@@ -46,6 +41,13 @@ func (c *ColumnStats) AddAll(xs []float64) {
 	for _, x := range xs {
 		c.Add(x)
 	}
+}
+
+// Merge folds another column aggregator into c. Moments merge exactly (up
+// to float rounding); quantile estimates merge within the sketch tolerance.
+func (c *ColumnStats) Merge(o *ColumnStats) {
+	c.Moments.Merge(&o.Moments)
+	c.digest.Merge(o.digest)
 }
 
 // Expect returns the estimated expectation (EXPECT in scenario SQL).
@@ -59,10 +61,23 @@ func (c *ColumnStats) StdDev() float64 { return c.Moments.StdDev() }
 func (c *ColumnStats) Prob() float64 { return c.Moments.Mean() }
 
 // Median returns the running median estimate.
-func (c *ColumnStats) Median() float64 { return c.median.Value() }
+func (c *ColumnStats) Median() float64 { return c.quantile(0.5) }
 
 // P95 returns the running 95th-percentile estimate.
-func (c *ColumnStats) P95() float64 { return c.p95.Value() }
+func (c *ColumnStats) P95() float64 { return c.quantile(0.95) }
+
+// Quantile returns the sketch's q-quantile estimate.
+func (c *ColumnStats) Quantile(q float64) (float64, error) {
+	return c.digest.Quantile(q)
+}
+
+func (c *ColumnStats) quantile(q float64) float64 {
+	v, err := c.digest.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
 
 // Count returns the number of worlds aggregated.
 func (c *ColumnStats) Count() int64 { return c.Moments.Count() }
@@ -87,6 +102,63 @@ func (c *ColumnStats) Metric(agg string) (float64, error) {
 	default:
 		return 0, fmt.Errorf("aggregate: unknown metric %q", agg)
 	}
+}
+
+// ColumnSketch is the serializable form of a ColumnStats: raw Welford
+// moments plus the t-digest centroid list. It is what the HTTP shard
+// protocol ships — a worker folds its world range into a ColumnStats,
+// serializes it with Sketch, and the coordinator restores and merges the
+// partial sketches without ever seeing the worker's raw sample vector.
+type ColumnSketch struct {
+	Count       int64            `json:"count"`
+	Mean        float64          `json:"mean"`
+	M2          float64          `json:"m2"`
+	Min         float64          `json:"min"`
+	Max         float64          `json:"max"`
+	Compression float64          `json:"compression,omitempty"`
+	Centroids   []stats.Centroid `json:"centroids,omitempty"`
+}
+
+// Sketch serializes the aggregator's state.
+func (c *ColumnStats) Sketch() ColumnSketch {
+	n, mean, m2, min, max := c.Moments.State()
+	return ColumnSketch{
+		Count:       n,
+		Mean:        mean,
+		M2:          m2,
+		Min:         min,
+		Max:         max,
+		Compression: c.digest.Compression(),
+		Centroids:   c.digest.Centroids(),
+	}
+}
+
+// Stats restores an aggregator from its serialized form. Moments round-trip
+// exactly; the digest round-trips its centroid state.
+func (sk ColumnSketch) Stats() *ColumnStats {
+	compression := sk.Compression
+	if compression <= 0 {
+		compression = stats.DefaultCompression
+	}
+	return &ColumnStats{
+		Moments: stats.MomentsFromState(sk.Count, sk.Mean, sk.M2, sk.Min, sk.Max),
+		digest:  stats.TDigestFromCentroids(compression, sk.Centroids, sk.Min, sk.Max),
+	}
+}
+
+// MergeSketches merges serialized partial sketches in order (shard 0 first)
+// into one aggregator; nil when the list is empty.
+func MergeSketches(sketches []ColumnSketch) *ColumnStats {
+	var out *ColumnStats
+	for _, sk := range sketches {
+		cs := sk.Stats()
+		if out == nil {
+			out = cs
+			continue
+		}
+		out.Merge(cs)
+	}
+	return out
 }
 
 // PointStats aggregates all output columns at one parameter point. It is

@@ -148,3 +148,83 @@ func TestConcurrentAdds(t *testing.T) {
 		t.Errorf("count = %d", c.Count())
 	}
 }
+
+// TestColumnStatsMerge: shard-wise folding plus Merge matches a whole-vector
+// fold — moments to float tolerance, quantiles within sketch tolerance.
+func TestColumnStatsMerge(t *testing.T) {
+	s := rng.New(17)
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = s.Normal(5, 2)
+	}
+	whole := NewColumnStats()
+	whole.AddAll(xs)
+	for _, shards := range []int{2, 7, 16} {
+		var merged *ColumnStats
+		chunk := (len(xs) + shards - 1) / shards
+		for lo := 0; lo < len(xs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			part := NewColumnStats()
+			part.AddAll(xs[lo:hi])
+			if merged == nil {
+				merged = part
+			} else {
+				merged.Merge(part)
+			}
+		}
+		if merged.Count() != whole.Count() {
+			t.Fatalf("%d shards: count = %d, want %d", shards, merged.Count(), whole.Count())
+		}
+		if math.Abs(merged.Expect()-whole.Expect()) > 1e-9 {
+			t.Errorf("%d shards: expect = %g, want %g", shards, merged.Expect(), whole.Expect())
+		}
+		if math.Abs(merged.StdDev()-whole.StdDev()) > 1e-9 {
+			t.Errorf("%d shards: stddev = %g, want %g", shards, merged.StdDev(), whole.StdDev())
+		}
+		if merged.Moments.Min() != whole.Moments.Min() || merged.Moments.Max() != whole.Moments.Max() {
+			t.Errorf("%d shards: min/max mismatch", shards)
+		}
+		if math.Abs(merged.Median()-whole.Median()) > 0.05 {
+			t.Errorf("%d shards: median = %g, want ~%g", shards, merged.Median(), whole.Median())
+		}
+		if math.Abs(merged.P95()-whole.P95()) > 0.1 {
+			t.Errorf("%d shards: p95 = %g, want ~%g", shards, merged.P95(), whole.P95())
+		}
+	}
+}
+
+// TestColumnSketchRoundTrip: serializing a partial aggregate and merging the
+// restored form behaves identically to merging the original.
+func TestColumnSketchRoundTrip(t *testing.T) {
+	s := rng.New(29)
+	a, b := NewColumnStats(), NewColumnStats()
+	for i := 0; i < 5000; i++ {
+		a.Add(s.Normal(0, 1))
+		b.Add(s.Normal(3, 1))
+	}
+	restoredA := a.Sketch().Stats()
+	if restoredA.Count() != a.Count() || restoredA.Expect() != a.Expect() || restoredA.StdDev() != a.StdDev() {
+		t.Fatal("sketch round-trip changed moments")
+	}
+	if restoredA.Median() != a.Median() {
+		t.Errorf("round-trip median %g != %g", restoredA.Median(), a.Median())
+	}
+
+	direct := NewColumnStats()
+	direct.Merge(a)
+	direct.Merge(b)
+	viaSketch := MergeSketches([]ColumnSketch{a.Sketch(), b.Sketch()})
+	if viaSketch.Count() != direct.Count() || viaSketch.Expect() != direct.Expect() {
+		t.Errorf("sketch merge: count/mean %d/%g, want %d/%g",
+			viaSketch.Count(), viaSketch.Expect(), direct.Count(), direct.Expect())
+	}
+	if math.Abs(viaSketch.Median()-direct.Median()) > 0.05 {
+		t.Errorf("sketch merge median %g, want ~%g", viaSketch.Median(), direct.Median())
+	}
+	if MergeSketches(nil) != nil {
+		t.Error("MergeSketches(nil) should be nil")
+	}
+}

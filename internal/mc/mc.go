@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 
+	"fuzzyprophet/internal/aggregate"
 	"fuzzyprophet/internal/core"
 	"fuzzyprophet/internal/guide"
 	"fuzzyprophet/internal/rng"
@@ -34,6 +35,21 @@ type Options struct {
 	SeedBase uint64
 	// Workers bounds VG-invocation parallelism (default: GOMAXPROCS).
 	Workers int
+	// Shards splits each point's world range [0, Worlds) into this many
+	// contiguous shards evaluated concurrently, each producing partial
+	// column vectors that the coordinator stitches back in world order
+	// (default 1: the single-range path). Because world seeds derive per
+	// (site, world), the stitched result is bit-identical to a single-range
+	// evaluation regardless of shard count. Sharding requires the
+	// scenario's compiled plan to be Shardable; other plans silently use
+	// the single-range path.
+	Shards int
+	// Runner, when non-nil, evaluates shards remotely (the HTTP fan-out in
+	// internal/server). A shard whose runner call fails is re-evaluated
+	// locally by the coordinator, so a dying worker degrades throughput,
+	// not correctness. With a Runner set, fingerprint reuse is bypassed
+	// (workers re-derive samples from seeds).
+	Runner ShardRunner
 	// Reuse enables fingerprint-based computation reuse when non-nil.
 	Reuse *Reuse
 }
@@ -53,6 +69,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -168,6 +187,46 @@ type Evaluator struct {
 	opts    Options
 	catalog *sqlengine.Catalog
 	engine  *sqlengine.Engine
+
+	// The evaluator-owned possible-worlds table, updated in place per
+	// point: the column headers are repointed at the fresh sample vectors
+	// instead of allocating an ord vector, column headers and a ColTable
+	// every point around the (allocation-free) compiled plan execution.
+	worldCols    []string
+	worldColumns []*sqlengine.Column
+	worlds       *sqlengine.ColTable
+
+	// ord holds world ordinals 0..cap-1, filled to a high-water mark and
+	// shared read-only by the single-range path and every shard env.
+	ord []int64
+
+	// envs pools per-shard execution environments (own catalog + engine +
+	// worlds table over a world sub-range).
+	envMu sync.Mutex
+	envs  []*shardEnv
+}
+
+// worldsSchema returns the worlds-table column names: the world ordinal
+// followed by one column per VG call site.
+func worldsSchema(scn *scenario.Scenario) []string {
+	cols := make([]string, 0, len(scn.Sites)+1)
+	cols = append(cols, scenario.WorldColumn)
+	for _, s := range scn.Sites {
+		cols = append(cols, s.Column)
+	}
+	return cols
+}
+
+// ownedWorldsTable builds a worlds ColTable whose column headers the owner
+// repoints per evaluation (SetInts/SetFloats).
+func ownedWorldsTable(cols []string) ([]*sqlengine.Column, *sqlengine.ColTable, error) {
+	columns := make([]*sqlengine.Column, len(cols))
+	columns[0] = sqlengine.IntColumn(nil)
+	for i := 1; i < len(columns); i++ {
+		columns[i] = sqlengine.FloatColumn(nil)
+	}
+	ct, err := sqlengine.NewColTable(scenario.WorldsTable, cols, columns)
+	return columns, ct, err
 }
 
 // NewEvaluator returns an evaluator for the compiled scenario. The
@@ -177,12 +236,37 @@ func NewEvaluator(scn *scenario.Scenario, opts Options) *Evaluator {
 	for _, t := range scn.StaticTables {
 		cat.Put(t)
 	}
-	return &Evaluator{
-		scn:     scn,
-		opts:    opts.WithDefaults(),
-		catalog: cat,
-		engine:  sqlengine.New(cat),
+	ev := &Evaluator{
+		scn:       scn,
+		opts:      opts.WithDefaults(),
+		catalog:   cat,
+		engine:    sqlengine.New(cat),
+		worldCols: worldsSchema(scn),
 	}
+	var err error
+	ev.worldColumns, ev.worlds, err = ownedWorldsTable(ev.worldCols)
+	if err != nil {
+		// Impossible by construction: the schema always has >= 1 column
+		// with equal (zero) lengths.
+		panic(err)
+	}
+	return ev
+}
+
+// ordRange returns world ordinals [lo, hi) as a slice of the shared,
+// fill-once ordinal vector, growing it to hi when needed. Callers only read
+// the slice; growth happens on the coordinating goroutine before shard
+// goroutines start.
+func (ev *Evaluator) ordRange(lo, hi int) []int64 {
+	if hi > len(ev.ord) {
+		grown := make([]int64, hi)
+		copy(grown, ev.ord)
+		for i := len(ev.ord); i < hi; i++ {
+			grown[i] = int64(i)
+		}
+		ev.ord = grown
+	}
+	return ev.ord[lo:hi]
 }
 
 // Catalog exposes the evaluator's catalog so callers can install static
@@ -220,6 +304,10 @@ type PointResult struct {
 	SiteOutcome map[string]ReuseKind
 	// SQL is the pure TSQL the Query Generator emitted for this point.
 	SQL string
+	// Sketches holds the merged per-column mergeable aggregates (moments +
+	// t-digest) when the point was evaluated in shards; nil on the
+	// single-range path, where aggregation folds the full vectors directly.
+	Sketches map[string]*aggregate.ColumnStats
 }
 
 // FreshSites returns how many sites required fresh VG simulation.
@@ -243,12 +331,20 @@ const batchWorlds = 64
 // cancellation aborts a long evaluation promptly; the first error returned
 // after cancellation wraps ctx.Err().
 //
+// With Options.Shards > 1 (or a remote Runner configured) and a shardable
+// scenario plan, the world range is split into contiguous shards evaluated
+// concurrently and stitched back in world order — bit-identical to the
+// single-range evaluation because world seeds derive per (site, world).
+//
 // An Evaluator is not safe for concurrent EvaluatePoint calls (the
 // possible-worlds table lives in its catalog); share the Reuse engine and
 // give each goroutine its own Evaluator instead.
 func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if (ev.opts.Shards > 1 || ev.opts.Runner != nil) && ev.scn.Plan().Shardable() && ev.opts.Worlds > 1 {
+		return ev.evaluateSharded(ctx, pt)
 	}
 	res := &PointResult{
 		Point:       pt,
@@ -274,24 +370,15 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 
 	// 2. Materialize the possible-worlds table — directly as columns: the
 	// world ordinal is an int vector and each site's sample vector becomes a
-	// float column as-is, with no row transpose and no boxing.
-	cols := make([]string, 0, len(ev.scn.Sites)+1)
-	cols = append(cols, scenario.WorldColumn)
-	columns := make([]*sqlengine.Column, 0, len(ev.scn.Sites)+1)
-	ord := make([]int64, ev.opts.Worlds)
-	for i := range ord {
-		ord[i] = int64(i)
+	// float column as-is, with no row transpose and no boxing. The table and
+	// its column headers are evaluator-owned and updated in place; only the
+	// catalog entry is refreshed, so the compiled plan's zero-allocation
+	// execution is not surrounded by per-point table garbage.
+	ev.worldColumns[0].SetInts(ev.ordRange(0, ev.opts.Worlds))
+	for si := range ev.scn.Sites {
+		ev.worldColumns[si+1].SetFloats(siteSamples[si])
 	}
-	columns = append(columns, sqlengine.IntColumn(ord))
-	for si, s := range ev.scn.Sites {
-		cols = append(cols, s.Column)
-		columns = append(columns, sqlengine.FloatColumn(siteSamples[si]))
-	}
-	worlds, err := sqlengine.NewColTable(scenario.WorldsTable, cols, columns)
-	if err != nil {
-		return nil, err
-	}
-	ev.catalog.PutColumns(worlds)
+	ev.catalog.PutColumns(ev.worlds)
 
 	// 3. Query Generator: emit pure TSQL for diagnostics (the paper's GUI
 	// displays it), then execute the scenario's COMPILED plan with the

@@ -1,0 +1,422 @@
+package mc
+
+// Sharded world evaluation: the Monte Carlo loop is embarrassingly parallel
+// across possible worlds, and world seeds are derived per (site, world) —
+// so any worker, in-process or on another machine, reproduces exactly the
+// samples the coordinator would have computed for a world range [lo, hi).
+// A coordinator splits a point's range [0, Worlds) into contiguous shards,
+// each shard simulates its sites (or slices coordinator-computed vectors),
+// executes the scenario's compiled plan over a shard-local worlds table,
+// and returns partial output columns in world order plus mergeable
+// per-column sketches (Welford moments + t-digest). The coordinator
+// stitches the partial columns back in shard order — bit-identical to the
+// single-range evaluation, because the compiled plan is row-wise over the
+// worlds-major relation (sqlengine.Plan.Shardable) — and merges the
+// sketches for consumers that want aggregates without a second pass.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fuzzyprophet/internal/aggregate"
+	"fuzzyprophet/internal/guide"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/value"
+)
+
+// WorldRange is a half-open shard [Lo, Hi) of a render's world range.
+type WorldRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len returns the number of worlds in the range.
+func (r WorldRange) Len() int { return r.Hi - r.Lo }
+
+// SplitWorlds splits [0, n) into at most k contiguous, near-equal,
+// non-empty ranges covering it in order.
+func SplitWorlds(n, k int) []WorldRange {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]WorldRange, 0, k)
+	chunk := n / k
+	rem := n % k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		out = append(out, WorldRange{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// ShardTask describes one shard evaluation: the parameter point, the
+// render's total world count and seed base (any worker re-derives the exact
+// per-world samples from these), and the assigned world range.
+type ShardTask struct {
+	Point    guide.Point
+	Worlds   int
+	SeedBase uint64
+	Range    WorldRange
+}
+
+// ShardOutput is one shard's partial render: per-column sample vectors for
+// the rows its world range produced (in world order; joins may yield more
+// rows than worlds, WHERE fewer), plus a mergeable sketch per column.
+type ShardOutput struct {
+	Columns  map[string][]float64
+	Sketches map[string]aggregate.ColumnSketch
+}
+
+// ShardRunner evaluates one shard, typically on another machine (the HTTP
+// fan-out in internal/server). Runners must be safe for concurrent calls.
+// An error return makes the coordinator re-evaluate the shard locally.
+type ShardRunner func(ctx context.Context, task ShardTask) (*ShardOutput, error)
+
+// shardEnv is one pooled shard-execution environment: its own catalog and
+// engine (the shard's worlds table must not race the coordinator's), an
+// owned worlds table over the shard's world sub-range, and per-site
+// simulation buffers for self-simulated shards.
+type shardEnv struct {
+	catalog *sqlengine.Catalog
+	engine  *sqlengine.Engine
+	columns []*sqlengine.Column
+	worlds  *sqlengine.ColTable
+	siteBuf [][]float64
+}
+
+func (ev *Evaluator) newShardEnv() (*shardEnv, error) {
+	cat := sqlengine.NewCatalog()
+	for _, t := range ev.scn.StaticTables {
+		cat.Put(t)
+	}
+	columns, worlds, err := ownedWorldsTable(ev.worldCols)
+	if err != nil {
+		return nil, err
+	}
+	return &shardEnv{
+		catalog: cat,
+		engine:  sqlengine.New(cat),
+		columns: columns,
+		worlds:  worlds,
+		siteBuf: make([][]float64, len(ev.scn.Sites)),
+	}, nil
+}
+
+func (ev *Evaluator) acquireEnv() (*shardEnv, error) {
+	ev.envMu.Lock()
+	if n := len(ev.envs); n > 0 {
+		env := ev.envs[n-1]
+		ev.envs = ev.envs[:n-1]
+		ev.envMu.Unlock()
+		return env, nil
+	}
+	ev.envMu.Unlock()
+	return ev.newShardEnv()
+}
+
+func (ev *Evaluator) releaseEnv(env *shardEnv) {
+	ev.envMu.Lock()
+	ev.envs = append(ev.envs, env)
+	ev.envMu.Unlock()
+}
+
+// siteRange returns env's buffer for site si sized for m worlds.
+func (env *shardEnv) siteRange(si, m int) []float64 {
+	if cap(env.siteBuf[si]) < m {
+		env.siteBuf[si] = make([]float64, m)
+	}
+	env.siteBuf[si] = env.siteBuf[si][:m]
+	return env.siteBuf[si]
+}
+
+// simulateRange invokes one site's VG-Function for worlds [lo, hi) of the
+// task, writing into dst (len hi-lo). The context is checked once per
+// world-batch, exactly like the single-range simulate loop.
+func (ev *Evaluator) simulateRange(ctx context.Context, site *scenario.Site, args []value.Value, task ShardTask, dst []float64) error {
+	lo, hi := task.Range.Lo, task.Range.Hi
+	for i := lo; i < hi; i++ {
+		if (i-lo)%batchWorlds == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		v, err := ev.scn.Registry.Invoke(site.Name, WorldSeed(task.SeedBase, site.ID, i), args)
+		if err != nil {
+			return fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return fmt.Errorf("mc: %s world %d: %w", site.ID, i, err)
+		}
+		dst[i-lo] = f
+	}
+	return nil
+}
+
+// runShardLocal evaluates one shard in process. ord holds the shard's
+// world ordinals (len task.Range.Len(), absolute values). When siteSamples
+// is non-nil it holds full [0, Worlds) per-site vectors (computed by the
+// coordinator, reuse-aware) and the shard just slices its range; otherwise
+// the shard simulates its own range from the task's seeds.
+func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamples [][]float64, ord []int64) (*ShardOutput, error) {
+	env, err := ev.acquireEnv()
+	if err != nil {
+		return nil, err
+	}
+	defer ev.releaseEnv(env)
+
+	lo, hi := task.Range.Lo, task.Range.Hi
+	for si := range ev.scn.Sites {
+		var vec []float64
+		if siteSamples != nil {
+			vec = siteSamples[si][lo:hi]
+		} else {
+			site := &ev.scn.Sites[si]
+			args, _, err := site.ArgValues(task.Point)
+			if err != nil {
+				return nil, err
+			}
+			vec = env.siteRange(si, hi-lo)
+			if err := ev.simulateRange(ctx, site, args, task, vec); err != nil {
+				return nil, err
+			}
+		}
+		env.columns[si+1].SetFloats(vec)
+	}
+	env.columns[0].SetInts(ord)
+	env.catalog.PutColumns(env.worlds)
+
+	out, err := ev.scn.Plan().Exec(env.engine, task.Point)
+	if err != nil {
+		return nil, fmt.Errorf("mc: executing scenario plan for shard [%d,%d): %w", lo, hi, err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("mc: scenario plan produced no result for shard [%d,%d)", lo, hi)
+	}
+	defer out.Release()
+
+	result := &ShardOutput{
+		Columns:  make(map[string][]float64, len(ev.scn.OutputCols)),
+		Sketches: make(map[string]aggregate.ColumnSketch, len(ev.scn.OutputCols)),
+	}
+	for _, colName := range ev.scn.OutputCols {
+		col, err := out.Column(colName)
+		if err != nil {
+			return nil, err
+		}
+		if col.Len() > 0 && col.AllStrings() {
+			continue
+		}
+		fs, err := col.Float64s()
+		if err != nil {
+			return nil, fmt.Errorf("mc: output column %q: %w", colName, err)
+		}
+		result.Columns[colName] = fs
+		cs := aggregate.NewColumnStats()
+		cs.AddAll(fs)
+		result.Sketches[colName] = cs.Sketch()
+	}
+	return result, nil
+}
+
+// stitchShards concatenates the shards' partial columns in shard (= world)
+// order and merges their sketches. A column that SOME shards skipped as
+// categorical (all-string) while others carried it empty — an empty shard
+// cannot see the column's type — is dropped, matching the single-range
+// path's skip of categorical columns; a shard carrying numeric rows for a
+// column another shard deemed categorical is a genuine type mix and errors
+// (the single-range conversion would error on it too).
+func stitchShards(outs []*ShardOutput) (map[string][]float64, map[string]*aggregate.ColumnStats, error) {
+	names := make(map[string]bool)
+	total := make(map[string]int)
+	inAll := make(map[string]int)
+	for _, out := range outs {
+		for col, fs := range out.Columns {
+			names[col] = true
+			total[col] += len(fs)
+			inAll[col]++
+		}
+	}
+	columns := make(map[string][]float64, len(names))
+	sketches := make(map[string]*aggregate.ColumnStats, len(names))
+	for col := range names {
+		if inAll[col] < len(outs) {
+			if total[col] > 0 {
+				return nil, nil, fmt.Errorf("mc: column %q is categorical in some shards but numeric in others", col)
+			}
+			continue // categorical: every shard with rows skipped it
+		}
+		full := make([]float64, 0, total[col])
+		parts := make([]aggregate.ColumnSketch, 0, len(outs))
+		for _, out := range outs {
+			full = append(full, out.Columns[col]...)
+			if sk, ok := out.Sketches[col]; ok {
+				parts = append(parts, sk)
+			}
+		}
+		columns[col] = full
+		if merged := aggregate.MergeSketches(parts); merged != nil {
+			sketches[col] = merged
+		}
+	}
+	return columns, sketches, nil
+}
+
+// evaluateSharded is EvaluatePoint's sharded path: split, fan out, stitch.
+func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*PointResult, error) {
+	n := ev.opts.Worlds
+	res := &PointResult{
+		Point:       pt,
+		Worlds:      n,
+		SiteOutcome: make(map[string]ReuseKind, len(ev.scn.Sites)),
+	}
+	sql, err := ev.scn.GenerateSQL(pt)
+	if err != nil {
+		return nil, err
+	}
+	res.SQL = sql
+
+	// Site samples: with a remote runner the workers re-derive them from
+	// seeds (reuse bypassed); locally with reuse enabled the coordinator
+	// computes full reuse-aware vectors once and shards slice them; locally
+	// without reuse each shard simulates its own range in parallel.
+	remote := ev.opts.Runner != nil
+	var siteSamples [][]float64
+	if !remote && ev.opts.Reuse != nil {
+		siteSamples = make([][]float64, len(ev.scn.Sites))
+		for si := range ev.scn.Sites {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			site := &ev.scn.Sites[si]
+			samples, kind, err := ev.samplesFor(ctx, site, pt)
+			if err != nil {
+				return nil, err
+			}
+			siteSamples[si] = samples
+			res.SiteOutcome[site.ID] = kind
+		}
+	} else {
+		for si := range ev.scn.Sites {
+			res.SiteOutcome[ev.scn.Sites[si].ID] = Computed
+		}
+	}
+
+	ranges := SplitWorlds(n, ev.opts.Shards)
+	ev.ordRange(0, n) // pre-grow so shard goroutines only read
+	outs := make([]*ShardOutput, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i := range ranges {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := ShardTask{Point: pt, Worlds: n, SeedBase: ev.opts.SeedBase, Range: ranges[i]}
+			if remote {
+				out, err := ev.opts.Runner(ctx, task)
+				if err == nil {
+					outs[i] = out
+					return
+				}
+				if ctx.Err() != nil {
+					errs[i] = err
+					return
+				}
+				// Per-shard local fallback: a failed worker costs latency,
+				// not the render.
+			}
+			outs[i], errs[i] = ev.runShardLocal(ctx, task, siteSamples, ev.ord[task.Range.Lo:task.Range.Hi])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	columns, sketches, err := stitchShards(outs)
+	if err != nil {
+		return nil, err
+	}
+	res.Columns = columns
+	if len(sketches) > 0 {
+		res.Sketches = sketches
+	}
+	return res, nil
+}
+
+// EvaluateShard evaluates ONLY the worlds in shard (within [0,
+// Options.Worlds)) at one parameter point — the worker half of distributed
+// rendering: an HTTP worker receives (scenario, point, seed base, range),
+// self-simulates the range from per-(site, world) seeds and returns the
+// partial columns and sketches for the coordinator to stitch. The shard is
+// itself split across Options.Shards in-process sub-shards, so a worker
+// saturates its own cores. Fingerprint reuse is not consulted (partial
+// vectors are not valid bases). Requires a shardable scenario plan.
+//
+// Like EvaluatePoint, EvaluateShard is not safe for concurrent calls on
+// one Evaluator.
+func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard WorldRange) (*ShardOutput, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if shard.Lo < 0 || shard.Hi > ev.opts.Worlds || shard.Lo >= shard.Hi {
+		return nil, fmt.Errorf("mc: shard [%d,%d) outside world range [0,%d)", shard.Lo, shard.Hi, ev.opts.Worlds)
+	}
+	if !ev.scn.Plan().Shardable() {
+		return nil, fmt.Errorf("mc: scenario plan is not shardable (grouped or fallback query)")
+	}
+	m := shard.Len()
+	sub := SplitWorlds(m, ev.opts.Shards)
+	// A shard-local ordinal vector: a worker evaluator serves one request,
+	// so filling the shared [0, Hi) vector would cost O(total worlds) per
+	// request; this costs O(shard length).
+	ord := make([]int64, m)
+	for i := range ord {
+		ord[i] = int64(shard.Lo + i)
+	}
+	outs := make([]*ShardOutput, len(sub))
+	errs := make([]error, len(sub))
+	var wg sync.WaitGroup
+	for i := range sub {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := ShardTask{
+				Point:    pt,
+				Worlds:   ev.opts.Worlds,
+				SeedBase: ev.opts.SeedBase,
+				Range:    WorldRange{Lo: shard.Lo + sub[i].Lo, Hi: shard.Lo + sub[i].Hi},
+			}
+			outs[i], errs[i] = ev.runShardLocal(ctx, task, nil, ord[sub[i].Lo:sub[i].Hi])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	columns, sketches, err := stitchShards(outs)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardOutput{Columns: columns, Sketches: make(map[string]aggregate.ColumnSketch, len(sketches))}
+	for col, cs := range sketches {
+		out.Sketches[col] = cs.Sketch()
+	}
+	return out, nil
+}

@@ -61,6 +61,12 @@ type metrics struct {
 	evaluatesTotal   atomic.Int64
 	pointsEvaluated  atomic.Int64
 
+	// Shard fan-out (coordinator side) and shard renders (worker side).
+	shardRendersServed  atomic.Int64
+	shardFanouts        atomic.Int64
+	shardRetries        atomic.Int64
+	shardWorkerFailures atomic.Int64
+
 	renderLatency *histogram
 }
 
@@ -98,6 +104,12 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	counter("fpserver_render_errors_total", "Renders that failed.", m.renderErrors.Load())
 	counter("fpserver_evaluate_batches_total", "Batch evaluation requests.", m.evaluatesTotal.Load())
 	counter("fpserver_evaluate_points_total", "Parameter points evaluated in batches.", m.pointsEvaluated.Load())
+
+	// World sharding.
+	counter("fpserver_shard_renders_total", "Shard-render requests served (worker role).", m.shardRendersServed.Load())
+	counter("fpserver_shard_fanouts_total", "Shard evaluations fanned out to workers (coordinator role).", m.shardFanouts.Load())
+	counter("fpserver_shard_retries_total", "Shard requests retried on another worker after a failure.", m.shardRetries.Load())
+	counter("fpserver_shard_worker_failures_total", "Shards every worker failed (evaluated locally instead).", m.shardWorkerFailures.Load())
 	fmt.Fprintf(w, "# HELP fpserver_render_seconds Render latency histogram.\n# TYPE fpserver_render_seconds histogram\n")
 	m.renderLatency.write(w, "fpserver_render_seconds")
 

@@ -28,6 +28,11 @@ type ScenarioEntry struct {
 	// a disk snapshot, or carried over live from a previous registration
 	// of identical content.
 	Warm bool
+	// Source is the scenario script exactly as registered and Tables its
+	// side tables; the shard coordinator ships both to workers, which
+	// recompile an identical scenario (verified by fingerprint).
+	Source string
+	Tables []tableDef
 	// Generation increments each time the ID is re-registered.
 	Generation int
 	// CreatedAt is the registration time.

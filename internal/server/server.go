@@ -78,6 +78,17 @@ type Config struct {
 	// the serving path can be profiled in place (fpserver -pprof). Leave
 	// off on exposed deployments: the profiles reveal internals.
 	EnablePprof bool
+	// Workers lists shard-worker base URLs (e.g. "http://10.0.0.2:8080").
+	// When non-empty, session renders and batch evaluations fan each
+	// point's world range out across them, one shard per worker, with
+	// per-shard retry on the remaining workers and local fallback when all
+	// fail. The workers must run the same VG model registry (verified per
+	// shard by scenario fingerprint). Empty = evaluate locally.
+	Workers []string
+	// WorkerMode serves ONLY the shard-render endpoint (plus health,
+	// metrics and optional pprof): the fpserver -worker role. Scenario
+	// registration, sessions and snapshots are disabled.
+	WorkerMode bool
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +122,11 @@ type Server struct {
 	metrics   *metrics
 	mux       *http.ServeMux
 
+	// shardCache caches worker-side compiled scenarios by fingerprint;
+	// shardClient is the coordinator-side HTTP client for shard fan-out.
+	shardCache  *shardScenarios
+	shardClient *http.Client
+
 	stop      chan struct{}
 	loops     sync.WaitGroup
 	closeOnce sync.Once
@@ -125,14 +141,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		registry: NewRegistry(),
-		sessions: NewManager(cfg.MaxSessions, cfg.SessionTTL),
-		metrics:  newMetrics(),
-		mux:      http.NewServeMux(),
-		stop:     make(chan struct{}),
+		cfg:         cfg,
+		registry:    NewRegistry(),
+		sessions:    NewManager(cfg.MaxSessions, cfg.SessionTTL),
+		metrics:     newMetrics(),
+		mux:         http.NewServeMux(),
+		shardCache:  newShardScenarios(),
+		shardClient: &http.Client{Timeout: defaultShardTimeout},
+		stop:        make(chan struct{}),
 	}
-	if cfg.SnapshotDir != "" {
+	if cfg.SnapshotDir != "" && !cfg.WorkerMode {
 		store, err := NewSnapshotStore(cfg.SnapshotDir)
 		if err != nil {
 			return nil, err
@@ -145,17 +163,8 @@ func New(cfg Config) (*Server, error) {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /scenarios", s.handleRegister)
-	s.mux.HandleFunc("GET /scenarios", s.handleListScenarios)
-	s.mux.HandleFunc("GET /scenarios/{id}", s.handleGetScenario)
-	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleDeleteScenario)
-	s.mux.HandleFunc("POST /scenarios/{id}/sessions", s.handleOpenSession)
-	s.mux.HandleFunc("POST /scenarios/{id}/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
-	s.mux.HandleFunc("PUT /sessions/{id}/params", s.handleSetParams)
-	s.mux.HandleFunc("GET /sessions/{id}/render", s.handleRender)
-	s.mux.HandleFunc("GET /sessions/{id}/map", s.handleExplorationMap)
-	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
+	// Every server can evaluate world shards; a worker serves only these.
+	s.mux.HandleFunc("POST /shard/render", s.handleShardRender)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -167,6 +176,20 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	if s.cfg.WorkerMode {
+		return
+	}
+	s.mux.HandleFunc("POST /scenarios", s.handleRegister)
+	s.mux.HandleFunc("GET /scenarios", s.handleListScenarios)
+	s.mux.HandleFunc("GET /scenarios/{id}", s.handleGetScenario)
+	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleDeleteScenario)
+	s.mux.HandleFunc("POST /scenarios/{id}/sessions", s.handleOpenSession)
+	s.mux.HandleFunc("POST /scenarios/{id}/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("PUT /sessions/{id}/params", s.handleSetParams)
+	s.mux.HandleFunc("GET /sessions/{id}/render", s.handleRender)
+	s.mux.HandleFunc("GET /sessions/{id}/map", s.handleExplorationMap)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
 }
 
 func (s *Server) startLoops() {
@@ -375,6 +398,8 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Scenario:    scn,
 		Cache:       cache,
 		Warm:        warm,
+		Source:      req.SQL,
+		Tables:      req.Tables,
 		CreatedAt:   time.Now(),
 	}
 	replaced := s.registry.Register(entry)
@@ -435,6 +460,10 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	} else {
 		opts = append(opts, fp.WithReuseCache(entry.Cache))
 	}
+	// With workers configured, the session's renders fan each point's
+	// world range out across them (shardable scenarios only; others keep
+	// evaluating locally inside the executor).
+	opts = append(opts, s.shardEvalOptions(entry)...)
 	inner, err := entry.Scenario.OpenSession(opts...)
 	if err != nil {
 		entry.release()
@@ -632,8 +661,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			points[i][k] = canonicalNumber(v)
 		}
 	}
-	res, err := entry.Scenario.EvaluateBatch(r.Context(), points,
-		fp.WithWorlds(worlds), fp.WithReuseCache(entry.Cache))
+	batchOpts := []fp.EvalOption{fp.WithWorlds(worlds), fp.WithReuseCache(entry.Cache)}
+	batchOpts = append(batchOpts, s.shardEvalOptions(entry)...)
+	res, err := entry.Scenario.EvaluateBatch(r.Context(), points, batchOpts...)
 	if err != nil {
 		s.renderError(w, err)
 		return

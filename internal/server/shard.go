@@ -1,0 +1,272 @@
+// World-shard fan-out: the HTTP half of distributed rendering.
+//
+// A render's Monte Carlo world range is embarrassingly parallel and every
+// sample derives from a per-(site, world) seed, so any fpserver holding the
+// same VG registry can evaluate a world range [lo, hi) of any scenario
+// bit-identically. Two roles cooperate:
+//
+//   - WORKER (fpserver -worker): serves POST /shard/render. The request
+//     carries the scenario script + side tables (cached by fingerprint
+//     after the first shard), the parameter point, the total world count
+//     and seed base, and the world range. The worker self-simulates the
+//     range, executes the compiled plan, and returns the partial output
+//     columns in world order plus mergeable per-column sketches.
+//
+//   - COORDINATOR (fpserver -workers=url1,url2,...): a workerPool
+//     implements fp.ShardEvaluator; session renders and batch evaluates
+//     fan each point's world range out across the configured workers. A
+//     failed shard request is retried on every other worker in turn; when
+//     all fail, the Monte Carlo executor evaluates that shard locally —
+//     dying workers degrade throughput, never correctness or results.
+//     With no workers configured everything evaluates locally, unchanged.
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fp "fuzzyprophet"
+)
+
+// shardRequest is the wire form of one shard evaluation.
+type shardRequest struct {
+	// SQL is the scenario script; Tables its deterministic side tables.
+	SQL    string     `json:"sql"`
+	Tables []tableDef `json:"tables,omitempty"`
+	// Fingerprint, when set, must match the compiled scenario's content
+	// identity — it guards against coordinator/worker model drift and keys
+	// the worker's scenario cache.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Point holds the parameter point; Worlds the render's TOTAL world
+	// count; Seed the seed base (0 = the default).
+	Point  map[string]any `json:"point"`
+	Worlds int            `json:"worlds"`
+	Seed   uint64         `json:"seed,omitempty"`
+	// Lo/Hi is the assigned world range [Lo, Hi) within [0, Worlds).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// shardResponse mirrors fp.ShardResult on the wire.
+type shardResponse struct {
+	Rows     int                        `json:"rows"`
+	Columns  map[string][]float64       `json:"columns"`
+	Sketches map[string]fp.ColumnSketch `json:"sketches,omitempty"`
+}
+
+// shardScenarioCacheMax bounds the worker's compiled-scenario cache.
+const shardScenarioCacheMax = 64
+
+// shardScenarios is the worker-side compiled-scenario cache, keyed by
+// fingerprint (LRU beyond shardScenarioCacheMax). Compiling per shard
+// request would dwarf small shards; after the first shard of a scenario,
+// workers pay only the evaluation.
+type shardScenarios struct {
+	mu    sync.Mutex
+	byFP  map[string]*list.Element // fingerprint → element holding *shardScenarioEntry
+	order *list.List               // front = most recent
+}
+
+type shardScenarioEntry struct {
+	fp  string
+	scn *fp.Scenario
+}
+
+func newShardScenarios() *shardScenarios {
+	return &shardScenarios{byFP: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached compiled scenario for the request, compiling (and
+// verifying the fingerprint of) a fresh one on miss.
+func (c *shardScenarios) get(sys *fp.System, req *shardRequest) (*fp.Scenario, error) {
+	if req.Fingerprint != "" {
+		c.mu.Lock()
+		if el, ok := c.byFP[req.Fingerprint]; ok {
+			c.order.MoveToFront(el)
+			scn := el.Value.(*shardScenarioEntry).scn
+			c.mu.Unlock()
+			return scn, nil
+		}
+		c.mu.Unlock()
+	}
+	scn, err := sys.Compile(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range req.Tables {
+		rows := make([][]any, len(t.Rows))
+		for i, row := range t.Rows {
+			rows[i] = make([]any, len(row))
+			for j, v := range row {
+				rows[i][j] = canonicalNumber(v)
+			}
+		}
+		if err := scn.AddTable(t.Name, t.Columns, rows); err != nil {
+			return nil, err
+		}
+	}
+	got := scn.Fingerprint()
+	if req.Fingerprint != "" && got != req.Fingerprint {
+		return nil, fmt.Errorf("scenario fingerprint mismatch: coordinator sent %.12s, worker compiled %.12s (model registries differ?)", req.Fingerprint, got)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFP[got]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*shardScenarioEntry).scn, nil
+	}
+	c.byFP[got] = c.order.PushFront(&shardScenarioEntry{fp: got, scn: scn})
+	for c.order.Len() > shardScenarioCacheMax {
+		el := c.order.Back()
+		delete(c.byFP, el.Value.(*shardScenarioEntry).fp)
+		c.order.Remove(el)
+	}
+	return scn, nil
+}
+
+// handleShardRender serves one shard evaluation (worker role).
+func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
+	var req shardRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("missing \"sql\""))
+		return
+	}
+	if req.Worlds <= 0 || req.Lo < 0 || req.Hi > req.Worlds || req.Lo >= req.Hi {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("bad shard range [%d,%d) of %d worlds", req.Lo, req.Hi, req.Worlds))
+		return
+	}
+	scn, err := s.shardCache.get(s.cfg.System, &req)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	point := make(map[string]any, len(req.Point))
+	for k, v := range req.Point {
+		point[k] = canonicalNumber(v)
+	}
+	res, err := scn.EvaluateShard(r.Context(), point, req.Worlds, req.Seed,
+		fp.WorldShard{Lo: req.Lo, Hi: req.Hi},
+		// Sub-shard across this worker's cores so one request saturates it.
+		fp.WithShards(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		s.renderError(w, err)
+		return
+	}
+	s.metrics.shardRendersServed.Add(1)
+	s.json(w, http.StatusOK, shardResponse{Rows: res.Rows, Columns: res.Columns, Sketches: res.Sketches})
+}
+
+// workerPool fans shard evaluations out to a fixed set of worker base
+// URLs, implementing fp.ShardEvaluator for one scenario entry. Worker
+// selection round-robins per shard; a failed request is retried on every
+// other worker before reporting failure (upon which the Monte Carlo
+// executor evaluates the shard locally).
+type workerPool struct {
+	urls    []string
+	client  *http.Client
+	entry   *ScenarioEntry
+	metrics *metrics
+	logf    func(string, ...any)
+	next    atomic.Uint64
+}
+
+// newWorkerPool builds the fan-out evaluator for one scenario entry.
+func (s *Server) newWorkerPool(entry *ScenarioEntry) *workerPool {
+	return &workerPool{
+		urls:    s.cfg.Workers,
+		client:  s.shardClient,
+		entry:   entry,
+		metrics: s.metrics,
+		logf:    s.cfg.Logf,
+	}
+}
+
+// EvaluateShard implements fp.ShardEvaluator over HTTP.
+func (p *workerPool) EvaluateShard(ctx context.Context, point map[string]any, worlds int, seed uint64, shard fp.WorldShard) (*fp.ShardResult, error) {
+	body, err := json.Marshal(shardRequest{
+		SQL:         p.entry.Source,
+		Tables:      p.entry.Tables,
+		Fingerprint: p.entry.Fingerprint,
+		Point:       point,
+		Worlds:      worlds,
+		Seed:        seed,
+		Lo:          shard.Lo,
+		Hi:          shard.Hi,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := int(p.next.Add(1)-1) % len(p.urls)
+	var lastErr error
+	for k := 0; k < len(p.urls); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		url := p.urls[(start+k)%len(p.urls)]
+		res, err := p.post(ctx, url, body)
+		if err == nil {
+			p.metrics.shardFanouts.Add(1)
+			return res, nil
+		}
+		lastErr = err
+		if k+1 < len(p.urls) {
+			p.metrics.shardRetries.Add(1)
+			p.logf("shard [%d,%d): worker %s failed (%v), retrying on next", shard.Lo, shard.Hi, url, err)
+		}
+	}
+	p.metrics.shardWorkerFailures.Add(1)
+	p.logf("shard [%d,%d): all %d worker(s) failed, evaluating locally: %v", shard.Lo, shard.Hi, len(p.urls), lastErr)
+	return nil, lastErr
+}
+
+// post performs one shard request against one worker.
+func (p *workerPool) post(ctx context.Context, base string, body []byte) (*fp.ShardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/shard/render", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s: status %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var sr shardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("worker %s: decoding response: %w", base, err)
+	}
+	return &fp.ShardResult{Rows: sr.Rows, Columns: sr.Columns, Sketches: sr.Sketches}, nil
+}
+
+// shardEvalOptions returns the fan-out options for evaluations of entry
+// when workers are configured (nil otherwise): one shard per worker,
+// evaluated through the entry's worker pool.
+func (s *Server) shardEvalOptions(entry *ScenarioEntry) []fp.EvalOption {
+	if len(s.cfg.Workers) == 0 {
+		return nil
+	}
+	return []fp.EvalOption{
+		fp.WithShards(len(s.cfg.Workers)),
+		fp.WithShardEvaluator(s.newWorkerPool(entry)),
+	}
+}
+
+// defaultShardTimeout bounds one shard request; the per-request context
+// still cancels earlier when the client goes away.
+const defaultShardTimeout = 2 * time.Minute

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	fp "fuzzyprophet"
+)
+
+// newWorkerServer starts a shard worker (WorkerMode).
+func newWorkerServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	_, ts := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	return ts
+}
+
+func TestShardWorkerEndpoint(t *testing.T) {
+	ts := newWorkerServer(t)
+
+	var res shardResponse
+	code := call(t, "POST", ts.URL+"/shard/render", shardRequest{
+		SQL:    testScenario,
+		Point:  map[string]any{"current": 3, "purchase1": 8, "feature": 4},
+		Worlds: 100,
+		Lo:     25,
+		Hi:     75,
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("shard render = %d", code)
+	}
+	if res.Rows != 50 {
+		t.Errorf("rows = %d, want 50", res.Rows)
+	}
+	for _, col := range []string{"demand", "capacity", "overload"} {
+		if len(res.Columns[col]) != 50 {
+			t.Errorf("column %s has %d rows, want 50", col, len(res.Columns[col]))
+		}
+		sk, ok := res.Sketches[col]
+		if !ok || sk.Count != 50 {
+			t.Errorf("column %s sketch count = %d, want 50", col, sk.Count)
+		}
+	}
+
+	// Bad ranges are rejected.
+	for _, bad := range []shardRequest{
+		{SQL: testScenario, Worlds: 100, Lo: -1, Hi: 10},
+		{SQL: testScenario, Worlds: 100, Lo: 10, Hi: 101},
+		{SQL: testScenario, Worlds: 100, Lo: 10, Hi: 10},
+		{SQL: testScenario, Worlds: 0, Lo: 0, Hi: 1},
+		{Worlds: 100, Lo: 0, Hi: 10},
+	} {
+		bad.Point = map[string]any{"current": 0, "purchase1": 0, "feature": 4}
+		if code := call(t, "POST", ts.URL+"/shard/render", bad, nil); code != http.StatusBadRequest {
+			t.Errorf("bad shard request %+v = %d, want 400", bad, code)
+		}
+	}
+
+	// A wrong fingerprint (coordinator/worker drift) is rejected.
+	code = call(t, "POST", ts.URL+"/shard/render", shardRequest{
+		SQL:         testScenario,
+		Fingerprint: "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+		Point:       map[string]any{"current": 0, "purchase1": 0, "feature": 4},
+		Worlds:      100,
+		Lo:          0,
+		Hi:          10,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("fingerprint mismatch = %d, want 400", code)
+	}
+
+	// Worker mode serves only the shard surface.
+	if code := call(t, "POST", ts.URL+"/scenarios", registerRequest{SQL: testScenario}, nil); code != http.StatusNotFound {
+		t.Errorf("worker-mode /scenarios = %d, want 404", code)
+	}
+	if code := call(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Errorf("worker-mode /healthz = %d", code)
+	}
+}
+
+// renderGraph registers the test scenario, opens a session and renders.
+func renderGraph(t *testing.T, base string) fp.Graph {
+	t.Helper()
+	scn := registerScenario(t, base)
+	sess := openSession(t, base, scn.ID, openSessionRequest{Worlds: 80})
+	var rr renderResponse
+	if code := call(t, "GET", base+"/sessions/"+sess.ID+"/render", nil, &rr); code != http.StatusOK {
+		t.Fatalf("render = %d", code)
+	}
+	return *rr.Graph
+}
+
+func assertSameGraph(t *testing.T, want, got fp.Graph) {
+	t.Helper()
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("series count %d, want %d", len(got.Series), len(want.Series))
+	}
+	for i := range want.Series {
+		w, g := want.Series[i], got.Series[i]
+		if w.Name != g.Name || len(w.Y) != len(g.Y) {
+			t.Fatalf("series %d shape mismatch", i)
+		}
+		for j := range w.Y {
+			if w.Y[j] != g.Y[j] {
+				t.Fatalf("series %s x=%g: fanned-out %v != local %v (bit-identity violated)",
+					w.Name, w.X[j], g.Y[j], w.Y[j])
+			}
+			if w.CI95[j] != g.CI95[j] {
+				t.Fatalf("series %s x=%g: CI95 %v != %v", w.Name, w.X[j], g.CI95[j], w.CI95[j])
+			}
+		}
+	}
+}
+
+// TestCoordinatorFanout: a session render fanned out across two HTTP shard
+// workers is bit-identical to the same render evaluated locally.
+func TestCoordinatorFanout(t *testing.T) {
+	w1 := newWorkerServer(t)
+	w2 := newWorkerServer(t)
+	_, local := newTestServer(t, nil)
+	coordSrv, coord := newTestServer(t, func(c *Config) { c.Workers = []string{w1.URL, w2.URL} })
+
+	want := renderGraph(t, local.URL)
+	got := renderGraph(t, coord.URL)
+	assertSameGraph(t, want, got)
+
+	if n := coordSrv.metrics.shardFanouts.Load(); n == 0 {
+		t.Error("no shard fan-outs recorded")
+	}
+	if n := coordSrv.metrics.shardWorkerFailures.Load(); n != 0 {
+		t.Errorf("%d worker failures on healthy workers", n)
+	}
+}
+
+// TestCoordinatorRetry: with one dead worker in the pool, shards retry on
+// the live one and the render still matches the local render bit for bit.
+func TestCoordinatorRetry(t *testing.T) {
+	live := newWorkerServer(t)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "worker on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+
+	_, local := newTestServer(t, nil)
+	coordSrv, coord := newTestServer(t, func(c *Config) { c.Workers = []string{dead.URL, live.URL} })
+
+	want := renderGraph(t, local.URL)
+	got := renderGraph(t, coord.URL)
+	assertSameGraph(t, want, got)
+
+	if n := coordSrv.metrics.shardRetries.Load(); n == 0 {
+		t.Error("no shard retries recorded despite a dead worker")
+	}
+	if n := coordSrv.metrics.shardWorkerFailures.Load(); n != 0 {
+		t.Errorf("%d shards failed every worker; the live worker should have covered them", n)
+	}
+}
+
+// TestCoordinatorLocalFallback: when every worker is unreachable, each
+// shard falls back to local evaluation — the render succeeds and stays
+// bit-identical.
+func TestCoordinatorLocalFallback(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusBadGateway)
+	}))
+	t.Cleanup(dead.Close)
+
+	_, local := newTestServer(t, nil)
+	coordSrv, coord := newTestServer(t, func(c *Config) { c.Workers = []string{dead.URL} })
+
+	want := renderGraph(t, local.URL)
+	got := renderGraph(t, coord.URL)
+	assertSameGraph(t, want, got)
+
+	if n := coordSrv.metrics.shardWorkerFailures.Load(); n == 0 {
+		t.Error("no worker failures recorded despite all workers dead")
+	}
+}
+
+// TestCoordinatorBatchEvaluate: batch evaluation also fans out, with
+// summaries identical to the local path.
+func TestCoordinatorBatchEvaluate(t *testing.T) {
+	worker := newWorkerServer(t)
+	_, local := newTestServer(t, nil)
+	_, coord := newTestServer(t, func(c *Config) { c.Workers = []string{worker.URL} })
+
+	points := []map[string]any{
+		{"current": 2, "purchase1": 0, "feature": 4},
+		{"current": 5, "purchase1": 8, "feature": 8},
+	}
+	run := func(base string) fp.BatchResult {
+		scn := registerScenario(t, base)
+		var res fp.BatchResult
+		if code := call(t, "POST", base+"/scenarios/"+scn.ID+"/evaluate",
+			evaluateRequest{Points: points, Worlds: 64}, &res); code != http.StatusOK {
+			t.Fatalf("evaluate = %d", code)
+		}
+		return res
+	}
+	want, got := run(local.URL), run(coord.URL)
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		for col, ws := range want.Points[i].Summaries {
+			gs := got.Points[i].Summaries[col]
+			if ws.Mean != gs.Mean || ws.StdDev != gs.StdDev || ws.N != gs.N {
+				t.Errorf("point %d column %s: fanned-out mean/stddev %v/%v != local %v/%v",
+					i, col, gs.Mean, gs.StdDev, ws.Mean, ws.StdDev)
+			}
+		}
+	}
+}

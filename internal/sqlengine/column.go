@@ -95,6 +95,19 @@ func FloatColumn(vals []float64) *Column {
 	return &Column{kind: ColFloat, n: len(vals), f: vals}
 }
 
+// SetFloats repoints c at vals as a no-null float column, reusing the
+// header allocation. It is the update-in-place companion of FloatColumn for
+// owners of long-lived tables (the Monte Carlo executor's per-point worlds
+// table); the column must not be concurrently read while repointed.
+func (c *Column) SetFloats(vals []float64) {
+	*c = Column{kind: ColFloat, n: len(vals), f: vals}
+}
+
+// SetInts is SetFloats for int64 vectors.
+func (c *Column) SetInts(vals []int64) {
+	*c = Column{kind: ColInt, n: len(vals), i: vals}
+}
+
 // IntColumn wraps an int64 vector as a column without copying.
 func IntColumn(vals []int64) *Column {
 	return &Column{kind: ColInt, n: len(vals), i: vals}

@@ -28,17 +28,27 @@ import (
 //     comparison makes NaN compare equal to everything, which no hash key
 //     can express.
 
-// equiJoinKeys inspects an ON condition and, when it is a single equality
-// whose two sides each reference columns of exactly one input, returns the
-// key expressions ordered (leftKey over acc, rightKey over next).
-func equiJoinKeys(cond sqlparser.Expr, acc, next *vRel) (leftKey, rightKey sqlparser.Expr, ok bool) {
+// splitEquality inspects an ON condition's STRUCTURE: when it is a single
+// top-level equality it returns the two operand expressions. This is the
+// compile-time half of equi-join detection — a Plan decides it once in
+// CompileSelect instead of re-walking the condition every execution.
+func splitEquality(cond sqlparser.Expr) (l, r sqlparser.Expr, ok bool) {
 	bin, isBin := cond.(sqlparser.Binary)
 	if !isBin || bin.Op != "=" {
 		return nil, nil, false
 	}
-	combined := append(append([]colBinding(nil), acc.schema...), next.schema...)
+	return bin.L, bin.R, true
+}
+
+// equiJoinSides is the bind-time half: given an equality's two operands and
+// the ALREADY-BUILT combined schema (the first nAcc bindings belong to the
+// left input), it decides whether each operand references columns of
+// exactly one input and returns the key expressions ordered (leftKey over
+// the left input, rightKey over the right). The schema is borrowed, never
+// copied.
+func equiJoinSides(exprL, exprR sqlparser.Expr, combined []colBinding, nAcc int) (leftKey, rightKey sqlparser.Expr, ok bool) {
 	side := func(x sqlparser.Expr) int {
-		// 0: no columns, 1: acc only, 2: next only, 3: mixed/unresolvable.
+		// 0: no columns, 1: left only, 2: right only, 3: mixed/unresolvable.
 		s := 0
 		var bad bool
 		sqlparser.WalkExpr(x, func(e sqlparser.Expr) {
@@ -54,7 +64,7 @@ func equiJoinKeys(cond sqlparser.Expr, acc, next *vRel) (leftKey, rightKey sqlpa
 				return
 			}
 			var this int
-			if idx < len(acc.schema) {
+			if idx < nAcc {
 				this = 1
 			} else {
 				this = 2
@@ -70,15 +80,78 @@ func equiJoinKeys(cond sqlparser.Expr, acc, next *vRel) (leftKey, rightKey sqlpa
 		}
 		return s
 	}
-	ls, rs := side(bin.L), side(bin.R)
+	ls, rs := side(exprL), side(exprR)
 	switch {
 	case ls <= 1 && rs == 2:
-		return bin.L, bin.R, true
+		return exprL, exprR, true
 	case ls == 2 && rs <= 1:
-		return bin.R, bin.L, true
+		return exprR, exprL, true
 	default:
 		return nil, nil, false
 	}
+}
+
+// equiJoinKeys is the one-shot form used by the interpreted path: structure
+// split plus side resolution against a combined schema built by the caller.
+func equiJoinKeys(cond sqlparser.Expr, combined []colBinding, nAcc int) (leftKey, rightKey sqlparser.Expr, ok bool) {
+	l, r, ok := splitEquality(cond)
+	if !ok {
+		return nil, nil, false
+	}
+	return equiJoinSides(l, r, combined, nAcc)
+}
+
+// buildTable is reusable hash-join build-side state: a key → chain-head
+// map plus head/tail/next chain slices keeping each key's build rows in
+// ascending order (so the probe emits matches in exactly the quadratic
+// path's order). Chains live in flat slices, so across executions only
+// first-seen map keys allocate — one string per DISTINCT key instead of
+// one per build-side row — and the compiled path pools the whole structure
+// in its planState like every other buffer.
+type buildTable struct {
+	idx    map[string]int32 // key → head build row of its chain
+	next   []int32          // next[r]: following build row with r's key; -1 ends
+	tail   []int32          // tail[h]: last row of the chain headed by h
+	keyBuf []byte           // key-encoding scratch
+}
+
+// reset prepares the table for a build side of n rows.
+func (bt *buildTable) reset(n int) {
+	if bt.idx == nil {
+		bt.idx = make(map[string]int32, n)
+	} else {
+		clear(bt.idx)
+	}
+	if cap(bt.next) < n {
+		bt.next = make([]int32, n)
+		bt.tail = make([]int32, n)
+	}
+	bt.next = bt.next[:n]
+	bt.tail = bt.tail[:n]
+}
+
+// insert appends build row r (ascending) to its key's chain. The key is
+// read from bt.keyBuf; the map lookup is allocation-free, only a new
+// distinct key allocates its map entry.
+func (bt *buildTable) insert(r int) {
+	if h, ok := bt.idx[string(bt.keyBuf)]; ok {
+		t := bt.tail[h]
+		bt.next[t] = int32(r)
+		bt.next[r] = -1
+		bt.tail[h] = int32(r)
+		return
+	}
+	bt.idx[string(bt.keyBuf)] = int32(r)
+	bt.next[r] = -1
+	bt.tail[r] = int32(r)
+}
+
+// lookup returns the head build row for the key in bt.keyBuf, or -1.
+func (bt *buildTable) lookup() int32 {
+	if h, ok := bt.idx[string(bt.keyBuf)]; ok {
+		return h
+	}
+	return -1
 }
 
 // hashableJoinKinds reports whether two key columns belong to one
@@ -131,11 +204,13 @@ func appendJoinKey(c *Column, i int, dst []byte) ([]byte, bool) {
 
 // hashEquiJoin evaluates the key expressions over their sides and builds
 // the (outL, outR) gather lists of the inner or left join, appending to the
-// provided buffers (pass nil to allocate). ok=false means the keys turned
-// out unhashable (kind family mismatch, boxed keys, or a NaN key) and the
-// caller must run the quadratic path; err means key evaluation failed,
-// which the quadratic path would also report.
-func (e *Engine) hashEquiJoin(acc, next *vRel, leftKeyX, rightKeyX sqlparser.Expr, leftJoin bool, params map[string]value.Value, outL, outR []int) (gl, gr []int, ok bool, err error) {
+// provided buffers (pass nil to allocate). bt, when non-nil, is reused
+// build-side state (the compiled path pools one in its planState; pass nil
+// for a temporary). ok=false means the keys turned out unhashable (kind
+// family mismatch, boxed keys, or a NaN key) and the caller must run the
+// quadratic path; err means key evaluation failed, which the quadratic
+// path would also report.
+func (e *Engine) hashEquiJoin(acc, next *vRel, leftKeyX, rightKeyX sqlparser.Expr, leftJoin bool, params map[string]value.Value, outL, outR []int, bt *buildTable) (gl, gr []int, ok bool, err error) {
 	// Evaluate left before right: the quadratic path's evalBinary does the
 	// same, so when both sides error the same one wins.
 	lvc := &vctx{params: params, rel: acc, resolver: e.Resolver}
@@ -166,18 +241,20 @@ func (e *Engine) hashEquiJoin(acc, next *vRel, leftKeyX, rightKeyX sqlparser.Exp
 
 	// Build on the right side, preserving right-row order per key so the
 	// probe emits matches in exactly the quadratic path's order.
-	var keyBuf []byte
-	build := make(map[string][]int32, rkey.n)
+	if bt == nil {
+		bt = &buildTable{}
+	}
+	bt.reset(rkey.n)
 	for r := 0; r < rkey.n; r++ {
 		if rkey.IsNull(r) {
 			continue
 		}
 		var kok bool
-		keyBuf, kok = appendJoinKey(rkey, r, keyBuf[:0])
+		bt.keyBuf, kok = appendJoinKey(rkey, r, bt.keyBuf[:0])
 		if !kok {
 			return nil, nil, false, nil
 		}
-		build[string(keyBuf)] = append(build[string(keyBuf)], int32(r))
+		bt.insert(r)
 	}
 	for l := 0; l < lkey.n; l++ {
 		if lkey.IsNull(l) {
@@ -188,19 +265,19 @@ func (e *Engine) hashEquiJoin(acc, next *vRel, leftKeyX, rightKeyX sqlparser.Exp
 			continue
 		}
 		var kok bool
-		keyBuf, kok = appendJoinKey(lkey, l, keyBuf[:0])
+		bt.keyBuf, kok = appendJoinKey(lkey, l, bt.keyBuf[:0])
 		if !kok {
 			return nil, nil, false, nil
 		}
-		matches := build[string(keyBuf)]
-		if len(matches) == 0 {
+		h := bt.lookup()
+		if h < 0 {
 			if leftJoin {
 				outL = append(outL, l)
 				outR = append(outR, -1)
 			}
 			continue
 		}
-		for _, r := range matches {
+		for r := h; r >= 0; r = bt.next[r] {
 			outL = append(outL, l)
 			outR = append(outR, int(r))
 		}

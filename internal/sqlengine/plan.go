@@ -38,6 +38,10 @@ type Plan struct {
 	grouped  bool
 
 	fromRefs []sqlparser.TableRef
+	// eqL/eqR are the two operands of a single-equality two-table join ON
+	// condition, split once at compile time (side resolution still happens
+	// at bind, against the catalog-dependent schema).
+	eqL, eqR sqlparser.Expr
 	whereK   kernel
 	items    []itemPlan
 	colNames []string
@@ -145,6 +149,9 @@ func CompileSelect(sel sqlparser.Select) *Plan {
 		p.fallback = true
 		return p
 	}
+	if len(sel.From) == 2 && sel.From[1].JoinCond != nil {
+		p.eqL, p.eqR, _ = splitEquality(sel.From[1].JoinCond)
+	}
 
 	c := &compiler{p: p, specIDs: map[colRefSpec]int{}}
 	if sel.Where != nil {
@@ -168,6 +175,21 @@ func CompileSelect(sel sqlparser.Select) *Plan {
 	}
 	return p
 }
+
+// Shardable reports whether the plan's output can be computed over disjoint
+// row ranges of its FIRST FROM table and concatenated in range order to
+// reproduce the whole execution bit for bit. That holds exactly for the
+// compiled non-grouped plans: every compiled operator is row-wise over the
+// FROM relation, the relation is materialized in first-table-major order
+// (single table directly; cross products repeat the left side row-wise;
+// hash and interpreted joins probe with the left side in order), and WHERE
+// only filters rows without reordering. Grouped plans collapse rows and
+// fallback plans may reorder them (ORDER BY, DISTINCT, LIMIT, INTO,
+// 3+-table FROM), so neither is shardable. The Monte Carlo executor keys
+// world sharding off this: a shardable scenario plan evaluated on world
+// ranges [lo,hi) yields partial outputs whose concatenation is identical to
+// the single-range execution.
+func (p *Plan) Shardable() bool { return !p.fallback && !p.grouped }
 
 // Exec runs the plan against an engine's catalog. On a RowMode engine or a
 // fallback plan, execution routes through the interpreted paths.
@@ -306,6 +328,7 @@ type planState struct {
 	selBuf []int
 	joinL  []int
 	joinR  []int
+	build  buildTable // pooled hash-join build-side state
 
 	fixSlots []*colSlot
 	dynSlots []*colSlot
@@ -543,9 +566,9 @@ func (st *planState) bindFrom() error {
 		}
 		st.rel = vRel{schema: st.schema, cols: st.relCols, n: n}
 		return nil
-	case ref.JoinCond != nil && acc.n > 0 && next.n > 0:
-		if lx, rx, ok := equiJoinKeys(ref.JoinCond, acc, next); ok {
-			outL, outR, hashed, err := st.e.hashEquiJoin(acc, next, lx, rx, ref.LeftJoin, st.params, st.joinL[:0], st.joinR[:0])
+	case ref.JoinCond != nil && p.eqL != nil && acc.n > 0 && next.n > 0:
+		if lx, rx, ok := equiJoinSides(p.eqL, p.eqR, st.schema, nAcc); ok {
+			outL, outR, hashed, err := st.e.hashEquiJoin(acc, next, lx, rx, ref.LeftJoin, st.params, st.joinL[:0], st.joinR[:0], &st.build)
 			if err != nil {
 				return err
 			}

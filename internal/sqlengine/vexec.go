@@ -224,8 +224,8 @@ func (e *Engine) joinVec(acc, next *vRel, ref sqlparser.TableRef, params map[str
 	// Hash equi-join fast path. Empty inputs skip it: the quadratic loop
 	// never evaluates the condition then, so neither may the key pass.
 	if ref.JoinCond != nil && nl > 0 && nr > 0 {
-		if lx, rx, ok := equiJoinKeys(ref.JoinCond, acc, next); ok {
-			outL, outR, hashed, err := e.hashEquiJoin(acc, next, lx, rx, ref.LeftJoin, params, nil, nil)
+		if lx, rx, ok := equiJoinKeys(ref.JoinCond, schema, len(acc.schema)); ok {
+			outL, outR, hashed, err := e.hashEquiJoin(acc, next, lx, rx, ref.LeftJoin, params, nil, nil, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -73,6 +73,23 @@ func (m *Moments) Merge(o *Moments) {
 // Count returns the number of samples.
 func (m *Moments) Count() int64 { return m.n }
 
+// State returns the accumulator's raw state (count, mean, M2 sum of squared
+// deviations, min, max) — the serializable form the shard protocol ships
+// between workers and the coordinator.
+func (m *Moments) State() (n int64, mean, m2, min, max float64) {
+	return m.n, m.mean, m.m2, m.min, m.max
+}
+
+// MomentsFromState rebuilds an accumulator from State's raw form. A
+// round-trip through State/MomentsFromState is exact, so merging restored
+// accumulators behaves identically to merging the originals.
+func MomentsFromState(n int64, mean, m2, min, max float64) Moments {
+	if n <= 0 {
+		return Moments{}
+	}
+	return Moments{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
 // Mean returns the sample mean (0 when empty).
 func (m *Moments) Mean() float64 { return m.mean }
 

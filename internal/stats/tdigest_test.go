@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantileRankError asserts that the digest's estimate for q lies between
+// the exact (tol-widened) rank quantiles of the sorted data.
+func quantileRankError(t *testing.T, td *TDigest, xs []float64, q, tol float64) {
+	t.Helper()
+	got, err := td.Quantile(q)
+	if err != nil {
+		t.Fatalf("Quantile(%g): %v", q, err)
+	}
+	lo, _ := Quantile(xs, math.Max(0, q-tol))
+	hi, _ := Quantile(xs, math.Min(1, q+tol))
+	if got < lo || got > hi {
+		t.Errorf("Quantile(%g) = %g outside rank-tolerance window [%g, %g]", q, got, lo, hi)
+	}
+}
+
+func TestTDigestAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":     rng.Float64,
+		"normal":      rng.NormFloat64,
+		"exponential": rng.ExpFloat64,
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			xs := make([]float64, 20000)
+			td := NewTDigest(0)
+			for i := range xs {
+				xs[i] = draw()
+				td.Add(xs[i])
+			}
+			for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+				quantileRankError(t, td, xs, q, 0.015)
+			}
+			if td.Count() != int64(len(xs)) {
+				t.Errorf("count = %d, want %d", td.Count(), len(xs))
+			}
+		})
+	}
+}
+
+func TestTDigestExtremes(t *testing.T) {
+	td := NewTDigest(0)
+	xs := []float64{5, -3, 12, 0, 7}
+	td.AddAll(xs)
+	if v, _ := td.Quantile(0); v != -3 {
+		t.Errorf("q0 = %g, want -3", v)
+	}
+	if v, _ := td.Quantile(1); v != 12 {
+		t.Errorf("q1 = %g, want 12", v)
+	}
+	if td.Min() != -3 || td.Max() != 12 {
+		t.Errorf("min/max = %g/%g", td.Min(), td.Max())
+	}
+}
+
+func TestTDigestSmallAndEmpty(t *testing.T) {
+	td := NewTDigest(0)
+	if v, err := td.Quantile(0.5); err != nil || v != 0 {
+		t.Errorf("empty quantile = %g, %v", v, err)
+	}
+	if td.Min() != 0 || td.Max() != 0 {
+		t.Errorf("empty min/max = %g/%g", td.Min(), td.Max())
+	}
+	td.Add(4)
+	if v, _ := td.Quantile(0.5); v != 4 {
+		t.Errorf("single-sample median = %g", v)
+	}
+	if _, err := td.Quantile(1.5); err == nil {
+		t.Error("q outside [0,1] should error")
+	}
+}
+
+// TestTDigestMergeMatchesWhole: a digest merged from disjoint shards
+// estimates quantiles as well as one built over the whole vector.
+func TestTDigestMergeMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	for _, shards := range []int{2, 7, 16} {
+		merged := NewTDigest(0)
+		chunk := (len(xs) + shards - 1) / shards
+		for lo := 0; lo < len(xs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			part := NewTDigest(0)
+			part.AddAll(xs[lo:hi])
+			merged.Merge(part)
+		}
+		if merged.Count() != int64(len(xs)) {
+			t.Fatalf("%d shards: merged count = %d", shards, merged.Count())
+		}
+		for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+			quantileRankError(t, merged, xs, q, 0.02)
+		}
+	}
+}
+
+// TestTDigestMergeOrderInvariance: merging the same partial digests in any
+// order yields quantile estimates that agree within the sketch tolerance.
+func TestTDigestMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const shards = 8
+	parts := make([]*TDigest, shards)
+	var all []float64
+	for s := range parts {
+		parts[s] = NewTDigest(0)
+		for i := 0; i < 4000; i++ {
+			x := rng.ExpFloat64() * float64(s+1)
+			parts[s].Add(x)
+			all = append(all, x)
+		}
+	}
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 1, 7, 2, 5, 4},
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95} {
+		var estimates []float64
+		for _, order := range orders {
+			m := NewTDigest(0)
+			for _, s := range order {
+				m.Merge(parts[s])
+			}
+			quantileRankError(t, m, all, q, 0.025)
+			v, _ := m.Quantile(q)
+			estimates = append(estimates, v)
+		}
+		// All merge orders must land inside a narrow band of each other.
+		lo, _ := Quantile(all, math.Max(0, q-0.025))
+		hi, _ := Quantile(all, math.Min(1, q+0.025))
+		band := hi - lo
+		for i := 1; i < len(estimates); i++ {
+			if math.Abs(estimates[i]-estimates[0]) > band {
+				t.Errorf("q=%g: merge orders disagree beyond tolerance: %v (band %g)", q, estimates, band)
+			}
+		}
+	}
+}
+
+func TestTDigestCentroidRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	td := NewTDigest(100)
+	for i := 0; i < 10000; i++ {
+		td.Add(rng.Float64() * 50)
+	}
+	restored := TDigestFromCentroids(td.Compression(), td.Centroids(), td.Min(), td.Max())
+	if restored.Count() != td.Count() {
+		t.Fatalf("restored count = %d, want %d", restored.Count(), td.Count())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		a, _ := td.Quantile(q)
+		b, _ := restored.Quantile(q)
+		if a != b {
+			t.Errorf("q=%g: restored %g != original %g", q, b, a)
+		}
+	}
+}
+
+func TestTDigestDeterministic(t *testing.T) {
+	build := func() *TDigest {
+		td := NewTDigest(0)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 5000; i++ {
+			td.Add(rng.NormFloat64())
+		}
+		return td
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		va, _ := a.Quantile(q)
+		vb, _ := b.Quantile(q)
+		if va != vb {
+			t.Errorf("q=%g: same input sequence produced %g vs %g", q, va, vb)
+		}
+	}
+}
+
+func TestTDigestCompressionBound(t *testing.T) {
+	td := NewTDigest(100)
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 100000; i++ {
+		td.Add(rng.Float64())
+	}
+	if n := len(td.Centroids()); n > 250 {
+		t.Errorf("centroid count %d exceeds ~2.5x compression bound", n)
+	}
+}

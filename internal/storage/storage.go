@@ -12,7 +12,7 @@ package storage
 
 import (
 	"container/list"
-	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -59,8 +59,19 @@ func NewStore(budgetBytes int64) *Store {
 	}
 }
 
-func compositeKey(site, key string) string {
-	return fmt.Sprintf("%d:%s|%s", len(site), site, key)
+// appendCompositeKey appends the unambiguous index encoding of (site, key)
+// to dst: the site length in decimal, then the two strings. It replaces
+// the earlier fmt.Sprintf on the hottest reuse-lookup path — built into a
+// stack buffer and passed to map operations as string(b), Get and Contains
+// perform no allocation at all (the compiler elides the conversion for
+// map lookups); only Put allocates the key it inserts.
+func appendCompositeKey(dst []byte, site, key string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(site)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, site...)
+	dst = append(dst, '|')
+	dst = append(dst, key...)
+	return dst
 }
 
 // Put stores (or replaces) the samples for (site, key). The stored slice is
@@ -68,7 +79,8 @@ func compositeKey(site, key string) string {
 func (s *Store) Put(site, key string, samples []float64) {
 	cp := append([]float64(nil), samples...)
 	e := &Entry{Site: site, Key: key, Samples: cp}
-	ck := compositeKey(site, key)
+	var buf [64]byte
+	ck := string(appendCompositeKey(buf[:0], site, key))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -90,10 +102,11 @@ func (s *Store) Put(site, key string, samples []float64) {
 // Get returns the samples for (site, key), marking the entry recently used.
 // The returned slice is shared; callers must not mutate it.
 func (s *Store) Get(site, key string) ([]float64, bool) {
-	ck := compositeKey(site, key)
+	var buf [64]byte
+	ck := appendCompositeKey(buf[:0], site, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[ck]
+	el, ok := s.index[string(ck)]
 	if !ok {
 		s.misses.Add(1)
 		return nil, false
@@ -106,18 +119,21 @@ func (s *Store) Get(site, key string) ([]float64, bool) {
 // Contains reports whether (site, key) is stored, without touching LRU
 // order.
 func (s *Store) Contains(site, key string) bool {
+	var buf [64]byte
+	ck := appendCompositeKey(buf[:0], site, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.index[compositeKey(site, key)]
+	_, ok := s.index[string(ck)]
 	return ok
 }
 
 // Drop removes (site, key) if present.
 func (s *Store) Drop(site, key string) {
-	ck := compositeKey(site, key)
+	var buf [64]byte
+	ck := appendCompositeKey(buf[:0], site, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.index[ck]; ok {
+	if el, ok := s.index[string(ck)]; ok {
 		s.removeLocked(el)
 	}
 }
@@ -134,7 +150,8 @@ func (s *Store) Clear() {
 func (s *Store) removeLocked(el *list.Element) {
 	e := el.Value.(*Entry)
 	s.order.Remove(el)
-	delete(s.index, compositeKey(e.Site, e.Key))
+	var buf [64]byte
+	delete(s.index, string(appendCompositeKey(buf[:0], e.Site, e.Key)))
 	s.used -= e.bytes()
 }
 

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -145,5 +146,69 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() == 0 {
 		t.Error("store empty after concurrent writes")
+	}
+}
+
+// TestLookupAllocationFree: Get and Contains are the hottest reuse-lookup
+// path; the composite key is built in a stack buffer and passed to the map
+// as an elided string conversion, so neither call may allocate.
+func TestLookupAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	s := NewStore(0)
+	s.Put("CapacityModel#1", "(12,36,44)", []float64{1, 2, 3})
+	if a := testing.AllocsPerRun(100, func() {
+		if _, ok := s.Get("CapacityModel#1", "(12,36,44)"); !ok {
+			t.Fatal("entry vanished")
+		}
+	}); a != 0 {
+		t.Errorf("Get allocates %v per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		s.Contains("CapacityModel#1", "(12,36,44)")
+		s.Contains("CapacityModel#1", "missing")
+	}); a != 0 {
+		t.Errorf("Contains allocates %v per call, want 0", a)
+	}
+}
+
+// TestCompositeKeyLongSiteNames: keys longer than the stack buffer still
+// encode correctly (the append spills to the heap transparently).
+func TestCompositeKeyLongSiteNames(t *testing.T) {
+	s := NewStore(0)
+	site := strings.Repeat("VeryLongModelName", 8) + "#1"
+	key := "(" + strings.Repeat("123456789,", 20) + "0)"
+	s.Put(site, key, []float64{42})
+	got, ok := s.Get(site, key)
+	if !ok || got[0] != 42 {
+		t.Fatalf("long-key round trip failed: %v %v", got, ok)
+	}
+	if !s.Contains(site, key) {
+		t.Error("Contains missed long key")
+	}
+	s.Drop(site, key)
+	if s.Contains(site, key) {
+		t.Error("Drop missed long key")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore(0)
+	s.Put("CapacityModel#1", "(12,36,44)", make([]float64, 1000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get("CapacityModel#1", "(12,36,44)")
+	}
+}
+
+func BenchmarkStoreContains(b *testing.B) {
+	s := NewStore(0)
+	s.Put("CapacityModel#1", "(12,36,44)", make([]float64, 1000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains("CapacityModel#1", "(12,36,44)")
 	}
 }

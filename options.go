@@ -1,6 +1,9 @@
 package fuzzyprophet
 
 import (
+	"context"
+	"fmt"
+
 	"fuzzyprophet/internal/core"
 	"fuzzyprophet/internal/mc"
 )
@@ -21,6 +24,8 @@ type evalConfig struct {
 	affineTol    float64
 	storeBudget  int64
 	groupBudget  int
+	shards       int
+	shardEval    ShardEvaluator
 	// shared, when set by WithReuseCache, is used instead of a private
 	// reuse engine.
 	shared *mc.Reuse
@@ -81,6 +86,27 @@ func WithStoreBudget(bytes int64) EvalOption {
 // approximate; see OptimizeResult.Exhaustive).
 func WithGroupBudget(groups int) EvalOption {
 	return func(c *evalConfig) { c.groupBudget = groups }
+}
+
+// WithShards splits each point's Monte Carlo world range into n contiguous
+// shards evaluated concurrently and stitched back in world order (default
+// 1: single-range evaluation). World seeds derive per (site, world), so the
+// stitched result is bit-identical to the single-range one regardless of
+// shard count. Scenarios whose queries fall outside the shardable subset
+// (grouped or fallback plans) silently evaluate single-range.
+func WithShards(n int) EvalOption {
+	return func(c *evalConfig) { c.shards = n }
+}
+
+// WithShardEvaluator routes shard evaluations through se — typically
+// fpserver's HTTP fan-out to a fleet of shard workers. A shard whose
+// evaluator call fails is transparently re-evaluated locally, so worker
+// loss degrades throughput, not correctness. With a shard evaluator set,
+// fingerprint reuse is bypassed (workers re-derive every sample from
+// per-(site, world) seeds). Combine with WithShards to control how many
+// shards each render fans out.
+func WithShardEvaluator(se ShardEvaluator) EvalOption {
+	return func(c *evalConfig) { c.shardEval = se }
 }
 
 // Config tunes evaluation through a single struct whose zero values mean
@@ -161,7 +187,10 @@ func (c evalConfig) fingerprint() core.Config {
 }
 
 func (c evalConfig) mcOptions() (mc.Options, error) {
-	opts := mc.Options{Worlds: c.worlds, SeedBase: c.seedBase, Workers: c.workers}
+	opts := mc.Options{Worlds: c.worlds, SeedBase: c.seedBase, Workers: c.workers, Shards: c.shards}
+	if c.shardEval != nil {
+		opts.Runner = shardRunnerFor(c.shardEval)
+	}
 	if c.shared != nil {
 		opts.Reuse = c.shared
 		return opts, nil
@@ -174,4 +203,20 @@ func (c evalConfig) mcOptions() (mc.Options, error) {
 		opts.Reuse = reuse
 	}
 	return opts, nil
+}
+
+// shardRunnerFor adapts the public ShardEvaluator to the executor's
+// internal runner signature.
+func shardRunnerFor(se ShardEvaluator) mc.ShardRunner {
+	return func(ctx context.Context, task mc.ShardTask) (*mc.ShardOutput, error) {
+		res, err := se.EvaluateShard(ctx, fromPoint(task.Point), task.Worlds, task.SeedBase,
+			WorldShard{Lo: task.Range.Lo, Hi: task.Range.Hi})
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			return nil, fmt.Errorf("fuzzyprophet: shard evaluator returned no result")
+		}
+		return &mc.ShardOutput{Columns: res.Columns, Sketches: res.Sketches}, nil
+	}
 }
