@@ -14,6 +14,7 @@ import (
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/stats"
+	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 	"fuzzyprophet/internal/vg"
 	"fuzzyprophet/internal/viz"
@@ -161,7 +162,7 @@ func runFig4(ctx context.Context, worlds, step int) error {
 	if err != nil {
 		return err
 	}
-	reuse, err := mc.NewReuse(core.DefaultConfig(), 0)
+	reuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		return err
 	}
@@ -468,7 +469,7 @@ func runE4(ctx context.Context, worlds int) error {
 	for _, k := range []int{4, 8, 16, 32, 64} {
 		cfg := core.DefaultConfig()
 		cfg.Length = k
-		reuse, err := mc.NewReuse(cfg, 0)
+		reuse, err := mc.NewReuse(cfg, storage.Options{})
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,8 @@
 //	e5     ablation: Markovian non-Markovian estimators on the capacity chain
 //	engine row vs vectorized SQL engine on the five example scenarios'
 //	       1000-world render path; writes BENCH_engine.json (see -engineworlds, -out)
+//	storage hot-hit vs mapped spill-tier hit vs re-simulate basis access,
+//	       plus demotion/promotion throughput; writes BENCH_storage.json
 package main
 
 import (
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|all")
 		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
 		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
 		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
@@ -40,6 +42,7 @@ func main() {
 		benchCheck   = flag.Bool("check", false, "engine experiment only: compare against the committed baseline instead of writing; exit non-zero on >20% regression")
 		shardWorlds  = flag.Int("shardworlds", 100000, "worlds for the shard-scaling benchmark")
 		shardOut     = flag.String("shardout", "BENCH_shard.json", "output path for the shard benchmark JSON")
+		storageOut   = flag.String("storageout", "BENCH_storage.json", "output path for the storage benchmark JSON")
 	)
 	flag.Parse()
 
@@ -63,8 +66,11 @@ func main() {
 		"shard": func(ctx context.Context, w, s int) error {
 			return runShardBench(ctx, *shardWorlds, *shardOut)
 		},
+		"storage": func(ctx context.Context, w, s int) error {
+			return runStorageBench(ctx, w, *storageOut)
+		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard"}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

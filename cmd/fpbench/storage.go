@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fuzzyprophet/internal/benchfix"
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/storage"
+)
+
+// The storage experiment: the out-of-core spill tier's cost model. A basis
+// distribution can be served three ways, in ascending cost — from the RAM
+// tier (a map lookup), from a memory-mapped spill-tier column file (a
+// fault-back + CRC-verified view), or by re-simulating the VG-Function
+// from scratch. The spill tier is worth having exactly when the mapped hit
+// sits well below re-simulation; this experiment measures all three on the
+// five example scenarios' render path, plus raw store-level demotion and
+// promotion throughput, and writes BENCH_storage.json for CI artifact
+// upload and the README's performance section.
+
+// storageBenchResult is one scenario's render-path measurement: the same
+// point evaluated with all bases RAM-resident, with all bases faulting
+// back from the spill tier, and with no reuse at all.
+type storageBenchResult struct {
+	Scenario      string  `json:"scenario"`
+	HotNsPerOp    float64 `json:"hot_ns_per_op"`
+	MappedNsPerOp float64 `json:"mapped_ns_per_op"`
+	ResimNsPerOp  float64 `json:"resimulate_ns_per_op"`
+	// MappedVsResim is resimulate/mapped: how much cheaper a spill-tier
+	// fault-back is than re-running the VG-Functions.
+	MappedVsResim float64 `json:"mapped_vs_resimulate_speedup"`
+}
+
+// storageBenchReport is the BENCH_storage.json schema.
+type storageBenchReport struct {
+	Benchmark string `json:"benchmark"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Worlds    int    `json:"worlds"`
+	// Store-level microbenchmarks over Vectors basis vectors of Worlds
+	// samples each: Get latency when RAM-resident vs when every lookup
+	// faults a mapped view back from disk, and bulk demotion/promotion
+	// throughput.
+	Vectors          int                  `json:"vectors"`
+	HotGetNsPerOp    float64              `json:"hot_get_ns_per_op"`
+	MappedGetNsPerOp float64              `json:"mapped_get_ns_per_op"`
+	SpillMBPerSec    float64              `json:"spill_mb_per_sec"`
+	PromoteMBPerSec  float64              `json:"promote_mb_per_sec"`
+	Results          []storageBenchResult `json:"results"`
+}
+
+// storageVec fills a deterministic basis vector (the values don't matter,
+// only that payloads are realistic and distinct).
+func storageVec(i, worlds int) []float64 {
+	v := make([]float64, worlds)
+	for w := range v {
+		v[w] = float64(i)*1e3 + float64(w)*0.5
+	}
+	return v
+}
+
+// runStorageBench is experiment "storage".
+func runStorageBench(ctx context.Context, worlds int, outPath string) error {
+	section(fmt.Sprintf("STORAGE: hot vs mapped vs re-simulate basis access (%d worlds)", worlds))
+
+	report := storageBenchReport{
+		Benchmark: "storage-spill",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Worlds:    worlds,
+		Vectors:   256,
+	}
+	if err := storeMicroBench(ctx, worlds, &report); err != nil {
+		return err
+	}
+	fmt.Printf("store-level Get over %d×%d-world vectors:\n", report.Vectors, worlds)
+	fmt.Printf("  %-24s %12.0f ns/op\n", "hot (RAM tier)", report.HotGetNsPerOp)
+	fmt.Printf("  %-24s %12.0f ns/op\n", "mapped (spill tier)", report.MappedGetNsPerOp)
+	fmt.Printf("  demotion  %8.1f MB/s   promotion  %8.1f MB/s\n\n",
+		report.SpillMBPerSec, report.PromoteMBPerSec)
+
+	reg, err := benchfix.Registry()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %14s %14s %14s %10s\n",
+		"scenario", "hot ns/op", "mapped ns/op", "resim ns/op", "resim/map")
+	for _, name := range sqlparser.ExampleScenarioNames() {
+		src := sqlparser.ExampleScenarios()[name]
+		scn, err := scenario.Compile(src, reg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if name == "serverfleet" {
+			regions, err := benchfix.RegionsTable()
+			if err != nil {
+				return err
+			}
+			if err := scn.AddTable(regions); err != nil {
+				return err
+			}
+		}
+		res, err := storageScenarioBench(ctx, scn, worlds)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		res.Scenario = name
+		report.Results = append(report.Results, *res)
+		fmt.Printf("%-16s %14.0f %14.0f %14.0f %9.1fx\n",
+			name, res.HotNsPerOp, res.MappedNsPerOp, res.ResimNsPerOp, res.MappedVsResim)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return nil
+}
+
+// storeMicroBench fills the store-level fields of the report: Get latency
+// against the RAM tier and against the spill tier, and bulk
+// demotion/promotion throughput. The spill store's RAM budget fits only a
+// couple of vectors, so every Put demotes its predecessor and every
+// round-robin Get faults a mapped view back from disk (the promoted entry
+// is itself displaced — for free, since its spill copy is current — by the
+// next promotion).
+func storeMicroBench(ctx context.Context, worlds int, report *storageBenchReport) error {
+	n := report.Vectors
+	payload := int64(worlds) * 8
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("b%04d", i)
+	}
+
+	// Hot tier: everything RAM-resident.
+	hot, err := storage.Open(storage.Options{})
+	if err != nil {
+		return err
+	}
+	defer hot.Close()
+	for i, k := range keys {
+		hot.Put("site", k, storageVec(i, worlds))
+	}
+	report.HotGetNsPerOp = timeGets(ctx, hot, keys)
+
+	// Spill tier: RAM budget of roughly two vectors.
+	dir, err := os.MkdirTemp("", "fpbench-storage-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	spill, err := storage.Open(storage.Options{
+		BudgetBytes: 2 * (payload + 512),
+		SpillDir:    dir,
+	})
+	if err != nil {
+		return err
+	}
+	defer spill.Close()
+
+	start := time.Now()
+	for i, k := range keys {
+		spill.Put("site", k, storageVec(i, worlds))
+	}
+	if err := spill.Sync(); err != nil {
+		return err
+	}
+	writeSecs := time.Since(start).Seconds()
+	report.SpillMBPerSec = float64(int64(n)*payload) / writeSecs / (1 << 20)
+
+	report.MappedGetNsPerOp = timeGets(ctx, spill, keys)
+	report.PromoteMBPerSec = float64(payload) / report.MappedGetNsPerOp * 1e9 / (1 << 20)
+
+	st := spill.Stats()
+	if st.SpillErrors != 0 || st.Quarantined != 0 {
+		return fmt.Errorf("spill tier errors during microbench: %+v", st)
+	}
+	if st.Promoted == 0 {
+		return fmt.Errorf("mapped-Get loop never promoted (budget too large?): %+v", st)
+	}
+	return nil
+}
+
+// timeGets measures the mean Get latency over the keys, round-robin, for
+// at least 200ms of wall clock.
+func timeGets(ctx context.Context, s *storage.Store, keys []string) float64 {
+	const minDur = 200 * time.Millisecond
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur || iters < len(keys) {
+		if ctx.Err() != nil {
+			break
+		}
+		k := keys[iters%len(keys)]
+		if _, ok := s.Get("site", k); !ok {
+			panic("bench key missing: " + k)
+		}
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// storageScenarioBench times EvaluatePoint at the scenario's default point
+// under the three serving modes.
+func storageScenarioBench(ctx context.Context, scn *scenario.Scenario, worlds int) (*storageBenchResult, error) {
+	pt := scn.DefaultPoint()
+	const minIters, minDur = 10, 150 * time.Millisecond
+	evalOp := func(ev *mc.Evaluator) func() error {
+		return func() error {
+			_, err := ev.EvaluatePoint(ctx, pt)
+			return err
+		}
+	}
+
+	// Re-simulate: no reuse store at all — every op runs the VG-Functions.
+	resim := mc.NewEvaluator(scn, mc.Options{Worlds: worlds})
+	resimNs, _, _, err := timeEngine(ctx, evalOp(resim), minIters, minDur)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hot: warm unbounded-RAM reuse — every op serves bases from the map.
+	hotReuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hotNs, _, _, err := timeEngine(ctx, evalOp(mc.NewEvaluator(scn, mc.Options{Worlds: worlds, Reuse: hotReuse})), minIters, minDur)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mapped: a RAM budget below even a single basis plus a spill tier —
+	// every basis demotes right after insertion or promotion (the RAM tier
+	// degenerates to a pass-through), so every op faults each basis back
+	// from its column file. The sub-entry budget matters for single-site
+	// scenarios, whose lone basis would otherwise stay resident.
+	dir, err := os.MkdirTemp("", "fpbench-storage-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	mappedReuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{
+		BudgetBytes: int64(worlds) * 4,
+		SpillDir:    dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer mappedReuse.Close()
+	mappedNs, _, _, err := timeEngine(ctx, evalOp(mc.NewEvaluator(scn, mc.Options{Worlds: worlds, Reuse: mappedReuse})), minIters, minDur)
+	if err != nil {
+		return nil, err
+	}
+	if st := mappedReuse.StoreStats(); st.SpillErrors != 0 || st.Quarantined != 0 {
+		return nil, fmt.Errorf("spill tier errors: %+v", st)
+	} else if st.Demoted == 0 {
+		return nil, fmt.Errorf("mapped run never spilled: %+v", st)
+	}
+
+	return &storageBenchResult{
+		HotNsPerOp:    hotNs,
+		MappedNsPerOp: mappedNs,
+		ResimNsPerOp:  resimNs,
+		MappedVsResim: resimNs / mappedNs,
+	}, nil
+}

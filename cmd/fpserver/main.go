@@ -52,6 +52,8 @@ func main() {
 		snapshotDir      = flag.String("snapshot-dir", "", "directory for reuse snapshots (empty = no persistence)")
 		snapshotInterval = flag.Duration("snapshot-interval", time.Minute, "how often to persist reuse caches")
 		storeBudget      = flag.Int64("store-budget", 0, "per-scenario basis-store budget in bytes (0 = unbounded)")
+		spillDir         = flag.String("spill-dir", "", "directory for out-of-core basis spill (empty = RAM-only stores)")
+		spillBudget      = flag.Int64("spill-budget", 0, "per-tier spill disk budget in bytes (0 = unbounded)")
 		enablePprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (do not expose publicly)")
 		workerMode       = flag.Bool("worker", false, "run as a shard worker: serve only POST /shard/render (+ health/metrics)")
 		workerURLs       = flag.String("workers", "", "comma-separated shard-worker base URLs; renders fan out across them")
@@ -79,6 +81,8 @@ func main() {
 		snapshotDir:      *snapshotDir,
 		snapshotInterval: *snapshotInterval,
 		storeBudget:      *storeBudget,
+		spillDir:         *spillDir,
+		spillBudget:      *spillBudget,
 		enablePprof:      *enablePprof,
 		workerMode:       *workerMode,
 		workers:          workers,
@@ -95,6 +99,8 @@ type config struct {
 	snapshotDir      string
 	snapshotInterval time.Duration
 	storeBudget      int64
+	spillDir         string
+	spillBudget      int64
 	enablePprof      bool
 	workerMode       bool
 	workers          []string
@@ -115,6 +121,8 @@ func run(ctx context.Context, cfg config) error {
 		SnapshotDir:      cfg.snapshotDir,
 		SnapshotInterval: cfg.snapshotInterval,
 		StoreBudget:      cfg.storeBudget,
+		SpillDir:         cfg.spillDir,
+		SpillBudget:      cfg.spillBudget,
 		EnablePprof:      cfg.enablePprof,
 		WorkerMode:       cfg.workerMode,
 		Workers:          cfg.workers,

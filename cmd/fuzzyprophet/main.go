@@ -69,6 +69,9 @@ func main() {
 		worlds       = flag.Int("worlds", 400, "Monte Carlo worlds per point")
 		seed         = flag.Uint64("seed", 0, "world seed base (0 = default)")
 		noReuse      = flag.Bool("noreuse", false, "disable fingerprint reuse")
+		storeBudget  = flag.Int64("store-budget", 0, "basis-store RAM budget in bytes (0 = unbounded)")
+		spillDir     = flag.String("spill-dir", "", "directory for out-of-core basis spill (empty = RAM-only)")
+		spillBudget  = flag.Int64("spill-budget", 0, "spill-tier disk budget in bytes (0 = unbounded)")
 		height       = flag.Int("height", 14, "chart height in rows")
 		// The §3.3 demo knobs: vary the simulation characteristics.
 		initialCapacity = flag.Float64("initial-capacity", 0, "override the fleet's week-0 capacity (cores)")
@@ -113,6 +116,12 @@ func main() {
 	opts := []fp.EvalOption{fp.WithWorlds(*worlds), fp.WithSeedBase(*seed)}
 	if *noReuse {
 		opts = append(opts, fp.WithoutReuse())
+	}
+	if *storeBudget > 0 {
+		opts = append(opts, fp.WithStoreBudget(*storeBudget))
+	}
+	if *spillDir != "" {
+		opts = append(opts, fp.WithSpillDir(*spillDir), fp.WithSpillBudget(*spillBudget))
 	}
 
 	switch *mode {

@@ -491,7 +491,7 @@ func (sc *Scenario) OpenSessionFrom(rd io.Reader, opts ...EvalOption) (*Session,
 	if cfg.disableReuse {
 		return nil, fmt.Errorf("fuzzyprophet: OpenSessionFrom requires reuse enabled")
 	}
-	reuse, err := mc.LoadReuse(rd, cfg.storeBudget)
+	reuse, err := mc.LoadReuse(rd, cfg.storeOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"io"
+	"os"
+)
+
+// mmap on platforms without syscall.Mmap falls back to reading the file
+// into memory — the same verified views, without the zero-RSS property.
+func mmap(f *os.File, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only and shared: the kernel page cache
+// backs the data, so a basis evicted from the Go heap costs RSS only while
+// its pages are hot, and views survive unlinking of the file.
+func mmap(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

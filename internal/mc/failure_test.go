@@ -12,6 +12,7 @@ import (
 	"fuzzyprophet/internal/guide"
 	"fuzzyprophet/internal/rng"
 	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 	"fuzzyprophet/internal/vg"
 )
@@ -77,7 +78,7 @@ func TestMidRunFailureSurfacesInParallel(t *testing.T) {
 
 func TestFailureDuringFingerprintProbes(t *testing.T) {
 	scn, _ := flakyScenario(t, 10) // fails during the probe prefix
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ SELECT Nanny(@p) AS x;`, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ SELECT Gaussian(@p, 1) AS x;`, reg)
 		t.Fatal(err)
 	}
 	// Budget for roughly two 100-world vectors.
-	reuse, err := NewReuse(core.DefaultConfig(), 2*(100*8+80))
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{BudgetBytes: 2 * (100*8 + 80)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ SELECT Gaussian(@p, 1) AS x;`, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

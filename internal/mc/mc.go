@@ -52,6 +52,14 @@ type Options struct {
 	Runner ShardRunner
 	// Reuse enables fingerprint-based computation reuse when non-nil.
 	Reuse *Reuse
+	// ShardInputs, when non-nil, caches self-simulated shard input vectors
+	// keyed by (site, args, seed base, world range) — worker mode's analog
+	// of the basis store. A worker repeatedly rendering the same scenario
+	// points serves shard inputs from the cache (spilling out-of-core when
+	// the store is configured with a spill dir) instead of re-invoking
+	// VG-Functions; determinism of (seed base, site, world) seeds makes the
+	// cached vectors bit-identical to fresh simulation.
+	ShardInputs *storage.Store
 }
 
 // DefaultSeedBase is the seed base used when Options.SeedBase is zero:
@@ -121,18 +129,35 @@ type Reuse struct {
 }
 
 // NewReuse returns a reuse engine with the given fingerprint configuration
-// and basis-store budget (bytes; <= 0 means unbounded).
-func NewReuse(cfg core.Config, storeBudget int64) (*Reuse, error) {
+// and basis-store options. With storeOpts.SpillDir set, the basis store
+// spills evicted bases to memory-mapped column files and faults them back
+// on demand, so the working set may exceed the RAM budget without falling
+// back to re-simulation.
+func NewReuse(cfg core.Config, storeOpts storage.Options) (*Reuse, error) {
 	ix, err := core.NewIndex(cfg)
 	if err != nil {
 		return nil, err
 	}
+	store, err := storage.Open(storeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("mc: opening basis store: %w", err)
+	}
 	return &Reuse{
 		cfg:    cfg,
 		index:  ix,
-		store:  storage.NewStore(storeBudget),
+		store:  store,
 		counts: make(map[ReuseKind]int),
 	}, nil
+}
+
+// Close releases the basis store's spill tier (mapped files, manifest).
+// Sample slices previously returned by evaluations may reference mapped
+// memory, so Close only after in-flight renders finish. A no-op for
+// RAM-only stores.
+func (r *Reuse) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Close()
 }
 
 // Config returns the fingerprint configuration.

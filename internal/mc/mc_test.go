@@ -12,6 +12,7 @@ import (
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlengine"
 	"fuzzyprophet/internal/stats"
+	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 	"fuzzyprophet/internal/vg"
 )
@@ -164,7 +165,7 @@ func TestWorkerCountsAgree(t *testing.T) {
 
 func TestReuseCachedExact(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestReuseCachedExact(t *testing.T) {
 // exactly what direct simulation would produce.
 func TestReuseIdentityAcrossPurchaseMove(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestReuseSavesVGInvocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestReuseSavesVGInvocations(t *testing.T) {
 
 func TestReuseStatsAndReset(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse, _ := NewReuse(core.DefaultConfig(), storage.Options{})
 	ev := NewEvaluator(scn, Options{Worlds: 50, Reuse: reuse})
 	if _, err := ev.EvaluatePoint(context.Background(), point(5, 20, 40, 36)); err != nil {
 		t.Fatal(err)
@@ -326,7 +327,7 @@ SELECT Gaussian(0, @p) AS g;`, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse, _ := NewReuse(core.DefaultConfig(), storage.Options{})
 	ev := NewEvaluator(scn, Options{Worlds: 10, Reuse: reuse})
 	if _, err := ev.EvaluatePoint(context.Background(), guide.Point{"p": value.Int(-1)}); err == nil {
 		t.Error("VG error should propagate through the fingerprint path")
@@ -414,7 +415,7 @@ SELECT UnitsModel(@week, @price) AS units;`, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse, _ := NewReuse(core.DefaultConfig(), storage.Options{})
 	ev := NewEvaluator(scn, Options{Worlds: 300, Reuse: reuse})
 	pt1 := guide.Point{"week": value.Int(3), "price": value.Int(10)}
 	pt2 := guide.Point{"week": value.Int(3), "price": value.Int(12)}

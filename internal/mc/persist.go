@@ -21,8 +21,12 @@ import (
 // The snapshot embeds the fingerprint configuration and the bound seed
 // base; loading validates both, refusing to mix incompatible state.
 
-// snapshotVersion guards the gob layout.
-const snapshotVersion = 1
+// snapshotVersion guards the gob layout. Version 2 adds SpillKeys:
+// a store with a spill tier snapshots as a MANIFEST — the spilled keys,
+// with payloads left in their CRC-protected column files — instead of a
+// full payload copy. Version 1 streams (full Bases, no SpillKeys) still
+// decode: gob matches fields by name.
+const snapshotVersion = 2
 
 type reuseSnapshot struct {
 	Version  int
@@ -31,10 +35,23 @@ type reuseSnapshot struct {
 	Bound    bool
 	Bases    []storage.Entry
 	Index    []core.IndexEntry
+	// SpillKeys lists the bases resident in the spill tier at save time
+	// (manifest-mode snapshots only). Loading against the same spill dir
+	// re-addresses them without copying a byte; loading without the spill
+	// dir degrades those bases to on-demand re-simulation.
+	SpillKeys []storage.KeyRef
 }
 
 // Save serializes the reuse engine's basis store and fingerprint index.
 // Counters are not persisted (they describe a run, not the state).
+//
+// With a spill tier configured, Save is a manifest operation: every
+// RAM-resident basis is first demoted to its column file (Store.Sync), and
+// the snapshot records only the spilled keys — no sample payloads cross
+// the encoder. Such a snapshot is bound to its spill directory; load it
+// with the same SpillDir, or the bases degrade to on-demand re-simulation
+// (the fingerprint index still loads, so re-mapping resumes as bases are
+// recomputed). RAM-only stores snapshot full payloads, as before.
 //
 // The engine lock is held for the duration, and evaluators install each
 // computed basis and its fingerprint under that same lock (Reuse.install),
@@ -50,8 +67,15 @@ func (r *Reuse) Save(w io.Writer) error {
 		Config:   r.cfg,
 		SeedBase: r.seedBase,
 		Bound:    r.seedBound,
-		Bases:    r.store.Snapshot(),
 		Index:    r.index.Export(),
+	}
+	if r.store.HasSpill() {
+		if err := r.store.Sync(); err != nil {
+			return fmt.Errorf("mc: syncing basis store to spill tier: %w", err)
+		}
+		snap.SpillKeys = r.store.SpillKeys()
+	} else {
+		snap.Bases = r.store.Snapshot()
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("mc: saving reuse state: %w", err)
@@ -87,28 +111,34 @@ func (r *Reuse) SaveSnapshot(path string) error {
 }
 
 // LoadSnapshot reads a snapshot file written by SaveSnapshot, returning a
-// fresh reuse engine with the given store budget.
-func LoadSnapshot(path string, storeBudget int64) (*Reuse, error) {
+// fresh reuse engine whose basis store is configured by storeOpts. A
+// manifest-mode snapshot (saved with a spill tier) needs storeOpts.SpillDir
+// pointing at the same directory to re-address its bases.
+func LoadSnapshot(path string, storeOpts storage.Options) (*Reuse, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("mc: opening reuse snapshot: %w", err)
 	}
 	defer f.Close()
-	return LoadReuse(f, storeBudget)
+	return LoadReuse(f, storeOpts)
 }
 
 // LoadReuse reads a snapshot previously written by Save, returning a reuse
-// engine with the given store budget. The snapshot's fingerprint
-// configuration is restored verbatim.
-func LoadReuse(rd io.Reader, storeBudget int64) (*Reuse, error) {
+// engine whose basis store is configured by storeOpts. The snapshot's
+// fingerprint configuration is restored verbatim. Accepts version 1 (full
+// payload) and version 2 (manifest-mode when saved with a spill tier)
+// streams. Manifest-mode bases not found in the reopened spill tier —
+// wrong or missing SpillDir, or files quarantined after corruption —
+// degrade to on-demand re-simulation rather than failing the load.
+func LoadReuse(rd io.Reader, storeOpts storage.Options) (*Reuse, error) {
 	var snap reuseSnapshot
 	if err := gob.NewDecoder(rd).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("mc: loading reuse state: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("mc: reuse snapshot version %d not supported (want %d)", snap.Version, snapshotVersion)
+	if snap.Version != 1 && snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("mc: reuse snapshot version %d not supported (want <= %d)", snap.Version, snapshotVersion)
 	}
-	r, err := NewReuse(snap.Config, storeBudget)
+	r, err := NewReuse(snap.Config, storeOpts)
 	if err != nil {
 		return nil, err
 	}

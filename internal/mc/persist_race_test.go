@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/storage"
 )
 
 // TestSnapshotDuringConcurrentEvaluation drives evaluators over a shared
@@ -18,7 +19,7 @@ import (
 // every snapshot taken mid-flight must also load cleanly.
 func TestSnapshotDuringConcurrentEvaluation(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSnapshotDuringConcurrentEvaluation(t *testing.T) {
 		if err := reuse.SaveSnapshot(path); err != nil {
 			t.Fatal(err)
 		}
-		loaded, err := LoadSnapshot(path, 0)
+		loaded, err := LoadSnapshot(path, storage.Options{})
 		if err != nil {
 			t.Fatalf("snapshot %d did not load: %v", i, err)
 		}
@@ -66,7 +67,7 @@ func TestSnapshotDuringConcurrentEvaluation(t *testing.T) {
 	if err := reuse.SaveSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadSnapshot(path, 0); err != nil {
+	if _, err := LoadSnapshot(path, storage.Options{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +76,7 @@ func TestSnapshotDuringConcurrentEvaluation(t *testing.T) {
 // snapshot, and the temp file is cleaned up.
 func TestSaveSnapshotAtomicRename(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSaveSnapshotAtomicRename(t *testing.T) {
 		}
 		t.Fatalf("snapshot dir = %v, want exactly [reuse.snap]", names)
 	}
-	if _, err := LoadSnapshot(filepath.Join(dir, "missing.snap"), 0); err == nil {
+	if _, err := LoadSnapshot(filepath.Join(dir, "missing.snap"), storage.Options{}); err == nil {
 		t.Error("loading a missing snapshot should error")
 	}
 	// Truncated snapshots are rejected, not silently accepted.
@@ -111,7 +112,7 @@ func TestSaveSnapshotAtomicRename(t *testing.T) {
 	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadSnapshot(trunc, 0); err == nil || err == io.EOF {
+	if _, err := LoadSnapshot(trunc, storage.Options{}); err == nil || err == io.EOF {
 		t.Errorf("truncated snapshot should produce a wrapped error, got %v", err)
 	}
 }

@@ -7,11 +7,12 @@ import (
 	"testing"
 
 	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/storage"
 )
 
 func TestReuseSaveLoadRoundTrip(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestReuseSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, err := LoadReuse(&buf, 0)
+	loaded, err := LoadReuse(&buf, storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,17 +71,17 @@ func TestReuseSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadReuseRejectsGarbage(t *testing.T) {
-	if _, err := LoadReuse(strings.NewReader("not a snapshot"), 0); err == nil {
+	if _, err := LoadReuse(strings.NewReader("not a snapshot"), storage.Options{}); err == nil {
 		t.Error("garbage input should error")
 	}
-	if _, err := LoadReuse(bytes.NewReader(nil), 0); err == nil {
+	if _, err := LoadReuse(bytes.NewReader(nil), storage.Options{}); err == nil {
 		t.Error("empty input should error")
 	}
 }
 
 func TestSeedBaseBindingGuard(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestSeedBaseBindingGuard(t *testing.T) {
 
 func TestSeedBaseBindingSurvivesSaveLoad(t *testing.T) {
 	scn := compileFigure2(t)
-	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse, _ := NewReuse(core.DefaultConfig(), storage.Options{})
 	ev := NewEvaluator(scn, Options{Worlds: 20, SeedBase: 111, Reuse: reuse})
 	if _, err := ev.EvaluatePoint(context.Background(), point(5, 16, 32, 36)); err != nil {
 		t.Fatal(err)
@@ -116,7 +117,7 @@ func TestSeedBaseBindingSurvivesSaveLoad(t *testing.T) {
 	if err := reuse.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadReuse(&buf, 0)
+	loaded, err := LoadReuse(&buf, storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSeedBaseBindingSurvivesSaveLoad(t *testing.T) {
 func TestSnapshotRestoreStoreOrder(t *testing.T) {
 	// The snapshot preserves LRU recency so a restored bounded store evicts
 	// the same entries first.
-	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse, _ := NewReuse(core.DefaultConfig(), storage.Options{})
 	reuse.store.Put("s", "old", []float64{1})
 	reuse.store.Put("s", "new", []float64{2})
 	if _, ok := reuse.store.Get("s", "old"); !ok { // touch: old becomes MRU
@@ -139,7 +140,7 @@ func TestSnapshotRestoreStoreOrder(t *testing.T) {
 	if err := reuse.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadReuse(&buf, 0)
+	loaded, err := LoadReuse(&buf, storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestPersistedMappingCorrectness(t *testing.T) {
 	// End to end: state saved in one "process", loaded in another, must
 	// produce samples identical to direct simulation.
 	scn := compileFigure2(t)
-	reuse, _ := NewReuse(core.DefaultConfig(), 0)
+	reuse, _ := NewReuse(core.DefaultConfig(), storage.Options{})
 	ev := NewEvaluator(scn, Options{Worlds: 60, Reuse: reuse})
 	if _, err := ev.EvaluatePoint(context.Background(), point(5, 20, 40, 36)); err != nil {
 		t.Fatal(err)
@@ -162,7 +163,7 @@ func TestPersistedMappingCorrectness(t *testing.T) {
 	if err := reuse.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadReuse(&buf, 0)
+	loaded, err := LoadReuse(&buf, storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

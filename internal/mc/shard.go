@@ -17,6 +17,7 @@ package mc
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"fuzzyprophet/internal/aggregate"
@@ -166,6 +167,14 @@ func (ev *Evaluator) simulateRange(ctx context.Context, site *scenario.Site, arg
 	return nil
 }
 
+// shardInputKey encodes everything a self-simulated shard input vector
+// depends on beyond the site: the argument key, the seed base and the
+// world range.
+func shardInputKey(argKey string, seedBase uint64, lo, hi int) string {
+	return argKey + "|" + strconv.FormatUint(seedBase, 10) + "|" +
+		strconv.Itoa(lo) + ":" + strconv.Itoa(hi)
+}
+
 // runShardLocal evaluates one shard in process. ord holds the shard's
 // world ordinals (len task.Range.Len(), absolute values). When siteSamples
 // is non-nil it holds full [0, Worlds) per-site vectors (computed by the
@@ -185,13 +194,29 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 			vec = siteSamples[si][lo:hi]
 		} else {
 			site := &ev.scn.Sites[si]
-			args, _, err := site.ArgValues(task.Point)
+			args, key, err := site.ArgValues(task.Point)
 			if err != nil {
 				return nil, err
+			}
+			// Worker-mode shard-input cache: a worker re-rendering the same
+			// point serves the range's samples from the store (RAM or spill
+			// tier) instead of re-invoking the VG-Function per world. The
+			// key pins everything the samples depend on — args, seed base
+			// and world range — so a hit is bit-identical by determinism.
+			var cacheKey string
+			if ev.opts.ShardInputs != nil {
+				cacheKey = shardInputKey(key, task.SeedBase, lo, hi)
+				if cached, ok := ev.opts.ShardInputs.Get(site.ID, cacheKey); ok && len(cached) == hi-lo {
+					env.columns[si+1].SetFloats(cached)
+					continue
+				}
 			}
 			vec = env.siteRange(si, hi-lo)
 			if err := ev.simulateRange(ctx, site, args, task, vec); err != nil {
 				return nil, err
+			}
+			if ev.opts.ShardInputs != nil {
+				ev.opts.ShardInputs.Put(site.ID, cacheKey, vec)
 			}
 		}
 		env.columns[si+1].SetFloats(vec)

@@ -13,6 +13,7 @@ import (
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/stats"
+	"fuzzyprophet/internal/storage"
 )
 
 func TestSplitWorlds(t *testing.T) {
@@ -176,7 +177,7 @@ func TestShardedEvaluationWithReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reuse, err := NewReuse(core.DefaultConfig(), 0)
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,192 @@
+package mc
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"fuzzyprophet/internal/core"
+	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/storage"
+)
+
+// spillBudget is small enough that a single 300-world basis overflows the
+// RAM tier: with spill enabled nearly every basis lives out-of-core.
+const spillBudget = 4096
+
+// TestSpillDifferentialBitIdentical is the tentpole acceptance test: for
+// every bundled example scenario, a point sweep evaluated with a RAM
+// budget far below the basis working set plus a spill tier produces
+// byte-for-byte the same output vectors as unbounded in-RAM reuse — on the
+// first pass (demotions during the sweep) and on a second pass over the
+// same points (every basis faulted back from disk). The reuse decisions
+// match because the two stores address the same basis set; the samples
+// match because spilled payloads round-trip exactly.
+func TestSpillDifferentialBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	const worlds = 300
+	for _, name := range sqlparser.ExampleScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			scn := compileExample(t, name)
+			axis := scn.Space.Params[0].Name
+			points, err := scn.Space.Sweep(axis, scn.DefaultPoint())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			baseReuse, err := NewReuse(core.DefaultConfig(), storage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := NewEvaluator(scn, Options{Worlds: worlds, Reuse: baseReuse})
+
+			spillReuse, err := NewReuse(core.DefaultConfig(), storage.Options{
+				BudgetBytes: spillBudget,
+				SpillDir:    t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer spillReuse.Close()
+			spill := NewEvaluator(scn, Options{Worlds: worlds, Reuse: spillReuse})
+
+			for pass := 0; pass < 2; pass++ {
+				for pi, pt := range points {
+					want, err := base.EvaluatePoint(ctx, pt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := spill.EvaluatePoint(ctx, pt)
+					if err != nil {
+						t.Fatalf("pass %d point %d (spilled): %v", pass, pi, err)
+					}
+					assertSameColumns(t, pass, want, got)
+					for site, kind := range want.SiteOutcome {
+						if got.SiteOutcome[site] != kind {
+							t.Fatalf("pass %d point %d: site %s outcome %v, want %v (reuse decisions diverged)",
+								pass, pi, site, got.SiteOutcome[site], kind)
+						}
+					}
+				}
+			}
+
+			st := spillReuse.StoreStats()
+			if st.Inserted >= 2 && st.Demoted == 0 {
+				t.Fatalf("working set never spilled: %+v", st)
+			}
+			if st.SpillErrors != 0 || st.Quarantined != 0 {
+				t.Fatalf("spill tier errors: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSpillKillAndReopen: snapshot a spill-enabled engine WITHOUT closing
+// it (simulating a killed process — the tier persists its manifest after
+// every put, and column files are fsynced before rename), reopen against
+// the same spill dir, and require every basis back with zero corrupted
+// reads: all sites serve as exact cache hits, nothing is quarantined, and
+// the outputs are bit-identical.
+func TestSpillKillAndReopen(t *testing.T) {
+	ctx := context.Background()
+	const worlds = 300
+	scn := compileExample(t, "capacityplanning")
+	axis := scn.Space.Params[0].Name
+	points, err := scn.Space.Sweep(axis, scn.DefaultPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	snap := dir + "/reuse.snap"
+
+	reuse, err := NewReuse(core.DefaultConfig(), storage.Options{BudgetBytes: spillBudget, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(scn, Options{Worlds: worlds, Reuse: reuse})
+	want := make([]*PointResult, len(points))
+	for i, pt := range points {
+		if want[i], err = ev.EvaluatePoint(ctx, pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reuse.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest-mode snapshot carries keys, not payloads: it must be far
+	// smaller than the bases it addresses (len(points) sites × worlds × 8B).
+	if fi, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	} else if max := int64(len(points)) * worlds * 8 / 2; fi.Size() > max {
+		t.Fatalf("manifest snapshot is %d bytes (payload-sized; want < %d)", fi.Size(), max)
+	}
+	// No Close: the process "dies" here.
+
+	loaded, err := LoadSnapshot(snap, storage.Options{BudgetBytes: spillBudget, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	ev2 := NewEvaluator(scn, Options{Worlds: worlds, Reuse: loaded})
+	for i, pt := range points {
+		got, err := ev2.EvaluatePoint(ctx, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameColumns(t, i, want[i], got)
+		for site, kind := range got.SiteOutcome {
+			if kind != CachedExact {
+				t.Fatalf("point %d site %s: outcome %v after reopen, want cached (basis lost or re-simulated)", i, site, kind)
+			}
+		}
+	}
+	st := loaded.StoreStats()
+	if st.Quarantined != 0 || st.SpillErrors != 0 {
+		t.Fatalf("reopen saw corruption: %+v", st)
+	}
+}
+
+// TestShardInputCacheBitIdentical: worker-mode shard renders with the
+// shard-input cache (spilling) return byte-identical outputs to uncached
+// renders, and the second render serves from the cache.
+func TestShardInputCacheBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	const worlds = 300
+	scn := compileExample(t, "capacityplanning")
+	pt := scn.DefaultPoint()
+	shard := WorldRange{Lo: 50, Hi: 250}
+
+	base := NewEvaluator(scn, Options{Worlds: worlds, Shards: 4})
+	want, err := base.EvaluateShard(ctx, pt, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inputs, err := storage.Open(storage.Options{BudgetBytes: spillBudget, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inputs.Close()
+	ev := NewEvaluator(scn, Options{Worlds: worlds, Shards: 4, ShardInputs: inputs})
+	for pass := 0; pass < 2; pass++ {
+		got, err := ev.EvaluateShard(ctx, pt, shard)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		for col, fs := range want.Columns {
+			gs, ok := got.Columns[col]
+			if !ok || len(gs) != len(fs) {
+				t.Fatalf("pass %d: column %q shape mismatch", pass, col)
+			}
+			for i := range fs {
+				if gs[i] != fs[i] {
+					t.Fatalf("pass %d: column %q world %d = %v, want %v", pass, col, i, gs[i], fs[i])
+				}
+			}
+		}
+	}
+	st := inputs.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("second render did not hit the shard-input cache: %+v", st)
+	}
+}

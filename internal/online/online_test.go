@@ -10,6 +10,7 @@ import (
 	"fuzzyprophet/internal/mc"
 	"fuzzyprophet/internal/models"
 	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 	"fuzzyprophet/internal/vg"
 )
@@ -42,7 +43,7 @@ func newSession(t *testing.T, worlds int) *Session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reuse, err := mc.NewReuse(core.DefaultConfig(), 0)
+	reuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"fuzzyprophet/internal/models"
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlparser"
+	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 	"fuzzyprophet/internal/vg"
 )
@@ -63,7 +64,7 @@ func intOf(t *testing.T, p guide.Point, name string) int64 {
 
 func TestRunReducedFigure2(t *testing.T) {
 	scn := compileReduced(t)
-	reuse, err := mc.NewReuse(core.DefaultConfig(), 0)
+	reuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ FOR MAX @purchase1, MAX @purchase2;
 		}
 		opts := Options{MC: mc.Options{Worlds: 100}}
 		if withReuse {
-			reuse, err := mc.NewReuse(core.DefaultConfig(), 0)
+			reuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -336,7 +337,7 @@ func TestSelectBestTiesAndErrors(t *testing.T) {
 
 func TestBudgetedExploration(t *testing.T) {
 	scn := compileReduced(t)
-	reuse, err := mc.NewReuse(core.DefaultConfig(), 0)
+	reuse, err := mc.NewReuse(core.DefaultConfig(), storage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

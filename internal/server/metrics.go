@@ -117,7 +117,8 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	// per scenario ID (low-cardinality: one series per registered ID).
 	entries := s.registry.List()
 	var hits, misses, evicted, inserted, bytes int64
-	var entriesTotal int
+	var demoted, promoted, spillErrors, spillBytes, quarantined int64
+	var entriesTotal, spillEntries int
 	outcomes := map[string]int{}
 	for _, e := range entries {
 		st := e.Cache.StoreStats()
@@ -127,6 +128,12 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		inserted += st.Inserted
 		bytes += st.UsedBytes
 		entriesTotal += st.Entries
+		demoted += st.Demoted
+		promoted += st.Promoted
+		spillErrors += st.SpillErrors
+		spillBytes += st.SpillBytes
+		spillEntries += st.SpillEntries
+		quarantined += st.Quarantined
 		for k, v := range e.Cache.Counts() {
 			outcomes[k] += v
 		}
@@ -145,6 +152,21 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		hitRate = float64(hits) / float64(total)
 	}
 	gauge("fpserver_reuse_hit_rate", "Exact-hit fraction of basis-store lookups.", fmt.Sprintf("%.6f", hitRate))
+
+	// Out-of-core spill tier (all zero without -spill-dir).
+	gauge("fpserver_spill_demotions", "Bases demoted to spill-tier column files on eviction.", demoted)
+	gauge("fpserver_spill_promotions", "Bases faulted back from the spill tier as mapped views.", promoted)
+	gauge("fpserver_spill_errors", "Demotions that failed to write (degraded to plain evictions).", spillErrors)
+	gauge("fpserver_spill_bytes", "Bytes held by spill tiers on disk.", spillBytes)
+	gauge("fpserver_spill_entries", "Bases resident in spill tiers.", spillEntries)
+	gauge("fpserver_spill_quarantined", "Spill files quarantined after failing CRC or size checks.", quarantined)
+	if s.shardInputs != nil {
+		st := s.shardInputs.Stats()
+		gauge("fpserver_shard_input_cache_hits", "Shard-input vectors served from the cache.", st.Hits)
+		gauge("fpserver_shard_input_cache_misses", "Shard-input vectors simulated on cache miss.", st.Misses)
+		gauge("fpserver_shard_input_cache_bytes", "Bytes held in RAM by the shard-input cache.", st.UsedBytes)
+		gauge("fpserver_shard_input_cache_spill_bytes", "Bytes spilled out-of-core by the shard-input cache.", st.SpillBytes)
+	}
 	fmt.Fprintf(w, "# HELP fpserver_reuse_outcomes Point evaluations by reuse outcome, across registered caches.\n# TYPE fpserver_reuse_outcomes gauge\n")
 	kinds := make([]string, 0, len(outcomes))
 	for k := range outcomes {

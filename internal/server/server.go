@@ -43,6 +43,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -74,6 +75,18 @@ type Config struct {
 	// StoreBudget bounds each scenario's basis-distribution store in
 	// bytes (0 = unbounded).
 	StoreBudget int64
+	// SpillDir enables out-of-core basis storage when non-empty: each
+	// scenario's bases evicted from StoreBudget are demoted to
+	// memory-mapped column files under SpillDir/bases/<fingerprint> and
+	// faulted back on demand, and shard renders cache their self-simulated
+	// input vectors under SpillDir/shard-inputs (the worker role's hot
+	// set). Reopened crash-safely: torn or corrupt files are quarantined
+	// and their bases re-simulated. Sessions with a custom seed base stay
+	// RAM-only (their samples are incompatible with the shared tier).
+	SpillDir string
+	// SpillBudget bounds each spill tier's disk usage in bytes (0 =
+	// unbounded). Over-budget column files are dropped least-recently-used.
+	SpillBudget int64
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ so
 	// the serving path can be profiled in place (fpserver -pprof). Leave
 	// off on exposed deployments: the profiles reveal internals.
@@ -126,6 +139,9 @@ type Server struct {
 	// shardClient is the coordinator-side HTTP client for shard fan-out.
 	shardCache  *shardScenarios
 	shardClient *http.Client
+	// shardInputs caches self-simulated shard input vectors across shard
+	// renders, spilling out-of-core; nil without Config.SpillDir.
+	shardInputs *fp.ShardInputCache
 
 	stop      chan struct{}
 	loops     sync.WaitGroup
@@ -156,6 +172,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.snapshots = store
+	}
+	if cfg.SpillDir != "" {
+		cache, err := fp.NewShardInputCache(cfg.StoreBudget,
+			filepath.Join(cfg.SpillDir, "shard-inputs"), cfg.SpillBudget)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening shard-input spill tier: %w", err)
+		}
+		s.shardInputs = cache
 	}
 	s.routes()
 	s.startLoops()
@@ -244,6 +268,18 @@ func (s *Server) Close() error {
 		s.sessions.CloseAll()
 		if s.snapshots != nil {
 			s.closeErr = s.snapshots.SaveAll(s.registry.List())
+		}
+		// Release spill tiers (mapped files, manifests) after sessions are
+		// drained and the final snapshot is written.
+		for _, e := range s.registry.List() {
+			if err := e.Cache.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		if s.shardInputs != nil {
+			if err := s.shardInputs.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
 		}
 	})
 	return s.closeErr
@@ -368,6 +404,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cacheOpts := []fp.EvalOption{fp.WithStoreBudget(s.cfg.StoreBudget)}
+	if s.cfg.SpillDir != "" {
+		// One spill tier per scenario content fingerprint: bases are only
+		// valid for the exact compiled scenario (and the default seed base),
+		// and the subdir keying means a re-registered identical scenario —
+		// or a restart — re-addresses its spilled bases without resimulation.
+		cacheOpts = append(cacheOpts,
+			fp.WithSpillDir(filepath.Join(s.cfg.SpillDir, "bases", fingerprint)),
+			fp.WithSpillBudget(s.cfg.SpillBudget))
+	}
 	var cache *fp.ReuseCache
 	warm := false
 	// An idempotent re-registration (same content) keeps the live cache:

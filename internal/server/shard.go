@@ -156,10 +156,17 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 	for k, v := range req.Point {
 		point[k] = canonicalNumber(v)
 	}
-	res, err := scn.EvaluateShard(r.Context(), point, req.Worlds, req.Seed,
-		fp.WorldShard{Lo: req.Lo, Hi: req.Hi},
+	opts := []fp.EvalOption{
 		// Sub-shard across this worker's cores so one request saturates it.
-		fp.WithShards(runtime.GOMAXPROCS(0)))
+		fp.WithShards(runtime.GOMAXPROCS(0)),
+	}
+	if s.shardInputs != nil {
+		// Serve repeated (site, args, seed, range) input vectors from the
+		// spillable cache instead of re-invoking VG-Functions per world.
+		opts = append(opts, fp.WithShardInputCache(s.shardInputs))
+	}
+	res, err := scn.EvaluateShard(r.Context(), point, req.Worlds, req.Seed,
+		fp.WorldShard{Lo: req.Lo, Hi: req.Hi}, opts...)
 	if err != nil {
 		s.renderError(w, err)
 		return

@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// openSpillStore returns a store whose RAM tier fits about `fit` entries of
+// 100 samples each, spilling to a temp dir.
+func openSpillStore(t *testing.T, fit int) *Store {
+	t.Helper()
+	perEntry := (&Entry{Site: "s", Key: "k00", Samples: make([]float64, 100)}).bytes()
+	s, err := Open(Options{
+		BudgetBytes: int64(fit)*perEntry + 10,
+		SpillDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func spillVec(seed float64) []float64 {
+	out := make([]float64, 100)
+	for i := range out {
+		out[i] = seed*1000 + float64(i)
+	}
+	return out
+}
+
+func TestSpillDemoteOnEvict(t *testing.T) {
+	s := openSpillStore(t, 2)
+	for i := 0; i < 5; i++ {
+		s.Put("s", fmt.Sprintf("k%02d", i), spillVec(float64(i)))
+	}
+	st := s.Stats()
+	if st.Evicted != 3 || st.Demoted != 3 {
+		t.Fatalf("evicted=%d demoted=%d, want 3/3", st.Evicted, st.Demoted)
+	}
+	if st.SpillEntries != 3 || st.SpillBytes == 0 {
+		t.Fatalf("spill occupancy = %d entries / %d bytes", st.SpillEntries, st.SpillBytes)
+	}
+	// Every key is still addressable, wherever it lives.
+	for i := 0; i < 5; i++ {
+		if !s.Contains("s", fmt.Sprintf("k%02d", i)) {
+			t.Fatalf("key k%02d lost after demotion", i)
+		}
+	}
+}
+
+func TestSpillPromoteOnGet(t *testing.T) {
+	s := openSpillStore(t, 2)
+	for i := 0; i < 4; i++ {
+		s.Put("s", fmt.Sprintf("k%02d", i), spillVec(float64(i)))
+	}
+	// k00 and k01 were demoted; fault k00 back.
+	got, ok := s.Get("s", "k00")
+	if !ok {
+		t.Fatal("spilled key not faulted back")
+	}
+	want := spillVec(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Promoted != 1 || st.Hits != 1 {
+		t.Fatalf("promoted=%d hits=%d, want 1/1", st.Promoted, st.Hits)
+	}
+	// The promotion displaced the RAM LRU victim, which was demoted in turn.
+	if st.Demoted < 3 {
+		t.Fatalf("demoted = %d, want >= 3", st.Demoted)
+	}
+	// A promoted (on-disk) entry evicts for free: cycle enough keys to push
+	// k00 back out and confirm demotions did not double-count it.
+	// RAM now holds [k00 (on-disk), k03]. Two more puts evict both: k03
+	// costs one demotion, k00 evicts for free (its payload is already on
+	// disk), so exactly one demotion total.
+	demotedBefore := st.Demoted
+	s.Put("s", "k90", spillVec(90))
+	s.Put("s", "k91", spillVec(91))
+	if after := s.Stats(); after.Demoted != demotedBefore+1 {
+		t.Fatalf("on-disk entry re-demoted: demoted went %d -> %d, want +1",
+			demotedBefore, after.Demoted)
+	}
+	if !s.Contains("s", "k00") {
+		t.Fatal("k00 lost after free eviction")
+	}
+}
+
+// TestSpillPutInvalidatesStaleCopy: re-Putting a key that has a spill copy
+// must invalidate it — the new vector may be longer (grown world count
+// under the same arguments), and serving the short stale copy later would
+// silently truncate the basis.
+func TestSpillPutInvalidatesStaleCopy(t *testing.T) {
+	s := openSpillStore(t, 1)
+	s.Put("s", "k00", spillVec(1))
+	s.Put("s", "k01", spillVec(2)) // demotes k00
+	if st := s.Stats(); st.Demoted != 1 {
+		t.Fatalf("setup: demoted = %d", st.Demoted)
+	}
+	longer := make([]float64, 250)
+	for i := range longer {
+		longer[i] = float64(i) + 0.5
+	}
+	s.Put("s", "k00", longer) // must drop the 100-sample spill copy
+	s.Put("s", "k02", spillVec(3))
+	s.Put("s", "k03", spillVec(4)) // cycles k00 out again
+	got, ok := s.Get("s", "k00")
+	if !ok {
+		t.Fatal("k00 lost")
+	}
+	if len(got) != 250 || got[249] != 249.5 {
+		t.Fatalf("stale spill copy served: len=%d", len(got))
+	}
+}
+
+// TestSpillSyncAndReopen: Sync + Close + Open over the same dir restores
+// every basis from the manifest — the snapshot path for spilled stores.
+func TestSpillSyncAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{BudgetBytes: 0, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s.Put("s", fmt.Sprintf("k%02d", i), spillVec(float64(i)))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if keys := s.SpillKeys(); len(keys) != 6 {
+		t.Fatalf("SpillKeys after Sync = %d, want 6", len(keys))
+	}
+	// Sync leaves the RAM tier intact.
+	if s.Len() != 6 {
+		t.Fatalf("Sync disturbed RAM tier: len = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{BudgetBytes: 0, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		got, ok := re.Get("s", key)
+		if !ok {
+			t.Fatalf("key %s lost across reopen", key)
+		}
+		want := spillVec(float64(i))
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("key %s sample %d = %v, want %v", key, j, got[j], want[j])
+			}
+		}
+	}
+	if st := re.Stats(); st.Quarantined != 0 {
+		t.Fatalf("clean reopen quarantined %d files", st.Quarantined)
+	}
+}
+
+// TestSnapshotIncludesSpilled: Snapshot materializes spilled-only bases so
+// full exports see the complete set.
+func TestSnapshotIncludesSpilled(t *testing.T) {
+	s := openSpillStore(t, 2)
+	for i := 0; i < 5; i++ {
+		s.Put("s", fmt.Sprintf("k%02d", i), spillVec(float64(i)))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d entries, want 5", len(snap))
+	}
+	seen := map[string]bool{}
+	for _, e := range snap {
+		seen[e.Key] = true
+		if len(e.Samples) != 100 {
+			t.Fatalf("entry %s has %d samples", e.Key, len(e.Samples))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !seen[fmt.Sprintf("k%02d", i)] {
+			t.Fatalf("snapshot missing k%02d", i)
+		}
+	}
+}
+
+func TestSpillDropAndClear(t *testing.T) {
+	s := openSpillStore(t, 1)
+	s.Put("s", "k00", spillVec(1))
+	s.Put("s", "k01", spillVec(2)) // k00 demoted
+	s.Drop("s", "k00")
+	if s.Contains("s", "k00") {
+		t.Fatal("Drop missed the spill copy")
+	}
+	s.Clear()
+	st := s.Stats()
+	if st.Entries != 0 || st.SpillEntries != 0 || st.SpillBytes != 0 {
+		t.Fatalf("Clear left %+v", st)
+	}
+	if st.Demoted != 0 || st.Hits != 0 {
+		t.Fatalf("Clear left counters %+v", st)
+	}
+}
+
+func TestRAMOnlyStoreHasNoSpill(t *testing.T) {
+	s := NewStore(0)
+	if s.HasSpill() {
+		t.Fatal("NewStore configured a spill tier")
+	}
+	if keys := s.SpillKeys(); keys != nil {
+		t.Fatalf("SpillKeys = %v on RAM-only store", keys)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

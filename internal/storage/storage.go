@@ -6,8 +6,18 @@
 // (call site, argument tuple) during scenario evaluation. The online mode
 // correlates new parameter points against these stored bases via
 // fingerprints; a hit re-maps the stored samples instead of re-invoking the
-// VG-Function. The store is bounded: entries are evicted least-recently-
-// used once the configured memory budget is exceeded.
+// VG-Function.
+//
+// The store is a two-tier cache. The RAM tier is bounded by a byte budget
+// with LRU ordering. Without a spill tier, eviction drops the basis
+// (classic bounded cache). With a spill tier configured (Options.SpillDir),
+// the RAM tier becomes the hot cache above an out-of-core columnar tier
+// (internal/colstore): eviction DEMOTES the basis to a memory-mapped column
+// file instead of discarding it, and a Get that misses RAM faults the basis
+// back as a zero-copy mapped view — read-only consumers (the reuse
+// remapper, the SQL engine's plan kernels) run directly over the mapped
+// slice, so a working set far beyond the RAM budget stays one page fault
+// away instead of one re-simulation away.
 package storage
 
 import (
@@ -15,7 +25,28 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"unsafe"
+
+	"fuzzyprophet/internal/colstore"
 )
+
+// KeyRef names one basis by its composite (site, key) address.
+type KeyRef = colstore.KeyRef
+
+// Options configures a Store.
+type Options struct {
+	// BudgetBytes bounds the RAM tier (<= 0 means unbounded).
+	BudgetBytes int64
+	// SpillDir, when non-empty, enables the out-of-core tier rooted at
+	// that directory: evictions demote to memory-mapped column files and
+	// misses fault them back. The directory is created if absent and
+	// reopened crash-safely (CRC-verified, torn files quarantined).
+	SpillDir string
+	// SpillBudgetBytes bounds the spill tier's disk usage (<= 0 means
+	// unbounded). Over-budget spill files are dropped least-recently-used;
+	// a dropped basis is re-simulated on demand.
+	SpillBudgetBytes int64
+}
 
 // Entry is one stored basis distribution.
 type Entry struct {
@@ -26,37 +57,94 @@ type Entry struct {
 	Key string
 	// Samples is the Monte Carlo sample vector (one value per world).
 	Samples []float64
+
+	// onDisk marks an entry whose payload already lives in the spill tier
+	// (promoted from it, or demoted while remaining resident): evicting it
+	// needs no disk write, and its Samples may be a read-only mapped view.
+	onDisk bool
 }
 
+// Per-entry bookkeeping the byte budget charges beyond the sample payload.
+// An entry costs, in addition to its samples:
+//
+//   - the Entry struct and the list.Element holding it;
+//   - the Site and Key strings themselves (their bytes live once, but are
+//     referenced from both the Entry and the composite index key, which
+//     stores its own copy of both — hence 2×);
+//   - the composite index key's framing (string header + length digits and
+//     separators) and the index map's per-entry bucket share.
+//
+// The constants are deliberately simple round numbers — this is cache
+// accounting, not a heap profiler — but they are pinned by
+// TestEntryBytesAccounting so drift is a conscious choice.
+const (
+	// mapEntryOverhead approximates the index map's per-entry cost: bucket
+	// share, key string header, element pointer.
+	mapEntryOverhead = 48
+	// keyFrameOverhead covers the composite key's length prefix, separators
+	// and allocator slack.
+	keyFrameOverhead = 16
+	// structOverhead is the Entry struct plus its list.Element.
+	structOverhead = int64(unsafe.Sizeof(Entry{})) + int64(unsafe.Sizeof(list.Element{}))
+)
+
 func (e *Entry) bytes() int64 {
-	// Sample payload plus a small fixed overhead for keys and bookkeeping.
-	return int64(len(e.Samples))*8 + int64(len(e.Site)+len(e.Key)) + 64
+	return int64(len(e.Samples))*8 +
+		2*int64(len(e.Site)+len(e.Key)) +
+		keyFrameOverhead + mapEntryOverhead + structOverhead
 }
 
 // Store is a bounded, thread-safe basis-distribution store with LRU
-// eviction. The hit/miss/eviction/insertion counters are atomic so
-// monitoring can read them without contending on the structural lock.
+// eviction and an optional out-of-core spill tier. The
+// hit/miss/eviction/insertion counters are atomic so monitoring can read
+// them without contending on the structural lock.
 type Store struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
 	order  *list.List               // front = most recent
 	index  map[string]*list.Element // composite key → element
+	spill  *colstore.Tier           // nil without a spill tier
 
 	hits     atomic.Int64
 	misses   atomic.Int64
 	evicted  atomic.Int64
 	inserted atomic.Int64
+	demoted  atomic.Int64
+	promoted atomic.Int64
+	// spillErrors counts demotions that failed to write; the entry is then
+	// dropped like a plain eviction (a lost cache entry, never bad data).
+	spillErrors atomic.Int64
 }
 
-// NewStore returns a store with the given memory budget in bytes. A budget
-// of <= 0 means unbounded.
+// NewStore returns a RAM-only store with the given memory budget in bytes.
+// A budget of <= 0 means unbounded.
 func NewStore(budgetBytes int64) *Store {
-	return &Store{
-		budget: budgetBytes,
+	s, err := Open(Options{BudgetBytes: budgetBytes})
+	if err != nil {
+		// Unreachable: only the spill tier can fail to open.
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a store configured by opts, opening (or crash-safely
+// reopening) the spill tier when opts.SpillDir is set. Bases already
+// spilled under that directory are immediately addressable again.
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		budget: opts.BudgetBytes,
 		order:  list.New(),
 		index:  make(map[string]*list.Element),
 	}
+	if opts.SpillDir != "" {
+		tier, err := colstore.OpenTier(opts.SpillDir, opts.SpillBudgetBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.spill = tier
+	}
+	return s, nil
 }
 
 // appendCompositeKey appends the unambiguous index encoding of (site, key)
@@ -75,7 +163,9 @@ func appendCompositeKey(dst []byte, site, key string) []byte {
 }
 
 // Put stores (or replaces) the samples for (site, key). The stored slice is
-// copied so later caller mutations cannot corrupt the basis.
+// copied so later caller mutations cannot corrupt the basis. A stale spill
+// copy of the same key is invalidated (the new samples may be longer — a
+// larger world count under the same arguments).
 func (s *Store) Put(site, key string, samples []float64) {
 	cp := append([]float64(nil), samples...)
 	e := &Entry{Site: site, Key: key, Samples: cp}
@@ -84,6 +174,9 @@ func (s *Store) Put(site, key string, samples []float64) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.spill != nil && s.spill.Contains(site, key) {
+		s.spill.Drop(site, key)
+	}
 	if el, ok := s.index[ck]; ok {
 		old := el.Value.(*Entry)
 		s.used -= old.bytes()
@@ -100,34 +193,51 @@ func (s *Store) Put(site, key string, samples []float64) {
 }
 
 // Get returns the samples for (site, key), marking the entry recently used.
-// The returned slice is shared; callers must not mutate it.
+// A RAM miss consults the spill tier: a spilled basis is returned as a
+// zero-copy mapped view and promoted back into the RAM tier (flagged as
+// on-disk, so its later eviction costs nothing). The returned slice is
+// shared — and possibly a read-only mapping — so callers must not mutate
+// it; mc's consumers never do.
 func (s *Store) Get(site, key string) ([]float64, bool) {
 	var buf [64]byte
 	ck := appendCompositeKey(buf[:0], site, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[string(ck)]
-	if !ok {
-		s.misses.Add(1)
-		return nil, false
+	if el, ok := s.index[string(ck)]; ok {
+		s.hits.Add(1)
+		s.order.MoveToFront(el)
+		return el.Value.(*Entry).Samples, true
 	}
-	s.hits.Add(1)
-	s.order.MoveToFront(el)
-	return el.Value.(*Entry).Samples, true
+	if s.spill != nil {
+		if samples, ok := s.spill.Get(site, key); ok {
+			e := &Entry{Site: site, Key: key, Samples: samples, onDisk: true}
+			el := s.order.PushFront(e)
+			s.index[string(appendCompositeKey(buf[:0], site, key))] = el
+			s.used += e.bytes()
+			s.promoted.Add(1)
+			s.hits.Add(1)
+			s.evictLocked()
+			return samples, true
+		}
+	}
+	s.misses.Add(1)
+	return nil, false
 }
 
-// Contains reports whether (site, key) is stored, without touching LRU
-// order.
+// Contains reports whether (site, key) is stored in either tier, without
+// touching LRU order or mapping any file.
 func (s *Store) Contains(site, key string) bool {
 	var buf [64]byte
 	ck := appendCompositeKey(buf[:0], site, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.index[string(ck)]
-	return ok
+	if _, ok := s.index[string(ck)]; ok {
+		return true
+	}
+	return s.spill != nil && s.spill.Contains(site, key)
 }
 
-// Drop removes (site, key) if present.
+// Drop removes (site, key) from both tiers if present.
 func (s *Store) Drop(site, key string) {
 	var buf [64]byte
 	ck := appendCompositeKey(buf[:0], site, key)
@@ -136,15 +246,43 @@ func (s *Store) Drop(site, key string) {
 	if el, ok := s.index[string(ck)]; ok {
 		s.removeLocked(el)
 	}
+	if s.spill != nil {
+		s.spill.Drop(site, key)
+	}
 }
 
-// Clear removes everything.
+// Clear removes everything from both tiers and resets the counters — after
+// Clear, Stats describes an empty store, exactly like a fresh one (see
+// Stats). Quarantined spill files are kept on disk for inspection.
 func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.order.Init()
 	s.index = make(map[string]*list.Element)
 	s.used = 0
+	if s.spill != nil {
+		s.spill.Clear()
+	}
+	s.resetStatsLocked()
+}
+
+// ResetStats zeroes the hit/miss/eviction/insertion and spill counters
+// without touching the stored entries — for monitoring windows that want
+// per-interval rates.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetStatsLocked()
+}
+
+func (s *Store) resetStatsLocked() {
+	s.hits.Store(0)
+	s.misses.Store(0)
+	s.evicted.Store(0)
+	s.inserted.Store(0)
+	s.demoted.Store(0)
+	s.promoted.Store(0)
+	s.spillErrors.Store(0)
 }
 
 func (s *Store) removeLocked(el *list.Element) {
@@ -155,18 +293,86 @@ func (s *Store) removeLocked(el *list.Element) {
 	s.used -= e.bytes()
 }
 
+// evictLocked enforces the RAM budget. With a spill tier, a victim whose
+// payload is not yet on disk is demoted (written as a column file) before
+// leaving RAM; failures to write count as spillErrors and degrade to a
+// plain eviction. Entries already on disk just vanish from RAM.
 func (s *Store) evictLocked() {
 	if s.budget <= 0 {
 		return
 	}
 	for s.used > s.budget && s.order.Len() > 0 {
 		el := s.order.Back()
+		e := el.Value.(*Entry)
+		if s.spill != nil && !e.onDisk {
+			if err := s.spill.Put(e.Site, e.Key, e.Samples); err != nil {
+				s.spillErrors.Add(1)
+			} else {
+				s.demoted.Add(1)
+			}
+		}
 		s.removeLocked(el)
 		s.evicted.Add(1)
 	}
 }
 
-// Stats is a snapshot of store counters.
+// Sync demotes every RAM-resident basis whose payload is not yet on disk
+// to the spill tier, leaving the RAM tier intact (entries stay resident,
+// flagged on-disk). After Sync, the spill tier's manifest addresses the
+// complete basis set, which is what snapshot persistence serializes
+// instead of the payloads. A no-op without a spill tier.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spill == nil {
+		return nil
+	}
+	var first error
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*Entry)
+		if e.onDisk {
+			continue
+		}
+		if err := s.spill.Put(e.Site, e.Key, e.Samples); err != nil {
+			s.spillErrors.Add(1)
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		s.demoted.Add(1)
+		e.onDisk = true
+	}
+	return first
+}
+
+// HasSpill reports whether a spill tier is configured.
+func (s *Store) HasSpill() bool { return s.spill != nil }
+
+// SpillKeys returns the keys resident in the spill tier, most recently
+// used first (nil without a tier). Combined with Sync, this is the
+// manifest form of a snapshot: the payloads stay in their column files.
+func (s *Store) SpillKeys() []KeyRef {
+	if s.spill == nil {
+		return nil
+	}
+	return s.spill.Keys()
+}
+
+// Close releases the spill tier's mappings and flushes its manifest. Views
+// previously returned by Get become invalid; the RAM tier is untouched.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spill == nil {
+		return nil
+	}
+	return s.spill.Close()
+}
+
+// Stats is a snapshot of store counters. Clear resets every counter along
+// with the entries (a cleared store reports like a fresh one); ResetStats
+// resets the counters alone.
 type Stats struct {
 	Entries   int
 	UsedBytes int64
@@ -175,37 +381,68 @@ type Stats struct {
 	Misses    int64
 	Evicted   int64
 	Inserted  int64
+
+	// Spill-tier telemetry (zero without a spill tier). Demoted counts
+	// evictions written out as column files; Promoted counts RAM misses
+	// served by mapping a spilled basis back in; SpillErrors counts failed
+	// demotions (degraded to plain evictions). SpillEntries/SpillBytes/
+	// SpillBudget describe current disk occupancy, and Quarantined counts
+	// files renamed aside after failing CRC or size verification.
+	Demoted      int64
+	Promoted     int64
+	SpillErrors  int64
+	SpillEntries int
+	SpillBytes   int64
+	SpillBudget  int64
+	Quarantined  int64
 }
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	entries, used, budget := s.order.Len(), s.used, s.budget
+	var ts colstore.TierStats
+	if s.spill != nil {
+		ts = s.spill.Stats()
+	}
 	s.mu.Unlock()
 	return Stats{
-		Entries:   entries,
-		UsedBytes: used,
-		Budget:    budget,
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evicted:   s.evicted.Load(),
-		Inserted:  s.inserted.Load(),
+		Entries:      entries,
+		UsedBytes:    used,
+		Budget:       budget,
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Evicted:      s.evicted.Load(),
+		Inserted:     s.inserted.Load(),
+		Demoted:      s.demoted.Load(),
+		Promoted:     s.promoted.Load(),
+		SpillErrors:  s.spillErrors.Load(),
+		SpillEntries: ts.Entries,
+		SpillBytes:   ts.Bytes,
+		SpillBudget:  ts.Budget,
+		Quarantined:  ts.Quarantined,
 	}
 }
 
-// Len returns the number of stored entries.
+// Len returns the number of RAM-resident entries.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.order.Len()
 }
 
-// Snapshot returns a copy of every stored entry, most recently used first.
-// Sample slices are copied; the snapshot is safe to serialize.
+// Snapshot returns a copy of every stored entry, most recently used first:
+// RAM-resident entries in LRU order, then spilled-only entries (their
+// payloads are materialized from the mapped files). Sample slices are
+// copied; the snapshot is safe to serialize. Stores with a spill tier
+// normally persist via Sync + SpillKeys instead — a manifest operation —
+// and use Snapshot only for full exports.
 func (s *Store) Snapshot() []Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Entry, 0, s.order.Len())
+	seen := make(map[string]bool, s.order.Len())
+	var buf [64]byte
 	for el := s.order.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*Entry)
 		out = append(out, Entry{
@@ -213,6 +450,21 @@ func (s *Store) Snapshot() []Entry {
 			Key:     e.Key,
 			Samples: append([]float64(nil), e.Samples...),
 		})
+		seen[string(appendCompositeKey(buf[:0], e.Site, e.Key))] = true
+	}
+	if s.spill != nil {
+		for _, kr := range s.spill.Keys() {
+			if seen[string(appendCompositeKey(buf[:0], kr.Site, kr.Key))] {
+				continue
+			}
+			if samples, ok := s.spill.Get(kr.Site, kr.Key); ok {
+				out = append(out, Entry{
+					Site:    kr.Site,
+					Key:     kr.Key,
+					Samples: append([]float64(nil), samples...),
+				})
+			}
+		}
 	}
 	return out
 }

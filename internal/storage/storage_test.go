@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"container/list"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"unsafe"
 )
 
 func TestPutGet(t *testing.T) {
@@ -62,8 +64,8 @@ func TestCompositeKeyNoCollision(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	// Budget for roughly two entries of 100 samples each.
-	perEntry := int64(100*8 + 2 + 64)
+	// Budget for exactly two entries of 100 samples each.
+	perEntry := (&Entry{Site: "s", Key: "a", Samples: make([]float64, 100)}).bytes()
 	s := NewStore(2*perEntry + 10)
 	samples := make([]float64, 100)
 	s.Put("s", "a", samples)
@@ -190,6 +192,68 @@ func TestCompositeKeyLongSiteNames(t *testing.T) {
 	s.Drop(site, key)
 	if s.Contains(site, key) {
 		t.Error("Drop missed long key")
+	}
+}
+
+// TestEntryBytesAccounting pins the byte-accounting formula. The budget
+// charge must cover more than the raw payload: the Entry struct, its
+// list.Element, both strings (stored once in the Entry and again inside
+// the composite index key), the key framing, and the index map's per-entry
+// share. The old formula (payload + site + key + 64) undercounted all of
+// that, so small-sample workloads blew far past their configured budget.
+func TestEntryBytesAccounting(t *testing.T) {
+	e := &Entry{Site: "CapacityModel#1", Key: "(12,36,44)", Samples: make([]float64, 100)}
+	want := int64(100*8) +
+		2*int64(len(e.Site)+len(e.Key)) +
+		keyFrameOverhead + mapEntryOverhead +
+		int64(unsafe.Sizeof(Entry{})) + int64(unsafe.Sizeof(list.Element{}))
+	if got := e.bytes(); got != want {
+		t.Fatalf("bytes() = %d, want %d", got, want)
+	}
+	// Regression guard for the undercount: the charge must exceed the old
+	// formula's value for any entry.
+	old := int64(len(e.Samples))*8 + int64(len(e.Site)+len(e.Key)) + 64
+	if e.bytes() <= old {
+		t.Fatalf("bytes() = %d does not exceed the old undercounting formula %d", e.bytes(), old)
+	}
+	// An empty entry still carries its fixed overhead.
+	empty := &Entry{}
+	if got := empty.bytes(); got != keyFrameOverhead+mapEntryOverhead+structOverhead {
+		t.Fatalf("empty entry bytes() = %d", got)
+	}
+}
+
+// TestClearResetsStats: Clear must reset the counters along with the
+// entries — a cleared store reports like a fresh one. (Previously the
+// counters survived Clear, so post-Clear hit rates were computed against
+// traffic from before the wipe.)
+func TestClearResetsStats(t *testing.T) {
+	s := NewStore(0)
+	s.Put("s", "k", []float64{1})
+	s.Get("s", "k")
+	s.Get("s", "nope")
+	s.Clear()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after Clear = %+v, want all zero", st)
+	}
+}
+
+// TestResetStats zeroes counters without touching entries.
+func TestResetStats(t *testing.T) {
+	s := NewStore(0)
+	s.Put("s", "k", []float64{1, 2})
+	s.Get("s", "k")
+	s.Get("s", "nope")
+	s.ResetStats()
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Inserted != 0 || st.Evicted != 0 {
+		t.Fatalf("counters not reset: %+v", st)
+	}
+	if st.Entries != 1 || st.UsedBytes == 0 {
+		t.Fatalf("ResetStats disturbed entries: %+v", st)
+	}
+	if got, ok := s.Get("s", "k"); !ok || got[0] != 1 {
+		t.Fatal("entry lost across ResetStats")
 	}
 }
 

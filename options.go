@@ -6,6 +6,7 @@ import (
 
 	"fuzzyprophet/internal/core"
 	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/storage"
 )
 
 // EvalOption tunes evaluation: world count, seeding, parallelism and the
@@ -23,12 +24,17 @@ type evalConfig struct {
 	fpLength     int
 	affineTol    float64
 	storeBudget  int64
+	spillDir     string
+	spillBudget  int64
 	groupBudget  int
 	shards       int
 	shardEval    ShardEvaluator
 	// shared, when set by WithReuseCache, is used instead of a private
 	// reuse engine.
 	shared *mc.Reuse
+	// shardInputs, when set by WithShardInputCache, caches self-simulated
+	// shard input vectors (worker mode).
+	shardInputs *ShardInputCache
 }
 
 func newEvalConfig(opts []EvalOption) evalConfig {
@@ -79,6 +85,26 @@ func WithAffineTol(tol float64) EvalOption {
 // unbounded).
 func WithStoreBudget(bytes int64) EvalOption {
 	return func(c *evalConfig) { c.storeBudget = bytes }
+}
+
+// WithSpillDir enables the out-of-core spill tier for the basis store,
+// rooted at dir: bases evicted from the RAM budget are demoted to
+// memory-mapped column files there and faulted back on demand as zero-copy
+// views, so the basis working set may exceed WithStoreBudget without
+// falling back to re-simulation. The directory is created if absent and
+// reopened crash-safely (every file is CRC-checked; torn or corrupt files
+// are quarantined and their bases re-simulated). Combine with
+// WithStoreBudget to size the hot RAM tier; without it nothing ever
+// spills, since the RAM tier never evicts.
+func WithSpillDir(dir string) EvalOption {
+	return func(c *evalConfig) { c.spillDir = dir }
+}
+
+// WithSpillBudget bounds the spill tier's disk usage in bytes (default
+// unbounded). Over-budget column files are dropped least-recently-used; a
+// dropped basis is re-simulated on demand. Ignored without WithSpillDir.
+func WithSpillBudget(bytes int64) EvalOption {
+	return func(c *evalConfig) { c.spillBudget = bytes }
 }
 
 // WithGroupBudget makes Optimize explore only that many randomly sampled
@@ -186,17 +212,30 @@ func (c evalConfig) fingerprint() core.Config {
 	return fp
 }
 
+// storeOptions resolves the basis-store configuration (RAM budget plus the
+// optional spill tier).
+func (c evalConfig) storeOptions() storage.Options {
+	return storage.Options{
+		BudgetBytes:      c.storeBudget,
+		SpillDir:         c.spillDir,
+		SpillBudgetBytes: c.spillBudget,
+	}
+}
+
 func (c evalConfig) mcOptions() (mc.Options, error) {
 	opts := mc.Options{Worlds: c.worlds, SeedBase: c.seedBase, Workers: c.workers, Shards: c.shards}
 	if c.shardEval != nil {
 		opts.Runner = shardRunnerFor(c.shardEval)
+	}
+	if c.shardInputs != nil {
+		opts.ShardInputs = c.shardInputs.store
 	}
 	if c.shared != nil {
 		opts.Reuse = c.shared
 		return opts, nil
 	}
 	if !c.disableReuse {
-		reuse, err := mc.NewReuse(c.fingerprint(), c.storeBudget)
+		reuse, err := mc.NewReuse(c.fingerprint(), c.storeOptions())
 		if err != nil {
 			return opts, err
 		}

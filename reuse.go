@@ -23,15 +23,25 @@ type ReuseCache struct {
 }
 
 // NewReuseCache creates an empty shared reuse engine. The relevant options
-// are WithFingerprintLength, WithAffineTol and WithStoreBudget; others are
-// ignored.
+// are WithFingerprintLength, WithAffineTol, WithStoreBudget, WithSpillDir
+// and WithSpillBudget; others are ignored. With a spill dir, bases evicted
+// from the RAM budget are demoted to memory-mapped column files and
+// faulted back on demand — close the cache with Close when done so the
+// spill manifest is flushed.
 func NewReuseCache(opts ...EvalOption) (*ReuseCache, error) {
 	cfg := newEvalConfig(opts)
-	reuse, err := mc.NewReuse(cfg.fingerprint(), cfg.storeBudget)
+	reuse, err := mc.NewReuse(cfg.fingerprint(), cfg.storeOptions())
 	if err != nil {
 		return nil, err
 	}
 	return &ReuseCache{reuse: reuse}, nil
+}
+
+// Close releases the cache's spill tier, if any: live file mappings are
+// unmapped and the manifest is flushed. Call it only after in-flight
+// renders finish. A no-op for RAM-only caches.
+func (c *ReuseCache) Close() error {
+	return c.reuse.Close()
 }
 
 // LoadReuseCache reads a snapshot previously written by Save, so a new
@@ -42,7 +52,7 @@ func NewReuseCache(opts ...EvalOption) (*ReuseCache, error) {
 // detected and reported on first use.
 func LoadReuseCache(rd io.Reader, opts ...EvalOption) (*ReuseCache, error) {
 	cfg := newEvalConfig(opts)
-	reuse, err := mc.LoadReuse(rd, cfg.storeBudget)
+	reuse, err := mc.LoadReuse(rd, cfg.storeOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +71,13 @@ func (c *ReuseCache) SaveFile(path string) error {
 	return c.reuse.SaveSnapshot(path)
 }
 
-// LoadReuseCacheFile is LoadReuseCache reading from a snapshot file.
+// LoadReuseCacheFile is LoadReuseCache reading from a snapshot file. A
+// snapshot saved by a spill-enabled cache is a manifest (keys only): load
+// it with WithSpillDir pointing at the same directory, or its bases
+// degrade to on-demand re-simulation.
 func LoadReuseCacheFile(path string, opts ...EvalOption) (*ReuseCache, error) {
 	cfg := newEvalConfig(opts)
-	reuse, err := mc.LoadSnapshot(path, cfg.storeBudget)
+	reuse, err := mc.LoadSnapshot(path, cfg.storeOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +108,19 @@ type StoreStats struct {
 	Misses   int64 `json:"misses"`
 	Evicted  int64 `json:"evicted"`
 	Inserted int64 `json:"inserted"`
+	// Spill-tier telemetry (all zero without WithSpillDir): Demoted counts
+	// evictions written out-of-core, Promoted counts bases faulted back as
+	// mapped views, SpillErrors counts failed demotions (degraded to plain
+	// evictions). SpillEntries/SpillBytes describe disk occupancy under
+	// SpillBudget, and Quarantined counts files set aside after failing
+	// CRC or size verification.
+	Demoted      int64 `json:"demoted,omitempty"`
+	Promoted     int64 `json:"promoted,omitempty"`
+	SpillErrors  int64 `json:"spill_errors,omitempty"`
+	SpillEntries int   `json:"spill_entries,omitempty"`
+	SpillBytes   int64 `json:"spill_bytes,omitempty"`
+	SpillBudget  int64 `json:"spill_budget_bytes,omitempty"`
+	Quarantined  int64 `json:"quarantined,omitempty"`
 }
 
 // HitRate is Hits / (Hits + Misses), or 0 before any lookup.
@@ -107,13 +133,20 @@ func (s StoreStats) HitRate() float64 {
 
 func convertStoreStats(st storage.Stats) StoreStats {
 	return StoreStats{
-		Entries:   st.Entries,
-		UsedBytes: st.UsedBytes,
-		Budget:    st.Budget,
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evicted:   st.Evicted,
-		Inserted:  st.Inserted,
+		Entries:      st.Entries,
+		UsedBytes:    st.UsedBytes,
+		Budget:       st.Budget,
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Evicted:      st.Evicted,
+		Inserted:     st.Inserted,
+		Demoted:      st.Demoted,
+		Promoted:     st.Promoted,
+		SpillErrors:  st.SpillErrors,
+		SpillEntries: st.SpillEntries,
+		SpillBytes:   st.SpillBytes,
+		SpillBudget:  st.SpillBudget,
+		Quarantined:  st.Quarantined,
 	}
 }
 
@@ -159,6 +192,52 @@ func WithReuseCache(c *ReuseCache) EvalOption {
 	return func(cfg *evalConfig) {
 		if c != nil {
 			cfg.shared = c.reuse
+		}
+	}
+}
+
+// ShardInputCache caches self-simulated shard input vectors — worker
+// mode's analog of the basis store. A shard worker repeatedly rendering
+// the same scenario points serves each (site, args, seed base, world
+// range) vector from the cache instead of re-invoking VG-Functions; with a
+// spill dir configured, cold vectors spill out-of-core and fault back as
+// mapped views. Determinism of per-(site, world) seeds makes a cache hit
+// bit-identical to fresh simulation. Safe for concurrent use.
+type ShardInputCache struct {
+	store *storage.Store
+}
+
+// NewShardInputCache creates a shard-input cache. budgetBytes bounds the
+// RAM tier (<= 0 unbounded); spillDir, when non-empty, enables the
+// out-of-core tier (spillBudgetBytes bounds its disk usage, <= 0
+// unbounded).
+func NewShardInputCache(budgetBytes int64, spillDir string, spillBudgetBytes int64) (*ShardInputCache, error) {
+	store, err := storage.Open(storage.Options{
+		BudgetBytes:      budgetBytes,
+		SpillDir:         spillDir,
+		SpillBudgetBytes: spillBudgetBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardInputCache{store: store}, nil
+}
+
+// Stats returns the cache's store counters.
+func (c *ShardInputCache) Stats() StoreStats {
+	return convertStoreStats(c.store.Stats())
+}
+
+// Close releases the cache's spill tier, if any.
+func (c *ShardInputCache) Close() error { return c.store.Close() }
+
+// WithShardInputCache makes shard evaluations (EvaluateShard, and local
+// shard fallbacks without reuse) serve self-simulated input vectors from
+// the given cache.
+func WithShardInputCache(c *ShardInputCache) EvalOption {
+	return func(cfg *evalConfig) {
+		if c != nil {
+			cfg.shardInputs = c
 		}
 	}
 }
