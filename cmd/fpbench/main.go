@@ -20,6 +20,9 @@
 //	       1000-world render path; writes BENCH_engine.json (see -engineworlds, -out)
 //	storage hot-hit vs mapped spill-tier hit vs re-simulate basis access,
 //	       plus demotion/promotion throughput; writes BENCH_storage.json
+//	trace  render tracing overhead: untraced vs traced render, and the
+//	       disabled-path span ops (with -check: must be 0 allocs/op and
+//	       under 2% of an untraced render)
 package main
 
 import (
@@ -29,12 +32,13 @@ import (
 	"os"
 	"strings"
 
+	"fuzzyprophet/internal/buildinfo"
 	"fuzzyprophet/internal/cli"
 )
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|trace|all")
 		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
 		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
 		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
@@ -43,8 +47,13 @@ func main() {
 		shardWorlds  = flag.Int("shardworlds", 100000, "worlds for the shard-scaling benchmark")
 		shardOut     = flag.String("shardout", "BENCH_shard.json", "output path for the shard benchmark JSON")
 		storageOut   = flag.String("storageout", "BENCH_storage.json", "output path for the storage benchmark JSON")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("fpbench"))
+		return
+	}
 
 	// Ctrl-C cancels the context; the simulation loops check it per
 	// world-batch, so even the big sweep experiments abort in milliseconds.
@@ -69,8 +78,11 @@ func main() {
 		"storage": func(ctx context.Context, w, s int) error {
 			return runStorageBench(ctx, w, *storageOut)
 		},
+		"trace": func(ctx context.Context, w, s int) error {
+			return runTraceBench(ctx, *engineWorlds, *benchCheck)
+		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage"}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage", "trace"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

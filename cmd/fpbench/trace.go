@@ -1,0 +1,114 @@
+package main
+
+// The trace experiment: the CI gate behind BenchmarkTraceDisabledOverhead.
+// Render tracing is threaded through the whole pipeline as nil-safe span
+// calls, so a render with no span on the context must pay nothing for the
+// instrumentation. Two properties are checked directly (with -check they
+// are hard failures):
+//
+//  1. The disabled-path span operations allocate NOTHING: a render's worth
+//     of nil-span calls measures 0 allocs/op via testing.AllocsPerRun.
+//  2. The projected disabled-path overhead — the measured cost of those
+//     nil calls against the measured cost of an untraced render — stays
+//     under 2%.
+//
+// The traced render is also measured, informationally, so the cost of
+// turning tracing ON stays visible in CI logs.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"fuzzyprophet/internal/benchfix"
+	"fuzzyprophet/internal/mc"
+	"fuzzyprophet/internal/obs"
+	"fuzzyprophet/internal/scenario"
+	"fuzzyprophet/internal/sqlparser"
+)
+
+// disabledOps runs one render's worth of instrumentation calls against a
+// context with no span: every call must take the nil fast path.
+func disabledOps(ctx context.Context) {
+	sp := obs.SpanFrom(ctx)
+	// The per-point stage spans of mc.EvaluatePoint...
+	psp := sp.Child("point")
+	psp.SetInt("worlds", 1000)
+	for _, stage := range []string{"simulate", "worlds-materialize", "plan-execute", "sketch-merge"} {
+		ssp := psp.Child(stage)
+		ssp.SetInt("sites", 8)
+		ssp.SetStr("exec", "local")
+		ssp.Note("spill-demote", time.Millisecond).SetInt("count", 1)
+		obs.With(ctx, ssp)
+		ssp.End()
+	}
+	psp.Graft(nil)
+	psp.End()
+}
+
+// runTraceBench is experiment "trace": the tracing-off overhead gate.
+func runTraceBench(ctx context.Context, worlds int, check bool) error {
+	section(fmt.Sprintf("TRACE: disabled-path render overhead (%d worlds)", worlds))
+	reg, err := benchfix.Registry()
+	if err != nil {
+		return err
+	}
+	name := sqlparser.ExampleScenarioNames()[0]
+	scn, err := scenario.Compile(sqlparser.ExampleScenarios()[name], reg)
+	if err != nil {
+		return err
+	}
+	pt := scn.DefaultPoint()
+	minIters, minDur := 20, 200*time.Millisecond
+	if check {
+		minIters, minDur = 50, 600*time.Millisecond
+	}
+
+	ev := mc.NewEvaluator(scn, mc.Options{Worlds: worlds})
+	untracedNs, untracedAllocs, _, err := timeEngine(ctx, func() error {
+		_, err := ev.EvaluatePoint(ctx, pt)
+		return err
+	}, minIters, minDur)
+	if err != nil {
+		return fmt.Errorf("untraced render: %w", err)
+	}
+
+	evT := mc.NewEvaluator(scn, mc.Options{Worlds: worlds})
+	tracedNs, tracedAllocs, _, err := timeEngine(ctx, func() error {
+		tr := obs.New("render", "")
+		_, err := evT.EvaluatePoint(obs.With(ctx, tr.Root()), pt)
+		tr.End()
+		return err
+	}, minIters, minDur)
+	if err != nil {
+		return fmt.Errorf("traced render: %w", err)
+	}
+
+	// The disabled instrumentation path in isolation: allocations must be
+	// exactly zero, and its per-render cost negligible.
+	bg := context.Background()
+	opAllocs := testing.AllocsPerRun(10000, func() { disabledOps(bg) })
+	opStart := time.Now()
+	const opIters = 200000
+	for i := 0; i < opIters; i++ {
+		disabledOps(bg)
+	}
+	opNs := float64(time.Since(opStart).Nanoseconds()) / opIters
+	overheadPct := opNs / untracedNs * 100
+
+	fmt.Printf("%-28s %14.0f ns/op %10.1f allocs/op\n", "render untraced ("+name+")", untracedNs, untracedAllocs)
+	fmt.Printf("%-28s %14.0f ns/op %10.1f allocs/op  (+%.1f%%)\n", "render traced", tracedNs, tracedAllocs, (tracedNs/untracedNs-1)*100)
+	fmt.Printf("%-28s %14.1f ns/op %10.1f allocs/op  (%.4f%% of a render)\n", "disabled-path span ops", opNs, opAllocs, overheadPct)
+
+	if check {
+		if opAllocs != 0 {
+			return fmt.Errorf("trace check: disabled-path span ops allocate (%.1f allocs/op, want 0)", opAllocs)
+		}
+		if overheadPct > 2 {
+			return fmt.Errorf("trace check: disabled-path overhead %.2f%% of an untraced render (gate: 2%%)", overheadPct)
+		}
+		fmt.Println("trace check: 0 allocs/op, overhead within gate")
+	}
+	return nil
+}

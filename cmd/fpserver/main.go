@@ -33,12 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	fp "fuzzyprophet"
+	"fuzzyprophet/internal/buildinfo"
 	"fuzzyprophet/internal/cli"
 	"fuzzyprophet/internal/server"
 )
@@ -57,8 +59,15 @@ func main() {
 		enablePprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (do not expose publicly)")
 		workerMode       = flag.Bool("worker", false, "run as a shard worker: serve only POST /shard/render (+ health/metrics)")
 		workerURLs       = flag.String("workers", "", "comma-separated shard-worker base URLs; renders fan out across them")
+		slowRender       = flag.Duration("slow-render-threshold", time.Second, "log renders at/above this duration and retain their traces at /debug/traces (<0 disables)")
+		traceBuffer      = flag.Int("trace-buffer", 32, "how many slow-render traces /debug/traces retains")
+		version          = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("fpserver"))
+		return
+	}
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -86,6 +95,8 @@ func main() {
 		enablePprof:      *enablePprof,
 		workerMode:       *workerMode,
 		workers:          workers,
+		slowRender:       *slowRender,
+		traceBuffer:      *traceBuffer,
 	}); err != nil {
 		cli.Fatal("fpserver", err)
 	}
@@ -104,29 +115,35 @@ type config struct {
 	enablePprof      bool
 	workerMode       bool
 	workers          []string
+	slowRender       time.Duration
+	traceBuffer      int
 }
 
 func run(ctx context.Context, cfg config) error {
 	logger := log.New(os.Stderr, "fpserver: ", log.LstdFlags)
+	logger.Printf("%s", buildinfo.String("fpserver"))
 
 	sys, err := fp.New(fp.WithDemoModels())
 	if err != nil {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		System:           sys,
-		DefaultWorlds:    cfg.worlds,
-		MaxSessions:      cfg.maxSessions,
-		SessionTTL:       cfg.sessionTTL,
-		SnapshotDir:      cfg.snapshotDir,
-		SnapshotInterval: cfg.snapshotInterval,
-		StoreBudget:      cfg.storeBudget,
-		SpillDir:         cfg.spillDir,
-		SpillBudget:      cfg.spillBudget,
-		EnablePprof:      cfg.enablePprof,
-		WorkerMode:       cfg.workerMode,
-		Workers:          cfg.workers,
-		Logf:             logger.Printf,
+		System:              sys,
+		DefaultWorlds:       cfg.worlds,
+		MaxSessions:         cfg.maxSessions,
+		SessionTTL:          cfg.sessionTTL,
+		SnapshotDir:         cfg.snapshotDir,
+		SnapshotInterval:    cfg.snapshotInterval,
+		StoreBudget:         cfg.storeBudget,
+		SpillDir:            cfg.spillDir,
+		SpillBudget:         cfg.spillBudget,
+		EnablePprof:         cfg.enablePprof,
+		WorkerMode:          cfg.workerMode,
+		Workers:             cfg.workers,
+		Logf:                logger.Printf,
+		Log:                 slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		SlowRenderThreshold: cfg.slowRender,
+		TraceBuffer:         cfg.traceBuffer,
 	})
 	if err != nil {
 		return err

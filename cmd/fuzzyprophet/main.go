@@ -13,6 +13,11 @@
 //
 //	fuzzyprophet -scenario demo.fp -mode offline -worlds 300
 //
+// With -explain the scenario is rendered once under a trace and the
+// stage/operator time breakdown is printed instead of the chart:
+//
+//	fuzzyprophet -explain -worlds 400
+//
 // With no -scenario flag the paper's Figure 2 demo scenario is used.
 package main
 
@@ -24,8 +29,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	fp "fuzzyprophet"
+	"fuzzyprophet/internal/buildinfo"
 	"fuzzyprophet/internal/cli"
 )
 
@@ -78,12 +85,18 @@ func main() {
 		batchCores      = flag.Float64("batch-cores", 0, "override the capacity one purchase adds")
 		demandBase      = flag.Float64("demand-base", 0, "override expected week-0 demand")
 		demandGrowth    = flag.Float64("demand-growth", 0, "override expected weekly demand growth")
+		explain         = flag.Bool("explain", false, "render once and print the stage/operator time breakdown instead of the chart")
+		version         = flag.Bool("version", false, "print version and exit")
 		sets            paramFlags
 		adjusts         paramFlags
 	)
 	flag.Var(&sets, "set", "initial slider position, param=value (repeatable)")
 	flag.Var(&adjusts, "adjust", "adjustment applied after the first render, param=value (repeatable)")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("fuzzyprophet"))
+		return
+	}
 
 	// Ctrl-C (or SIGTERM) cancels the context; every simulation loop checks
 	// it per world-batch, so a long render or sweep aborts cleanly instead
@@ -122,6 +135,11 @@ func main() {
 	}
 	if *spillDir != "" {
 		opts = append(opts, fp.WithSpillDir(*spillDir), fp.WithSpillBudget(*spillBudget))
+	}
+
+	if *explain {
+		runExplain(ctx, scn, opts, sets)
+		return
 	}
 
 	switch *mode {
@@ -170,6 +188,27 @@ func runOnline(ctx context.Context, scn *fp.Scenario, opts []fp.EvalOption, sets
 	}
 	fmt.Println(chart)
 	fmt.Printf("reuse outcomes: %v\n", session.ReuseCounts())
+}
+
+// runExplain renders the scenario once under a RenderTrace and prints the
+// merged stage/operator breakdown: where a render's time goes (simulate
+// vs. plan execution vs. merge), per-kernel row counts, spill work.
+func runExplain(ctx context.Context, scn *fp.Scenario, opts []fp.EvalOption, sets paramFlags) {
+	session, err := scn.OpenSession(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := applyParams(session, sets); err != nil {
+		fatal(err)
+	}
+	rt := fp.NewRenderTrace()
+	if _, err := session.Render(fp.WithTrace(ctx, rt)); err != nil {
+		fatal(err)
+	}
+	rt.End()
+	fmt.Printf("render %s (%v)\n\n", rt.ID(), rt.Duration().Round(time.Microsecond))
+	fmt.Print(rt.Format())
+	fmt.Printf("\nreuse outcomes: %v\n", session.ReuseCounts())
 }
 
 func runOffline(ctx context.Context, sys *fp.System, scn *fp.Scenario, opts []fp.EvalOption) {

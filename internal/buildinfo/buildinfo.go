@@ -1,0 +1,23 @@
+// Package buildinfo carries version identity injected at link time:
+//
+//	go build -ldflags "-X fuzzyprophet/internal/buildinfo.Version=v1.2.3" ./...
+//
+// All three binaries expose it via -version, and fpserver exports it as
+// the fpserver_build_info metric.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the release identifier, overridden via -ldflags -X.
+var Version = "dev"
+
+// GoVersion reports the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String returns the one-line form printed by -version flags.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s)", binary, Version, GoVersion())
+}

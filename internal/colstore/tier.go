@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // manifestName is the key→file mapping at the root of a tier directory.
@@ -69,6 +70,11 @@ type TierStats struct {
 	Evicted     int64
 	Quarantined int64
 	Errors      int64
+	// PutNanos/GetNanos accumulate wall time spent inside Put and Get
+	// (write+fsync+rename and map+verify respectively) so callers can
+	// attribute spill-tier cost in render traces without per-call hooks.
+	PutNanos int64
+	GetNanos int64
 }
 
 // Tier is a directory of column files addressed by (site, key): the
@@ -228,6 +234,8 @@ func (t *Tier) removeLocked(e *tierEntry, unlink bool) {
 func (t *Tier) Put(site, key string, samples []float64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	start := time.Now()
+	defer func() { t.stats.PutNanos += time.Since(start).Nanoseconds() }()
 	if t.closed {
 		return fmt.Errorf("colstore: tier is closed")
 	}
@@ -277,6 +285,8 @@ func (t *Tier) Put(site, key string, samples []float64) error {
 func (t *Tier) Get(site, key string) ([]float64, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	start := time.Now()
+	defer func() { t.stats.GetNanos += time.Since(start).Nanoseconds() }()
 	e, ok := t.entries[compositeKey(site, key)]
 	if !ok || t.closed {
 		t.stats.Misses++

@@ -19,6 +19,7 @@ import (
 	"fuzzyprophet/internal/aggregate"
 	"fuzzyprophet/internal/core"
 	"fuzzyprophet/internal/guide"
+	"fuzzyprophet/internal/obs"
 	"fuzzyprophet/internal/rng"
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlengine"
@@ -371,6 +372,11 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	if (ev.opts.Shards > 1 || ev.opts.Runner != nil) && ev.scn.Plan().Shardable() && ev.opts.Worlds > 1 {
 		return ev.evaluateSharded(ctx, pt)
 	}
+	// The point span groups this point's stage spans under the render's
+	// active span; with no active span every obs call below is a nil no-op.
+	psp := obs.SpanFrom(ctx).Child("point")
+	defer psp.End()
+	psp.SetInt("worlds", int64(ev.opts.Worlds))
 	res := &PointResult{
 		Point:       pt,
 		Worlds:      ev.opts.Worlds,
@@ -379,6 +385,11 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	}
 
 	// 1. Obtain per-site sample vectors (fresh or re-mapped).
+	ssp := psp.Child("simulate")
+	var spillBefore storage.Stats
+	if ssp != nil && ev.opts.Reuse != nil {
+		spillBefore = ev.opts.Reuse.store.Stats()
+	}
 	siteSamples := make([][]float64, len(ev.scn.Sites))
 	for si := range ev.scn.Sites {
 		if err := ctx.Err(); err != nil {
@@ -392,6 +403,14 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 		siteSamples[si] = samples
 		res.SiteOutcome[site.ID] = kind
 	}
+	if ssp != nil {
+		ssp.SetInt("sites", int64(len(ev.scn.Sites)))
+		recordOutcomes(ssp, res.SiteOutcome)
+		if ev.opts.Reuse != nil {
+			noteSpillDeltas(ssp, spillBefore, ev.opts.Reuse.store.Stats())
+		}
+	}
+	ssp.End()
 
 	// 2. Materialize the possible-worlds table — directly as columns: the
 	// world ordinal is an int vector and each site's sample vector becomes a
@@ -399,11 +418,13 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	// its column headers are evaluator-owned and updated in place; only the
 	// catalog entry is refreshed, so the compiled plan's zero-allocation
 	// execution is not surrounded by per-point table garbage.
+	msp := psp.Child("worlds-materialize")
 	ev.worldColumns[0].SetInts(ev.ordRange(0, ev.opts.Worlds))
 	for si := range ev.scn.Sites {
 		ev.worldColumns[si+1].SetFloats(siteSamples[si])
 	}
 	ev.catalog.PutColumns(ev.worlds)
+	msp.End()
 
 	// 3. Query Generator: emit pure TSQL for diagnostics (the paper's GUI
 	// displays it), then execute the scenario's COMPILED plan with the
@@ -412,12 +433,17 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	// with zero parse cost and, after warm-up, zero per-operator
 	// allocation: the plan's kernels write into pooled buffers that are
 	// recycled on Release below.
+	xsp := psp.Child("plan-execute")
+	var counters *sqlengine.ExecCounters
+	if xsp != nil {
+		counters = &sqlengine.ExecCounters{}
+	}
 	sql, err := ev.scn.GenerateSQL(pt)
 	if err != nil {
 		return nil, err
 	}
 	res.SQL = sql
-	out, err := ev.scn.Plan().Exec(ev.engine, pt)
+	out, err := ev.scn.Plan().ExecCounted(ev.engine, pt, counters)
 	if err != nil {
 		return nil, fmt.Errorf("mc: executing scenario plan: %w", err)
 	}
@@ -425,6 +451,8 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 		return nil, fmt.Errorf("mc: scenario plan produced no result")
 	}
 	defer out.Release()
+	recordExecCounters(xsp, counters)
+	xsp.End()
 
 	// 4. Collect output samples as column slices — the Result Aggregator
 	// consumes float vectors, so the engine's typed columns convert without

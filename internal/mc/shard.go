@@ -22,8 +22,10 @@ import (
 
 	"fuzzyprophet/internal/aggregate"
 	"fuzzyprophet/internal/guide"
+	"fuzzyprophet/internal/obs"
 	"fuzzyprophet/internal/scenario"
 	"fuzzyprophet/internal/sqlengine"
+	"fuzzyprophet/internal/storage"
 	"fuzzyprophet/internal/value"
 )
 
@@ -187,6 +189,13 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 	}
 	defer ev.releaseEnv(env)
 
+	sp := obs.SpanFrom(ctx)
+	ssp := sp.Child("simulate")
+	var inputsBefore storage.Stats
+	if ssp != nil && ev.opts.ShardInputs != nil {
+		inputsBefore = ev.opts.ShardInputs.Stats()
+	}
+	var cacheHits int64
 	lo, hi := task.Range.Lo, task.Range.Hi
 	for si := range ev.scn.Sites {
 		var vec []float64
@@ -207,6 +216,7 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 			if ev.opts.ShardInputs != nil {
 				cacheKey = shardInputKey(key, task.SeedBase, lo, hi)
 				if cached, ok := ev.opts.ShardInputs.Get(site.ID, cacheKey); ok && len(cached) == hi-lo {
+					cacheHits++
 					env.columns[si+1].SetFloats(cached)
 					continue
 				}
@@ -221,10 +231,32 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 		}
 		env.columns[si+1].SetFloats(vec)
 	}
+	if ssp != nil {
+		ssp.SetInt("worlds", int64(hi-lo))
+		ssp.SetInt("sites", int64(len(ev.scn.Sites)))
+		if siteSamples != nil {
+			ssp.SetInt("sliced", 1) // coordinator-computed vectors, no simulation
+		}
+		if cacheHits > 0 {
+			ssp.SetInt("shard_input_cache_hits", cacheHits)
+		}
+		if ev.opts.ShardInputs != nil {
+			noteSpillDeltas(ssp, inputsBefore, ev.opts.ShardInputs.Stats())
+		}
+	}
+	ssp.End()
+
+	msp := sp.Child("worlds-materialize")
 	env.columns[0].SetInts(ord)
 	env.catalog.PutColumns(env.worlds)
+	msp.End()
 
-	out, err := ev.scn.Plan().Exec(env.engine, task.Point)
+	xsp := sp.Child("plan-execute")
+	var counters *sqlengine.ExecCounters
+	if xsp != nil {
+		counters = &sqlengine.ExecCounters{}
+	}
+	out, err := ev.scn.Plan().ExecCounted(env.engine, task.Point, counters)
 	if err != nil {
 		return nil, fmt.Errorf("mc: executing scenario plan for shard [%d,%d): %w", lo, hi, err)
 	}
@@ -232,6 +264,8 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 		return nil, fmt.Errorf("mc: scenario plan produced no result for shard [%d,%d)", lo, hi)
 	}
 	defer out.Release()
+	recordExecCounters(xsp, counters)
+	xsp.End()
 
 	result := &ShardOutput{
 		Columns:  make(map[string][]float64, len(ev.scn.OutputCols)),
@@ -303,6 +337,9 @@ func stitchShards(outs []*ShardOutput) (map[string][]float64, map[string]*aggreg
 // evaluateSharded is EvaluatePoint's sharded path: split, fan out, stitch.
 func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*PointResult, error) {
 	n := ev.opts.Worlds
+	psp := obs.SpanFrom(ctx).Child("point")
+	defer psp.End()
+	psp.SetInt("worlds", int64(n))
 	res := &PointResult{
 		Point:       pt,
 		Worlds:      n,
@@ -321,6 +358,11 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 	remote := ev.opts.Runner != nil
 	var siteSamples [][]float64
 	if !remote && ev.opts.Reuse != nil {
+		ssp := psp.Child("simulate")
+		var spillBefore storage.Stats
+		if ssp != nil {
+			spillBefore = ev.opts.Reuse.store.Stats()
+		}
 		siteSamples = make([][]float64, len(ev.scn.Sites))
 		for si := range ev.scn.Sites {
 			if err := ctx.Err(); err != nil {
@@ -334,6 +376,12 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 			siteSamples[si] = samples
 			res.SiteOutcome[site.ID] = kind
 		}
+		if ssp != nil {
+			ssp.SetInt("sites", int64(len(ev.scn.Sites)))
+			recordOutcomes(ssp, res.SiteOutcome)
+			noteSpillDeltas(ssp, spillBefore, ev.opts.Reuse.store.Stats())
+		}
+		ssp.End()
 	} else {
 		for si := range ev.scn.Sites {
 			res.SiteOutcome[ev.scn.Sites[si].ID] = Computed
@@ -342,6 +390,8 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 
 	ranges := SplitWorlds(n, ev.opts.Shards)
 	ev.ordRange(0, n) // pre-grow so shard goroutines only read
+	fsp := psp.Child("shard-fanout")
+	fsp.SetInt("shards", int64(len(ranges)))
 	outs := make([]*ShardOutput, len(ranges))
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
@@ -350,8 +400,17 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 		go func(i int) {
 			defer wg.Done()
 			task := ShardTask{Point: pt, Worlds: n, SeedBase: ev.opts.SeedBase, Range: ranges[i]}
+			// Each shard gets its own child span, carried via ctx so the
+			// local path's stage spans (and a remote worker's grafted
+			// subtree) land under it.
+			ssp := fsp.Child("shard")
+			defer ssp.End()
+			ssp.SetInt("lo", int64(task.Range.Lo))
+			ssp.SetInt("hi", int64(task.Range.Hi))
+			sctx := obs.With(ctx, ssp)
 			if remote {
-				out, err := ev.opts.Runner(ctx, task)
+				ssp.SetStr("exec", "remote")
+				out, err := ev.opts.Runner(sctx, task)
 				if err == nil {
 					outs[i] = out
 					return
@@ -362,17 +421,21 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 				}
 				// Per-shard local fallback: a failed worker costs latency,
 				// not the render.
+				ssp.SetStr("exec", "local-fallback")
 			}
-			outs[i], errs[i] = ev.runShardLocal(ctx, task, siteSamples, ev.ord[task.Range.Lo:task.Range.Hi])
+			outs[i], errs[i] = ev.runShardLocal(sctx, task, siteSamples, ev.ord[task.Range.Lo:task.Range.Hi])
 		}(i)
 	}
 	wg.Wait()
+	fsp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	msp := psp.Child("sketch-merge")
 	columns, sketches, err := stitchShards(outs)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -413,6 +476,7 @@ func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard Wo
 	for i := range ord {
 		ord[i] = int64(shard.Lo + i)
 	}
+	sp := obs.SpanFrom(ctx)
 	outs := make([]*ShardOutput, len(sub))
 	errs := make([]error, len(sub))
 	var wg sync.WaitGroup
@@ -426,7 +490,11 @@ func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard Wo
 				SeedBase: ev.opts.SeedBase,
 				Range:    WorldRange{Lo: shard.Lo + sub[i].Lo, Hi: shard.Lo + sub[i].Hi},
 			}
-			outs[i], errs[i] = ev.runShardLocal(ctx, task, nil, ord[sub[i].Lo:sub[i].Hi])
+			ssp := sp.Child("shard")
+			defer ssp.End()
+			ssp.SetInt("lo", int64(task.Range.Lo))
+			ssp.SetInt("hi", int64(task.Range.Hi))
+			outs[i], errs[i] = ev.runShardLocal(obs.With(ctx, ssp), task, nil, ord[sub[i].Lo:sub[i].Hi])
 		}(i)
 	}
 	wg.Wait()
@@ -435,7 +503,9 @@ func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard Wo
 			return nil, err
 		}
 	}
+	msp := sp.Child("sketch-merge")
 	columns, sketches, err := stitchShards(outs)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}

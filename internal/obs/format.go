@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Merged is a span-tree summary: identically-named siblings are folded
+// into one node with an occurrence count, summed duration, and summed
+// numeric attributes. Render loops produce one "point" span per graph
+// point; merging turns 53 siblings into one line with count 53.
+type Merged struct {
+	Name     string
+	Count    int
+	Dur      time.Duration
+	Attrs    map[string]float64 // summed numeric attributes
+	Children []*Merged
+}
+
+// MergeTree folds a Node tree into a Merged tree. Sibling order follows
+// first appearance. Returns nil for a nil node.
+func MergeTree(n *Node) *Merged {
+	if n == nil {
+		return nil
+	}
+	m := &Merged{Name: n.Name}
+	mergeInto(m, n)
+	return m
+}
+
+func mergeInto(m *Merged, n *Node) {
+	m.Count++
+	m.Dur += time.Duration(n.DurUS) * time.Microsecond
+	for k, v := range n.Attrs {
+		var f float64
+		switch x := v.(type) {
+		case int64:
+			f = float64(x)
+		case float64:
+			f = x
+		default:
+			continue
+		}
+		if m.Attrs == nil {
+			m.Attrs = make(map[string]float64)
+		}
+		m.Attrs[k] += f
+	}
+	for _, c := range n.Children {
+		var slot *Merged
+		for _, mc := range m.Children {
+			if mc.Name == c.Name {
+				slot = mc
+				break
+			}
+		}
+		if slot == nil {
+			slot = &Merged{Name: c.Name}
+			m.Children = append(m.Children, slot)
+		}
+		mergeInto(slot, c)
+	}
+}
+
+// FormatTree renders a Node tree as an aligned text table: merged span
+// tree on the left, occurrence count, total duration, and percentage of
+// the root's duration on the right, followed by summed numeric attributes.
+func FormatTree(n *Node) string {
+	m := MergeTree(n)
+	if m == nil {
+		return ""
+	}
+	type row struct {
+		label string
+		m     *Merged
+	}
+	var rows []row
+	var walk func(m *Merged, prefix string, last bool, root bool)
+	walk = func(m *Merged, prefix string, last, root bool) {
+		label := m.Name
+		childPrefix := prefix
+		if !root {
+			branch := "├─ "
+			cont := "│  "
+			if last {
+				branch = "└─ "
+				cont = "   "
+			}
+			label = prefix + branch + m.Name
+			childPrefix = prefix + cont
+		}
+		rows = append(rows, row{label: label, m: m})
+		for i, c := range m.Children {
+			walk(c, childPrefix, i == len(m.Children)-1, false)
+		}
+	}
+	walk(m, "", true, true)
+
+	width := 0
+	for _, r := range rows {
+		if len(r.label) > width {
+			width = len(r.label)
+		}
+	}
+	rootDur := m.Dur
+	var b strings.Builder
+	for _, r := range rows {
+		pct := 0.0
+		if rootDur > 0 {
+			pct = 100 * float64(r.m.Dur) / float64(rootDur)
+		}
+		fmt.Fprintf(&b, "%-*s  %5d×  %10s  %5.1f%%", width, r.label, r.m.Count,
+			formatDur(r.m.Dur), pct)
+		if len(r.m.Attrs) > 0 {
+			keys := make([]string, 0, len(r.m.Attrs))
+			for k := range r.m.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%s", k, formatNum(r.m.Attrs[k]))
+			}
+			fmt.Fprintf(&b, "  [%s]", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func formatNum(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.3g", f)
+}

@@ -1,0 +1,294 @@
+// Package obs is a zero-dependency, allocation-light span tracer for the
+// render pipeline. A Trace owns a tree of Spans; every method on a nil
+// *Trace or nil *Span is a no-op, so instrumented code paths run with
+// tracing disabled at zero allocations — callers never branch on "is
+// tracing on", they just call through a possibly-nil span.
+//
+// Spans use the monotonic clock (time.Now's monotonic reading survives
+// wall-clock steps), carry typed attributes, and snapshot to a JSON Node
+// tree for wire transfer. Worker subtrees deserialized from remote
+// processes are stitched in with Graft.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Trace is one render's span tree. All spans of a trace share its mutex,
+// so concurrent shard goroutines may open children of the same parent.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+	id   string
+}
+
+// NewID returns a random 64-bit hex identifier for correlating a render
+// across processes and log lines.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// fixed ID rather than panicking in a diagnostics path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// New starts a trace whose root span is named name. id may be empty; use
+// NewID to mint one when the trace crosses process boundaries.
+func New(name, id string) *Trace {
+	t := &Trace{id: id}
+	t.root = &Span{trace: t, name: name, start: time.Now()}
+	return t
+}
+
+// ID returns the trace's render ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// End closes the root span if it is still open.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Duration reports the root span's duration (elapsed time so far if the
+// trace has not ended).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.dur > 0 {
+		return t.root.dur
+	}
+	return time.Since(t.root.start)
+}
+
+// Tree snapshots the whole span tree as a Node tree. Start offsets are
+// microseconds relative to the root span's start. Open spans report their
+// elapsed time so far.
+func (t *Trace) Tree() *Node {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root.nodeLocked(t.root.start)
+}
+
+// Span is one timed region of a trace. The zero value is not usable;
+// spans are created by Trace.Root and Span.Child. A nil *Span is the
+// disabled tracer: every method returns immediately.
+type Span struct {
+	trace    *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration // 0 while open
+	attrs    []Attr
+	children []*Span
+	grafts   []*Node // deserialized remote subtrees
+}
+
+// Attr is a typed key/value attribute attached to a span.
+type Attr struct {
+	Key  string
+	Kind byte // 's' string, 'i' int64, 'f' float64
+	Str  string
+	Int  int64
+	F    float64
+}
+
+// Child opens a sub-span. Safe to call from multiple goroutines on the
+// same parent. Returns nil (and does nothing) on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{trace: s.trace, name: name, start: time.Now()}
+	s.trace.mu.Lock()
+	s.children = append(s.children, c)
+	s.trace.mu.Unlock()
+	return c
+}
+
+// End closes the span. Idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+		if s.dur <= 0 {
+			s.dur = 1 // clock granularity: never leave an ended span "open"
+		}
+	}
+	s.trace.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute. No-op on nil.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: 'i', Int: v})
+	s.trace.mu.Unlock()
+}
+
+// SetStr attaches a string attribute. No-op on nil.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: 's', Str: v})
+	s.trace.mu.Unlock()
+}
+
+// SetFloat attaches a float attribute. No-op on nil.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: 'f', F: v})
+	s.trace.mu.Unlock()
+}
+
+// Note records an already-completed child span of duration d ending now.
+// Used for work measured externally (e.g. spill-tier demotions timed by
+// atomic counters) where open/close instrumentation would race.
+func (s *Span) Note(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	if d <= 0 {
+		d = 1
+	}
+	c := &Span{trace: s.trace, name: name, start: time.Now().Add(-d), dur: d}
+	s.trace.mu.Lock()
+	s.children = append(s.children, c)
+	s.trace.mu.Unlock()
+	return c
+}
+
+// TraceID returns the ID of the trace this span belongs to ("" on nil).
+// The ID is immutable after New, so no locking is needed; shard fan-out
+// uses it to stamp the X-FP-Render-ID propagation header.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.id
+}
+
+// Graft attaches a deserialized remote subtree (e.g. a worker's span tree
+// returned over HTTP) under this span. The subtree's start offsets remain
+// relative to its own root — remote clocks are not reconciled. No-op on
+// nil receiver or nil node.
+func (s *Span) Graft(n *Node) {
+	if s == nil || n == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.grafts = append(s.grafts, n)
+	s.trace.mu.Unlock()
+}
+
+// Node is the wire/JSON form of a span tree.
+type Node struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"` // offset from the tree root's start
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*Node        `json:"children,omitempty"`
+}
+
+// nodeLocked converts the span subtree to Nodes. Caller holds trace.mu.
+func (s *Span) nodeLocked(origin time.Time) *Node {
+	n := &Node{
+		Name:    s.name,
+		StartUS: s.start.Sub(origin).Microseconds(),
+	}
+	if s.dur > 0 {
+		n.DurUS = s.dur.Microseconds()
+	} else {
+		n.DurUS = time.Since(s.start).Microseconds()
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			switch a.Kind {
+			case 'i':
+				n.Attrs[a.Key] = a.Int
+			case 'f':
+				n.Attrs[a.Key] = a.F
+			default:
+				n.Attrs[a.Key] = a.Str
+			}
+		}
+	}
+	if len(s.children)+len(s.grafts) > 0 {
+		n.Children = make([]*Node, 0, len(s.children)+len(s.grafts))
+		for _, c := range s.children {
+			n.Children = append(n.Children, c.nodeLocked(origin))
+		}
+		n.Children = append(n.Children, s.grafts...)
+	}
+	return n
+}
+
+// Visit walks the node tree depth-first, calling fn with each node and
+// its depth. Nil-safe.
+func (n *Node) Visit(fn func(depth int, n *Node)) {
+	if n == nil {
+		return
+	}
+	n.visit(0, fn)
+}
+
+func (n *Node) visit(depth int, fn func(int, *Node)) {
+	fn(depth, n)
+	for _, c := range n.Children {
+		c.visit(depth+1, fn)
+	}
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying sp as the active span. Passing a nil
+// span returns ctx unchanged, keeping the disabled path allocation-free.
+func With(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFrom returns the active span carried by ctx, or nil. The nil result
+// is directly usable: all span methods no-op on nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -3,51 +3,73 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"fuzzyprophet/internal/buildinfo"
+	"fuzzyprophet/internal/obs"
 )
 
 // renderBuckets are the render-latency histogram bounds in seconds.
 var renderBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
-// histogram is a fixed-bucket latency histogram.
+// stageBuckets bound the per-stage histograms: stages run one to three
+// orders of magnitude faster than whole renders, so the grid extends down
+// to 100µs.
+var stageBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// histogram is a fixed-bucket latency histogram, lock-free: observe does
+// one atomic increment into the NON-cumulative bucket the value falls in
+// (binary search, no bucket loop) plus a CAS-loop float add for the sum.
+// Cumulation happens once, at scrape time, where it belongs. The count is
+// derived from the buckets in the same pass, so a concurrent scrape always
+// sees bucket-monotone output with count == the +Inf bucket.
 type histogram struct {
-	mu     sync.Mutex
-	counts []int64 // one per bucket, plus implicit +Inf via total
-	sum    float64
-	total  int64
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last slot is the +Inf overflow
+	sumBits atomic.Uint64  // float64 bits of the value sum
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(renderBuckets))}
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 }
 
 func (h *histogram) observe(seconds float64) {
-	h.mu.Lock()
-	for i, b := range renderBuckets {
-		if seconds <= b {
-			h.counts[i]++
+	// First bound >= seconds is the le bucket; misses land in overflow.
+	h.counts[sort.SearchFloat64s(h.bounds, seconds)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
 		}
 	}
-	h.sum += seconds
-	h.total++
-	h.mu.Unlock()
 }
 
 // write emits the histogram in Prometheus text format (cumulative buckets).
-func (h *histogram) write(w io.Writer, name string) {
-	h.mu.Lock()
-	counts := append([]int64(nil), h.counts...)
-	sum, total := h.sum, h.total
-	h.mu.Unlock()
-	for i, b := range renderBuckets {
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, counts[i])
+func (h *histogram) write(w io.Writer, name, labels string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if labels != "" {
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, b, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+		}
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
-	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, total)
+	cum += h.counts[len(h.bounds)].Load()
+	sum := math.Float64frombits(h.sumBits.Load())
+	if labels != "" {
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	} else {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	}
 }
 
 // metrics aggregates service-level counters for the /metrics endpoint.
@@ -68,10 +90,41 @@ type metrics struct {
 	shardWorkerFailures atomic.Int64
 
 	renderLatency *histogram
+	// stageSeconds is one histogram per pipeline stage name, fed from the
+	// span trees of every render. The stage set is fixed at construction,
+	// bounding label cardinality no matter what spans a trace carries.
+	stageSeconds map[string]*histogram
+}
+
+// stageNames is the known stage-span vocabulary exported as
+// fpserver_stage_seconds{stage=...}. Operator-level spans (op:*) and
+// per-point/shard grouping spans are deliberately excluded.
+var stageNames = []string{
+	"simulate", "worlds-materialize", "plan-execute",
+	"shard-fanout", "sketch-merge", "spill-demote", "spill-promote",
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), renderLatency: newHistogram()}
+	m := &metrics{
+		start:         time.Now(),
+		renderLatency: newHistogram(renderBuckets),
+		stageSeconds:  make(map[string]*histogram, len(stageNames)),
+	}
+	for _, name := range stageNames {
+		m.stageSeconds[name] = newHistogram(stageBuckets)
+	}
+	return m
+}
+
+// observeStages walks a render's span tree and feeds each known stage
+// span's duration into its histogram. The map is never written after
+// construction, so concurrent renders observe without locking.
+func (m *metrics) observeStages(tree *obs.Node) {
+	tree.Visit(func(_ int, n *obs.Node) {
+		if h, ok := m.stageSeconds[n.Name]; ok {
+			h.observe(float64(n.DurUS) / 1e6)
+		}
+	})
 }
 
 // writeTo renders the Prometheus exposition for the current server state.
@@ -83,6 +136,9 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
 	}
 
+	fmt.Fprintf(w, "# HELP fpserver_build_info Build identity (value is always 1; identity lives in the labels).\n# TYPE fpserver_build_info gauge\n")
+	fmt.Fprintf(w, "fpserver_build_info{version=%q,go_version=%q} 1\n",
+		buildinfo.Version, buildinfo.GoVersion())
 	gauge("fpserver_uptime_seconds", "Seconds since the server started.",
 		int64(time.Since(m.start).Seconds()))
 	counter("fpserver_requests_total", "HTTP requests served.", m.requests.Load())
@@ -111,7 +167,13 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	counter("fpserver_shard_retries_total", "Shard requests retried on another worker after a failure.", m.shardRetries.Load())
 	counter("fpserver_shard_worker_failures_total", "Shards every worker failed (evaluated locally instead).", m.shardWorkerFailures.Load())
 	fmt.Fprintf(w, "# HELP fpserver_render_seconds Render latency histogram.\n# TYPE fpserver_render_seconds histogram\n")
-	m.renderLatency.write(w, "fpserver_render_seconds")
+	m.renderLatency.write(w, "fpserver_render_seconds", "")
+
+	// Per-stage timing from render span trees, one series per known stage.
+	fmt.Fprintf(w, "# HELP fpserver_stage_seconds Render pipeline stage latency, from span traces.\n# TYPE fpserver_stage_seconds histogram\n")
+	for _, name := range stageNames {
+		m.stageSeconds[name].write(w, "fpserver_stage_seconds", fmt.Sprintf("stage=%q", name))
+	}
 
 	// Reuse cache, aggregated across registered scenarios and broken out
 	// per scenario ID (low-cardinality: one series per registered ID).

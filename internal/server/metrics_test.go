@@ -1,0 +1,365 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---- a minimal Prometheus text-format parser for assertions ----
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type promExposition struct {
+	help    map[string]string
+	types   map[string]string
+	samples []promSample
+}
+
+// parsePromText parses the Prometheus 0.0.4 text format far enough to
+// check metadata and histogram invariants, failing the test on anything
+// malformed.
+func parsePromText(t *testing.T, text string) *promExposition {
+	t.Helper()
+	exp := &promExposition{help: map[string]string{}, types: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if _, dup := exp.help[name]; dup {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			exp.help[name] = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: TYPE without type: %q", ln+1, line)
+			}
+			if _, dup := exp.types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s (duplicate metric name)", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			exp.types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			s.name = line[:i]
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			for _, pair := range strings.Split(line[i+1:j], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("line %d: bad label %q", ln+1, pair)
+				}
+				unq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: label value %s not quoted: %v", ln+1, v, err)
+				}
+				s.labels[k] = unq
+			}
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			var ok bool
+			s.name, rest, ok = strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("line %d: sample without value: %q", ln+1, line)
+			}
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value in %q: %v", ln+1, line, err)
+		}
+		s.value = v
+		exp.samples = append(exp.samples, s)
+	}
+	return exp
+}
+
+// baseName strips histogram sample suffixes when the stripped name is a
+// declared histogram.
+func (e *promExposition) baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && e.types[b] == "histogram" {
+			return b
+		}
+	}
+	return name
+}
+
+// labelKey renders labels minus `le` as a stable grouping key.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// checkExposition asserts the invariants the ISSUE's acceptance names:
+// every sample's metric has HELP and TYPE, metric names are unique (the
+// parser already fails on duplicate TYPE), and histogram buckets are
+// cumulative/monotone with the +Inf bucket equal to the count.
+func checkExposition(t *testing.T, exp *promExposition) {
+	t.Helper()
+	type series struct {
+		buckets map[float64]float64 // le -> cumulative value
+		count   float64
+		hasCnt  bool
+	}
+	hist := map[string]*series{} // "name|labelKey"
+	for _, s := range exp.samples {
+		base := exp.baseName(s.name)
+		if _, ok := exp.types[base]; !ok {
+			t.Errorf("sample %s has no # TYPE", s.name)
+		}
+		if _, ok := exp.help[base]; !ok {
+			t.Errorf("sample %s has no # HELP", s.name)
+		}
+		if exp.types[base] != "histogram" {
+			continue
+		}
+		key := base + "|" + labelKey(s.labels)
+		sr := hist[key]
+		if sr == nil {
+			sr = &series{buckets: map[float64]float64{}}
+			hist[key] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le := s.labels["le"]
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("%s: bad le %q", s.name, le)
+				}
+			}
+			sr.buckets[bound] = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			sr.count, sr.hasCnt = s.value, true
+		}
+	}
+	for key, sr := range hist {
+		bounds := make([]float64, 0, len(sr.buckets))
+		for b := range sr.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+			t.Errorf("%s: histogram lacks a +Inf bucket", key)
+			continue
+		}
+		prev := -1.0
+		for _, b := range bounds {
+			if sr.buckets[b] < prev {
+				t.Errorf("%s: bucket le=%g value %g < previous %g (not cumulative)", key, b, sr.buckets[b], prev)
+			}
+			prev = sr.buckets[b]
+		}
+		if !sr.hasCnt {
+			t.Errorf("%s: histogram lacks _count", key)
+		} else if inf := sr.buckets[math.Inf(1)]; sr.count != inf {
+			t.Errorf("%s: _count %g != +Inf bucket %g", key, sr.count, inf)
+		}
+	}
+}
+
+// TestMetricsExposition scrapes /metrics from a live server while a render
+// is in flight and checks the whole exposition's invariants.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	id := openTestSession(t, ts.URL, 60)
+
+	// Populate the render + stage histograms.
+	if code := call(t, "GET", ts.URL+"/sessions/"+id+"/render", nil, nil); code != http.StatusOK {
+		t.Fatalf("render = %d", code)
+	}
+
+	// Scrape mid-render: a concurrent render (fresh params so it is not
+	// coalesced from cache) is in flight while /metrics is read.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		call(t, "PUT", ts.URL+"/sessions/"+id+"/params", map[string]any{"purchase1": 8}, nil)
+		call(t, "GET", ts.URL+"/sessions/"+id+"/render", nil, nil)
+	}()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	exp := parsePromText(t, string(body))
+	checkExposition(t, exp)
+
+	// The tentpole's series must be present with the right shapes.
+	if exp.types["fpserver_stage_seconds"] != "histogram" {
+		t.Errorf("fpserver_stage_seconds type = %q, want histogram", exp.types["fpserver_stage_seconds"])
+	}
+	stages := map[string]bool{}
+	var buildInfo *promSample
+	for i, s := range exp.samples {
+		if s.name == "fpserver_stage_seconds_count" {
+			stages[s.labels["stage"]] = true
+		}
+		if s.name == "fpserver_build_info" {
+			buildInfo = &exp.samples[i]
+		}
+	}
+	for _, want := range stageNames {
+		if !stages[want] {
+			t.Errorf("no fpserver_stage_seconds series for stage %q", want)
+		}
+	}
+	if buildInfo == nil {
+		t.Error("no fpserver_build_info sample")
+	} else if buildInfo.value != 1 || buildInfo.labels["version"] == "" || buildInfo.labels["go_version"] == "" {
+		t.Errorf("bad build_info sample: %+v", *buildInfo)
+	}
+
+	// A final post-render scrape must show simulate/plan-execute stage
+	// observations (the first render fed them).
+	var simulateCount float64
+	for _, s := range exp.samples {
+		if s.name == "fpserver_stage_seconds_count" && s.labels["stage"] == "simulate" {
+			simulateCount = s.value
+		}
+	}
+	if simulateCount == 0 {
+		t.Error("simulate stage histogram never observed despite a completed render")
+	}
+}
+
+// ---- histogram: concurrency invariant + before/after benchmark ----
+
+// TestHistogramConcurrentScrape hammers one histogram from many goroutines
+// while scraping it, asserting every scrape is internally consistent.
+func TestHistogramConcurrentScrape(t *testing.T) {
+	h := newHistogram(stageBuckets)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := float64(g+1) * 0.0003
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.observe(v)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		h.write(&buf, "x_seconds", "")
+		exp := parsePromText(t, buf.String())
+		exp.types["x_seconds"] = "histogram"
+		exp.help["x_seconds"] = "synthetic"
+		checkExposition(t, exp)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// mutexHistogram is the pre-refactor reference implementation (a lock
+// around a cumulative bucket loop), kept only as the benchmark baseline
+// for the atomic replacement.
+type mutexHistogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []int64
+	count   int64
+	sum     float64
+}
+
+func newMutexHistogram(bounds []float64) *mutexHistogram {
+	return &mutexHistogram{bounds: bounds, buckets: make([]int64, len(bounds))}
+}
+
+func (h *mutexHistogram) observe(seconds float64) {
+	h.mu.Lock()
+	h.count++
+	h.sum += seconds
+	for i, b := range h.bounds {
+		if seconds <= b {
+			h.buckets[i]++
+		}
+	}
+	h.mu.Unlock()
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	values := make([]float64, 1024)
+	for i := range values {
+		values[i] = float64(i%200) * 0.0001
+	}
+	b.Run("mutex", func(b *testing.B) {
+		h := newMutexHistogram(stageBuckets)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				h.observe(values[i%len(values)])
+				i++
+			}
+		})
+	})
+	b.Run("atomic", func(b *testing.B) {
+		h := newHistogram(stageBuckets)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				h.observe(values[i%len(values)])
+				i++
+			}
+		})
+	})
+}

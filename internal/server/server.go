@@ -40,15 +40,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"path/filepath"
+	rpprof "runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
 
 	fp "fuzzyprophet"
+	"fuzzyprophet/internal/obs"
 )
 
 // Config configures a Server. Zero fields take the documented defaults.
@@ -104,6 +107,16 @@ type Config struct {
 	WorkerMode bool
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Log receives structured log records (currently the slow-render
+	// line). Default: a discard logger.
+	Log *slog.Logger
+	// SlowRenderThreshold marks renders at or above this duration as slow:
+	// they are logged via Log with their render ID and retained (full span
+	// tree) in the /debug/traces ring. Default 1s; <0 disables both.
+	SlowRenderThreshold time.Duration
+	// TraceBuffer is the number of slow-render traces /debug/traces
+	// retains (default 32).
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +135,15 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
+	}
+	if c.SlowRenderThreshold == 0 {
+		c.SlowRenderThreshold = time.Second
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 32
+	}
 	return c
 }
 
@@ -133,6 +155,7 @@ type Server struct {
 	sessions  *Manager
 	snapshots *SnapshotStore // nil when persistence is disabled
 	metrics   *metrics
+	traces    *traceRing
 	mux       *http.ServeMux
 
 	// shardCache caches worker-side compiled scenarios by fingerprint;
@@ -161,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		registry:    NewRegistry(),
 		sessions:    NewManager(cfg.MaxSessions, cfg.SessionTTL),
 		metrics:     newMetrics(),
+		traces:      newTraceRing(cfg.TraceBuffer),
 		mux:         http.NewServeMux(),
 		shardCache:  newShardScenarios(),
 		shardClient: &http.Client{Timeout: defaultShardTimeout},
@@ -191,6 +215,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /shard/render", s.handleShardRender)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if s.cfg.EnablePprof {
 		// Registered explicitly: importing net/http/pprof for side effects
 		// would mount the handlers on the DefaultServeMux, not ours.
@@ -359,6 +384,11 @@ type renderResponse struct {
 	// simulated for this call.
 	Coalesced   bool           `json:"coalesced"`
 	ReuseCounts map[string]int `json:"reuse_counts,omitempty"`
+	// RenderID and Trace are present only with ?trace=1 on a non-coalesced
+	// render: the span tree covers every stage of this render, including
+	// grafted worker subtrees of sharded evaluations.
+	RenderID string    `json:"render_id,omitempty"`
+	Trace    *obs.Node `json:"trace,omitempty"`
 }
 
 type evaluateRequest struct {
@@ -577,23 +607,42 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	g, coalesced, err := sess.Render(r.Context())
+	// Every render carries a trace: it feeds the per-stage histograms and
+	// the slow-render ring whether or not the client asked for ?trace=1.
+	// Coalesced followers share the leader's simulation but not its trace,
+	// so their (empty) trees are discarded below.
+	tr := obs.New("render", obs.NewID())
+	var (
+		g         *fp.Graph
+		coalesced bool
+		err       error
+	)
+	rpprof.Do(r.Context(), rpprof.Labels("render_id", tr.ID(), "scenario", sess.Entry.ID), func(ctx context.Context) {
+		g, coalesced, err = sess.Render(obs.With(ctx, tr.Root()))
+	})
 	if err != nil {
 		s.metrics.renderErrors.Add(1)
 		s.renderError(w, err)
 		return
 	}
-	if coalesced {
-		s.metrics.rendersCoalesced.Add(1)
-	} else {
-		s.metrics.rendersTotal.Add(1)
-		s.metrics.renderLatency.observe(time.Since(start).Seconds())
-	}
-	s.json(w, http.StatusOK, renderResponse{
+	resp := renderResponse{
 		Graph:       g,
 		Coalesced:   coalesced,
 		ReuseCounts: sess.Sess.ReuseCounts(),
-	})
+	}
+	if coalesced {
+		s.metrics.rendersCoalesced.Add(1)
+	} else {
+		dur := time.Since(start)
+		s.metrics.rendersTotal.Add(1)
+		s.metrics.renderLatency.observe(dur.Seconds())
+		tree := s.observeTrace("render", sess.Entry.ID, sess.ID, tr, dur)
+		if r.URL.Query().Get("trace") == "1" {
+			resp.RenderID = tr.ID()
+			resp.Trace = tree
+		}
+	}
+	s.json(w, http.StatusOK, resp)
 }
 
 // renderSSE streams RenderProgressive refinements as server-sent events:
@@ -630,11 +679,16 @@ func (s *Server) renderSSE(w http.ResponseWriter, r *http.Request, sess *Session
 	}
 
 	start := time.Now()
-	final, err := sess.Sess.RenderProgressive(r.Context(), startWorlds, func(g *fp.Graph, worlds int) bool {
-		if r.Context().Err() != nil {
-			return false
-		}
-		return emit("frame", map[string]any{"worlds": worlds, "graph": g})
+	tr := obs.New("render", obs.NewID())
+	var final *fp.Graph
+	var err error
+	rpprof.Do(r.Context(), rpprof.Labels("render_id", tr.ID(), "scenario", sess.Entry.ID), func(ctx context.Context) {
+		final, err = sess.Sess.RenderProgressive(obs.With(ctx, tr.Root()), startWorlds, func(g *fp.Graph, worlds int) bool {
+			if r.Context().Err() != nil {
+				return false
+			}
+			return emit("frame", map[string]any{"worlds": worlds, "graph": g})
+		})
 	})
 	if err != nil {
 		s.metrics.renderErrors.Add(1)
@@ -642,9 +696,12 @@ func (s *Server) renderSSE(w http.ResponseWriter, r *http.Request, sess *Session
 		return
 	}
 	sess.Touch()
+	dur := time.Since(start)
 	s.metrics.rendersTotal.Add(1)
-	s.metrics.renderLatency.observe(time.Since(start).Seconds())
+	s.metrics.renderLatency.observe(dur.Seconds())
+	s.observeTrace("render-stream", sess.Entry.ID, sess.ID, tr, dur)
 	emit("done", map[string]any{
+		"render_id":    tr.ID(),
 		"stats":        final.Stats,
 		"reuse_counts": sess.Sess.ReuseCounts(),
 	})
@@ -708,13 +765,28 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	batchOpts := []fp.EvalOption{fp.WithWorlds(worlds), fp.WithReuseCache(entry.Cache)}
 	batchOpts = append(batchOpts, s.shardEvalOptions(entry)...)
-	res, err := entry.Scenario.EvaluateBatch(r.Context(), points, batchOpts...)
+	start := time.Now()
+	tr := obs.New("evaluate", obs.NewID())
+	var res *fp.BatchResult
+	var err error
+	rpprof.Do(r.Context(), rpprof.Labels("render_id", tr.ID(), "scenario", entry.ID), func(ctx context.Context) {
+		res, err = entry.Scenario.EvaluateBatch(obs.With(ctx, tr.Root()), points, batchOpts...)
+	})
 	if err != nil {
 		s.renderError(w, err)
 		return
 	}
 	s.metrics.evaluatesTotal.Add(1)
 	s.metrics.pointsEvaluated.Add(int64(len(points)))
+	tree := s.observeTrace("evaluate", entry.ID, "", tr, time.Since(start))
+	if r.URL.Query().Get("trace") == "1" {
+		s.json(w, http.StatusOK, struct {
+			*fp.BatchResult
+			RenderID string    `json:"render_id"`
+			Trace    *obs.Node `json:"trace"`
+		}{res, tr.ID(), tree})
+		return
+	}
 	s.json(w, http.StatusOK, res)
 }
 

@@ -35,6 +35,16 @@ import (
 	"time"
 
 	fp "fuzzyprophet"
+	"fuzzyprophet/internal/obs"
+)
+
+// Trace propagation headers: the coordinator stamps each shard request
+// with the render ID and a trace flag; the worker returns its span tree in
+// shardResponse.Trace and the coordinator grafts it under the requesting
+// shard span — one stitched tree per render across processes.
+const (
+	headerRenderID = "X-FP-Render-ID"
+	headerTrace    = "X-FP-Trace"
 )
 
 // shardRequest is the wire form of one shard evaluation.
@@ -61,6 +71,9 @@ type shardResponse struct {
 	Rows     int                        `json:"rows"`
 	Columns  map[string][]float64       `json:"columns"`
 	Sketches map[string]fp.ColumnSketch `json:"sketches,omitempty"`
+	// Trace is the worker's span tree for this shard, present only when
+	// the request carried the X-FP-Trace header.
+	Trace *obs.Node `json:"trace,omitempty"`
 }
 
 // shardScenarioCacheMax bounds the worker's compiled-scenario cache.
@@ -165,14 +178,32 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 		// spillable cache instead of re-invoking VG-Functions per world.
 		opts = append(opts, fp.WithShardInputCache(s.shardInputs))
 	}
-	res, err := scn.EvaluateShard(r.Context(), point, req.Worlds, req.Seed,
+	ctx := r.Context()
+	var tr *obs.Trace
+	if r.Header.Get(headerTrace) != "" {
+		// The coordinator asked for this shard's span tree: trace under the
+		// propagated render ID and return the tree in the response.
+		tr = obs.New("worker-shard", r.Header.Get(headerRenderID))
+		ctx = obs.With(ctx, tr.Root())
+		tr.Root().SetInt("lo", int64(req.Lo))
+		tr.Root().SetInt("hi", int64(req.Hi))
+	}
+	res, err := scn.EvaluateShard(ctx, point, req.Worlds, req.Seed,
 		fp.WorldShard{Lo: req.Lo, Hi: req.Hi}, opts...)
 	if err != nil {
 		s.renderError(w, err)
 		return
 	}
 	s.metrics.shardRendersServed.Add(1)
-	s.json(w, http.StatusOK, shardResponse{Rows: res.Rows, Columns: res.Columns, Sketches: res.Sketches})
+	resp := shardResponse{Rows: res.Rows, Columns: res.Columns, Sketches: res.Sketches}
+	if tr != nil {
+		tr.End()
+		resp.Trace = tr.Tree()
+		// Worker-side stage histograms see shard work even though the
+		// coordinator also observes the stitched tree on its side.
+		s.metrics.observeStages(resp.Trace)
+	}
+	s.json(w, http.StatusOK, resp)
 }
 
 // workerPool fans shard evaluations out to a fixed set of worker base
@@ -245,6 +276,13 @@ func (p *workerPool) post(ctx context.Context, base string, body []byte) (*fp.Sh
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sp := obs.SpanFrom(ctx)
+	if sp != nil {
+		req.Header.Set(headerTrace, "1")
+		if id := sp.TraceID(); id != "" {
+			req.Header.Set(headerRenderID, id)
+		}
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -257,6 +295,9 @@ func (p *workerPool) post(ctx context.Context, base string, body []byte) (*fp.Sh
 	var sr shardResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return nil, fmt.Errorf("worker %s: decoding response: %w", base, err)
+	}
+	if sr.Trace != nil {
+		sp.Graft(sr.Trace)
 	}
 	return &fp.ShardResult{Rows: sr.Rows, Columns: sr.Columns, Sketches: sr.Sketches}, nil
 }

@@ -1,0 +1,34 @@
+package sqlengine
+
+// ExecCounters collects per-operator statistics from a single plan
+// execution: relation cardinalities through each kernel, the join
+// strategy bindFrom actually took, and per-phase wall time. Pass one to
+// Plan.ExecCounted; a nil *ExecCounters (Plan.Exec) records nothing and
+// the execution path performs no time measurements at all, so the
+// untraced hot path is unchanged.
+//
+// Counters are owned by one execution — they are written without
+// synchronization.
+type ExecCounters struct {
+	// Relation flow.
+	RowsIn   int64 // rows in the materialized FROM relation
+	WhereIn  int64 // rows entering the WHERE kernel (0 when no WHERE)
+	WhereOut int64 // rows surviving WHERE
+	RowsOut  int64 // result rows handed back
+
+	// Join strategy chosen by bindFrom for two-table FROMs:
+	// "" (none/single table), "cross", "hash", "interpreted".
+	JoinKind  string
+	BuildRows int64 // hash join: build-side (right table) rows
+	ProbeRows int64 // hash join: probe-side (left table) rows
+
+	// Interpreted fallback.
+	Fallback       bool
+	FallbackReason string // compile-time reason, or "row-mode-engine"
+	Grouped        bool
+
+	// Phase wall time in nanoseconds. Measured only on counted runs.
+	BindNS  int64 // FROM bind + relation materialization (includes joins)
+	WhereNS int64 // WHERE kernel + selection build
+	EvalNS  int64 // item kernels / grouped executor / fallback execution
+}

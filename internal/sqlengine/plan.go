@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/value"
@@ -33,9 +34,10 @@ import (
 
 // Plan is one SELECT compiled into reusable kernels and buffers.
 type Plan struct {
-	sel      sqlparser.Select
-	fallback bool // execute via the interpreted path entirely
-	grouped  bool
+	sel            sqlparser.Select
+	fallback       bool   // execute via the interpreted path entirely
+	fallbackReason string // compile-time reason the plan fell back
+	grouped        bool
 
 	fromRefs []sqlparser.TableRef
 	// eqL/eqR are the two operands of a single-equality two-table join ON
@@ -88,6 +90,7 @@ func (r *PlanResult) Release() {
 	r.st = nil
 	st.e = nil
 	st.params = nil
+	st.counters = nil
 	st.plan.pool.Put(st)
 }
 
@@ -144,8 +147,19 @@ func CompileSelect(sel sqlparser.Select) *Plan {
 	}
 	p.grouped = grouped
 
-	if sel.Into != "" || len(sel.From) > 2 ||
-		(!grouped && (len(sel.OrderBy) > 0 || sel.Distinct || sel.Limit >= 0)) {
+	switch {
+	case sel.Into != "":
+		p.fallbackReason = "select-into"
+	case len(sel.From) > 2:
+		p.fallbackReason = "from-more-than-two-tables"
+	case !grouped && len(sel.OrderBy) > 0:
+		p.fallbackReason = "non-grouped-order-by"
+	case !grouped && sel.Distinct:
+		p.fallbackReason = "non-grouped-distinct"
+	case !grouped && sel.Limit >= 0:
+		p.fallbackReason = "non-grouped-limit"
+	}
+	if p.fallbackReason != "" {
 		p.fallback = true
 		return p
 	}
@@ -194,19 +208,45 @@ func (p *Plan) Shardable() bool { return !p.fallback && !p.grouped }
 // Exec runs the plan against an engine's catalog. On a RowMode engine or a
 // fallback plan, execution routes through the interpreted paths.
 func (p *Plan) Exec(e *Engine, params map[string]value.Value) (*PlanResult, error) {
+	return p.ExecCounted(e, params, nil)
+}
+
+// ExecCounted is Exec with per-operator statistics: when c is non-nil the
+// execution fills it with relation cardinalities, the join strategy, the
+// fallback reason, and per-phase wall time. With c == nil no measurement
+// happens — Exec's hot path is byte-for-byte the same work as before.
+func (p *Plan) ExecCounted(e *Engine, params map[string]value.Value, c *ExecCounters) (*PlanResult, error) {
 	if p.fallback || e.RowMode {
+		var t0 time.Time
+		if c != nil {
+			c.Fallback = true
+			c.FallbackReason = p.fallbackReason
+			if !p.fallback {
+				c.FallbackReason = "row-mode-engine"
+			}
+			c.Grouped = p.grouped
+			t0 = time.Now()
+		}
 		cres, err := e.ExecSelectColumnar(p.sel, params)
 		if err != nil {
 			return nil, err
+		}
+		if c != nil {
+			c.EvalNS += time.Since(t0).Nanoseconds()
+			if len(cres.Columns) > 0 {
+				c.RowsOut = int64(cres.Columns[0].Len())
+			}
 		}
 		return &PlanResult{ColResult: *cres}, nil
 	}
 	st := p.pool.Get().(*planState)
 	st.begin(e, params)
+	st.counters = c
 	res, err := st.run()
 	if err != nil {
 		st.e = nil
 		st.params = nil
+		st.counters = nil
 		p.pool.Put(st)
 		return nil, err
 	}
@@ -308,9 +348,10 @@ func (sl *colSlot) floatsInto(c *Column) []float64 {
 // buffer slots and caches. States are pooled per plan and safe to reuse
 // serially; concurrent executions draw distinct states.
 type planState struct {
-	plan   *Plan
-	e      *Engine
-	params map[string]value.Value
+	plan     *Plan
+	e        *Engine
+	params   map[string]value.Value
+	counters *ExecCounters // nil on uncounted runs
 
 	schema  []colBinding
 	relCols []*Column
@@ -434,14 +475,28 @@ func (st *planState) clearGatherCache() {
 	}
 }
 
-// run executes the plan over the engine bound by begin.
+// run executes the plan over the engine bound by begin. Phase timing is
+// taken only when the execution carries counters, so uncounted runs pay a
+// nil check per phase and nothing else.
 func (st *planState) run() (*PlanResult, error) {
 	p := st.plan
+	c := st.counters
+	var t0 time.Time
+	if c != nil {
+		t0 = time.Now()
+	}
 	if err := st.bindFrom(); err != nil {
 		return nil, err
 	}
 	st.sel, st.n = nil, st.rel.n
 	st.clearGatherCache()
+	if c != nil {
+		now := time.Now()
+		c.BindNS += now.Sub(t0).Nanoseconds()
+		c.RowsIn = int64(st.rel.n)
+		c.Grouped = p.grouped
+		t0 = now
+	}
 	if p.whereK != nil {
 		cond, err := p.whereK(st)
 		if err != nil {
@@ -451,12 +506,26 @@ func (st *planState) run() (*PlanResult, error) {
 			st.selBuf = make([]int, 0, st.n)
 		}
 		st.selBuf = truthyKeepInto(cond, st.selBuf[:0])
+		if c != nil {
+			now := time.Now()
+			c.WhereNS += now.Sub(t0).Nanoseconds()
+			c.WhereIn = int64(st.n)
+			c.WhereOut = int64(len(st.selBuf))
+			t0 = now
+		}
 		st.sel = st.selBuf
 		st.n = len(st.sel)
 		st.clearGatherCache()
 	}
 	if p.grouped {
-		return st.runGrouped()
+		res, err := st.runGrouped()
+		if c != nil && err == nil {
+			c.EvalNS += time.Since(t0).Nanoseconds()
+			if len(res.Columns) > 0 {
+				c.RowsOut = int64(res.Columns[0].Len())
+			}
+		}
+		return res, err
 	}
 	for i := range p.items {
 		col, err := p.items[i].k(st)
@@ -467,6 +536,10 @@ func (st *planState) run() (*PlanResult, error) {
 		if a := p.items[i].alias; a != "" {
 			st.extras[a] = col
 		}
+	}
+	if c != nil {
+		c.EvalNS += time.Since(t0).Nanoseconds()
+		c.RowsOut = int64(st.n)
 	}
 	st.pres = PlanResult{ColResult: ColResult{Cols: p.colNames, Columns: st.itemCols}, st: st}
 	return &st.pres, nil
@@ -549,6 +622,11 @@ func (st *planState) bindFrom() error {
 		// every needed right column tiled, straight into the reusable
 		// buffers — no gather index lists, no quadratic intermediates
 		// beyond the output itself.
+		if c := st.counters; c != nil {
+			c.JoinKind = "cross"
+			c.BuildRows = int64(next.n)
+			c.ProbeRows = int64(acc.n)
+		}
 		n := acc.n * next.n
 		for j, c := range acc.cols {
 			if !st.needed[j] {
@@ -573,6 +651,11 @@ func (st *planState) bindFrom() error {
 				return err
 			}
 			if hashed {
+				if c := st.counters; c != nil {
+					c.JoinKind = "hash"
+					c.BuildRows = int64(next.n)
+					c.ProbeRows = int64(acc.n)
+				}
 				st.joinL, st.joinR = outL, outR
 				st.materializeJoin(acc, next, outL, outR)
 				return nil
@@ -582,6 +665,11 @@ func (st *planState) bindFrom() error {
 	// Everything else (non-equality ON, LEFT JOIN without ON, unhashable
 	// keys, empty sides with conditions): interpreted join, fully
 	// materialized.
+	if c := st.counters; c != nil {
+		c.JoinKind = "interpreted"
+		c.BuildRows = int64(next.n)
+		c.ProbeRows = int64(acc.n)
+	}
 	joined, err := st.e.joinVec(acc, next, ref, st.params)
 	if err != nil {
 		return err

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"fuzzyprophet/internal/colstore"
@@ -115,6 +116,12 @@ type Store struct {
 	// spillErrors counts demotions that failed to write; the entry is then
 	// dropped like a plain eviction (a lost cache entry, never bad data).
 	spillErrors atomic.Int64
+	// demoteNanos/promoteNanos accumulate wall time spent writing spill
+	// files on eviction and faulting them back on Get. Render tracing
+	// snapshots Stats around a stage and attributes the delta to synthetic
+	// spill spans — no per-operation callback, no extra locking.
+	demoteNanos  atomic.Int64
+	promoteNanos atomic.Int64
 }
 
 // NewStore returns a RAM-only store with the given memory budget in bytes.
@@ -209,7 +216,10 @@ func (s *Store) Get(site, key string) ([]float64, bool) {
 		return el.Value.(*Entry).Samples, true
 	}
 	if s.spill != nil {
-		if samples, ok := s.spill.Get(site, key); ok {
+		t0 := time.Now()
+		samples, ok := s.spill.Get(site, key)
+		s.promoteNanos.Add(time.Since(t0).Nanoseconds())
+		if ok {
 			e := &Entry{Site: site, Key: key, Samples: samples, onDisk: true}
 			el := s.order.PushFront(e)
 			s.index[string(appendCompositeKey(buf[:0], site, key))] = el
@@ -283,6 +293,8 @@ func (s *Store) resetStatsLocked() {
 	s.demoted.Store(0)
 	s.promoted.Store(0)
 	s.spillErrors.Store(0)
+	s.demoteNanos.Store(0)
+	s.promoteNanos.Store(0)
 }
 
 func (s *Store) removeLocked(el *list.Element) {
@@ -305,7 +317,10 @@ func (s *Store) evictLocked() {
 		el := s.order.Back()
 		e := el.Value.(*Entry)
 		if s.spill != nil && !e.onDisk {
-			if err := s.spill.Put(e.Site, e.Key, e.Samples); err != nil {
+			t0 := time.Now()
+			err := s.spill.Put(e.Site, e.Key, e.Samples)
+			s.demoteNanos.Add(time.Since(t0).Nanoseconds())
+			if err != nil {
 				s.spillErrors.Add(1)
 			} else {
 				s.demoted.Add(1)
@@ -333,7 +348,10 @@ func (s *Store) Sync() error {
 		if e.onDisk {
 			continue
 		}
-		if err := s.spill.Put(e.Site, e.Key, e.Samples); err != nil {
+		t0 := time.Now()
+		err := s.spill.Put(e.Site, e.Key, e.Samples)
+		s.demoteNanos.Add(time.Since(t0).Nanoseconds())
+		if err != nil {
 			s.spillErrors.Add(1)
 			if first == nil {
 				first = err
@@ -395,6 +413,12 @@ type Stats struct {
 	SpillBytes   int64
 	SpillBudget  int64
 	Quarantined  int64
+
+	// Wall time spent demoting (writing spill files) and promoting
+	// (mapping them back). Tracing snapshots these around a render stage
+	// and reports the deltas as spill spans.
+	DemoteNanos  int64
+	PromoteNanos int64
 }
 
 // Stats returns a snapshot of the store counters.
@@ -417,6 +441,8 @@ func (s *Store) Stats() Stats {
 		Demoted:      s.demoted.Load(),
 		Promoted:     s.promoted.Load(),
 		SpillErrors:  s.spillErrors.Load(),
+		DemoteNanos:  s.demoteNanos.Load(),
+		PromoteNanos: s.promoteNanos.Load(),
 		SpillEntries: ts.Entries,
 		SpillBytes:   ts.Bytes,
 		SpillBudget:  ts.Budget,
