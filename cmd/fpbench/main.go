@@ -23,6 +23,10 @@
 //	trace  render tracing overhead: untraced vs traced render, and the
 //	       disabled-path span ops (with -check: must be 0 allocs/op and
 //	       under 2% of an untraced render)
+//	wire   shard wire protocol v1 vs v2: bytes per shard exchange for
+//	       full-payload vs fingerprint-only requests and per-world vs
+//	       sketch-only responses; writes BENCH_wire.json and asserts the
+//	       sketch-only response shrink exceeds 10x at -wireworlds worlds
 package main
 
 import (
@@ -38,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|trace|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|trace|wire|all")
 		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
 		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
 		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
@@ -47,6 +51,8 @@ func main() {
 		shardWorlds  = flag.Int("shardworlds", 100000, "worlds for the shard-scaling benchmark")
 		shardOut     = flag.String("shardout", "BENCH_shard.json", "output path for the shard benchmark JSON")
 		storageOut   = flag.String("storageout", "BENCH_storage.json", "output path for the storage benchmark JSON")
+		wireWorlds   = flag.Int("wireworlds", 100000, "worlds for the wire-protocol benchmark")
+		wireOut      = flag.String("wireout", "BENCH_wire.json", "output path for the wire-protocol benchmark JSON")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -81,8 +87,11 @@ func main() {
 		"trace": func(ctx context.Context, w, s int) error {
 			return runTraceBench(ctx, *engineWorlds, *benchCheck)
 		},
+		"wire": func(ctx context.Context, w, s int) error {
+			return runWireBench(ctx, *wireWorlds, *wireOut)
+		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage", "trace"}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage", "trace", "wire"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

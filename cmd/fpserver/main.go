@@ -59,6 +59,8 @@ func main() {
 		enablePprof      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (do not expose publicly)")
 		workerMode       = flag.Bool("worker", false, "run as a shard worker: serve only POST /shard/render (+ health/metrics)")
 		workerURLs       = flag.String("workers", "", "comma-separated shard-worker base URLs; renders fan out across them")
+		shardTimeout     = flag.Duration("shard-timeout", 2*time.Minute, "per-shard-request timeout against workers (<0 disables)")
+		workerCooldown   = flag.Duration("worker-cooldown", 5*time.Second, "skip a failed worker for this long before retrying it (<0 disables)")
 		slowRender       = flag.Duration("slow-render-threshold", time.Second, "log renders at/above this duration and retain their traces at /debug/traces (<0 disables)")
 		traceBuffer      = flag.Int("trace-buffer", 32, "how many slow-render traces /debug/traces retains")
 		version          = flag.Bool("version", false, "print version and exit")
@@ -95,6 +97,8 @@ func main() {
 		enablePprof:      *enablePprof,
 		workerMode:       *workerMode,
 		workers:          workers,
+		shardTimeout:     *shardTimeout,
+		workerCooldown:   *workerCooldown,
 		slowRender:       *slowRender,
 		traceBuffer:      *traceBuffer,
 	}); err != nil {
@@ -115,6 +119,8 @@ type config struct {
 	enablePprof      bool
 	workerMode       bool
 	workers          []string
+	shardTimeout     time.Duration
+	workerCooldown   time.Duration
 	slowRender       time.Duration
 	traceBuffer      int
 }
@@ -140,6 +146,8 @@ func run(ctx context.Context, cfg config) error {
 		EnablePprof:         cfg.enablePprof,
 		WorkerMode:          cfg.workerMode,
 		Workers:             cfg.workers,
+		ShardTimeout:        cfg.shardTimeout,
+		WorkerCooldown:      cfg.workerCooldown,
 		Logf:                logger.Printf,
 		Log:                 slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		SlowRenderThreshold: cfg.slowRender,

@@ -359,6 +359,25 @@ func (sc *Scenario) EvaluateBatch(ctx context.Context, points []map[string]any, 
 }
 
 func summarize(res *mc.PointResult) map[string]ColumnSummary {
+	if len(res.Columns) == 0 && len(res.Sketches) > 0 {
+		// Sketch-only evaluation (WithSketchOnly): no sample vectors came
+		// back, so the summary reads straight off the merged sketches —
+		// moments are exact, Median/P95 carry the t-digest tolerance.
+		out := make(map[string]ColumnSummary, len(res.Sketches))
+		for col, cs := range res.Sketches {
+			out[col] = ColumnSummary{
+				N:      cs.Count(),
+				Mean:   cs.Expect(),
+				StdDev: cs.StdDev(),
+				Min:    cs.Moments.Min(),
+				Max:    cs.Moments.Max(),
+				Median: cs.Median(),
+				P95:    cs.P95(),
+				CI95:   cs.CI95(),
+			}
+		}
+		return out
+	}
 	out := make(map[string]ColumnSummary, len(res.Columns))
 	for col, samples := range res.Columns {
 		cs := aggregate.NewColumnStats()
@@ -382,6 +401,10 @@ func summarize(res *mc.PointResult) map[string]ColumnSummary {
 type WorldShard struct {
 	Lo int `json:"lo"`
 	Hi int `json:"hi"`
+	// Index is the shard's position within the render's split (0-based).
+	// Coordinators that size shards per worker use it for worker affinity:
+	// shard i was sized by worker i's weight, so it is routed there first.
+	Index int `json:"index,omitempty"`
 }
 
 // ColumnSketch is the serializable mergeable aggregate of one output
@@ -406,12 +429,36 @@ type ShardResult struct {
 	Sketches map[string]ColumnSketch `json:"sketches,omitempty"`
 }
 
+// ShardProtocolVersion is the wire protocol version the shard fan-out
+// speaks (fpserver's POST /shard/render). Version 2 added fingerprint-only
+// requests with cache-miss re-send and the sketch-only response mode;
+// coordinators downgrade per worker when a v1 worker rejects a v2 request.
+const ShardProtocolVersion = 2
+
+// ShardRequest describes one world shard of a point render for a
+// ShardEvaluator: the parameter point, the render's total world count and
+// seed base (a worker re-derives every sample from these), the assigned
+// world range, and whether a sketch-only response suffices.
+type ShardRequest struct {
+	// Point is the parameter point being rendered.
+	Point map[string]any
+	// Worlds is the render's TOTAL world count (not the shard's).
+	Worlds int
+	// Seed is the render's seed base (0 means the engine default).
+	Seed uint64
+	// Shard is the assigned world range.
+	Shard WorldShard
+	// SketchOnly asks for merged per-column sketches without the per-world
+	// sample vectors — O(compression) instead of O(worlds) response size.
+	SketchOnly bool
+}
+
 // ShardEvaluator evaluates one world shard of a point render, typically on
 // another machine (fpserver's shard fan-out implements it over HTTP).
 // Implementations must be safe for concurrent calls; an error makes the
 // caller re-evaluate the shard locally.
 type ShardEvaluator interface {
-	EvaluateShard(ctx context.Context, point map[string]any, worlds int, seed uint64, shard WorldShard) (*ShardResult, error)
+	EvaluateShard(ctx context.Context, req ShardRequest) (*ShardResult, error)
 }
 
 // EvaluateShard evaluates ONLY the worlds in shard (within [0, worlds))
@@ -451,6 +498,14 @@ func (sc *Scenario) EvaluateShard(ctx context.Context, point map[string]any, wor
 	for _, fs := range out.Columns {
 		res.Rows = len(fs)
 		break
+	}
+	if res.Rows == 0 && len(out.Columns) == 0 {
+		// Sketch-only shard (WithSketchOnly): the row count survives in the
+		// sketches' observation counts.
+		for _, sk := range out.Sketches {
+			res.Rows = int(sk.Count)
+			break
+		}
 	}
 	return res, nil
 }

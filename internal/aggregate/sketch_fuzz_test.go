@@ -1,0 +1,91 @@
+package aggregate
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzColumnSketchCodec round-trips arbitrary bytes through the ColumnSketch
+// wire codec (JSON, as shipped by POST /shard/render responses), restores an
+// aggregator, merges it with a clean one built from real samples, and reads
+// every derived statistic. The invariant under fuzzing: no input — hostile
+// centroid lists, NaN/±Inf moments, empty or duplicated centroids — may
+// panic, and for any sketch that restores with finite bounds the quantiles
+// it reports must stay inside [Min, Max].
+func FuzzColumnSketchCodec(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		cs := NewColumnStats()
+		cs.AddAll(vals)
+		raw, err := json.Marshal(cs.Sketch())
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	f.Add(seed(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	f.Add(seed(0))
+	f.Add(seed(-1e150, 1e150, -1e150, 1e150))
+	// Hand-built hostile sketches: empty centroids, inverted bounds,
+	// negative weights, duplicate zero-distance centroids, and extremes
+	// that overflow to ±Inf when merged (JSON itself cannot carry Inf, so
+	// overflow during restore/merge is the only way Inf enters a sketch).
+	f.Add([]byte(`{"count":5,"mean":1,"m2":4,"min":0,"max":2}`))
+	f.Add([]byte(`{"count":3,"mean":1,"m2":-1,"min":9,"max":-9,"compression":200,"centroids":[{"mean":1,"weight":-2}]}`))
+	f.Add([]byte(`{"count":1,"mean":0,"m2":0,"min":0,"max":0,"compression":0.001,"centroids":[{"mean":0,"weight":1},{"mean":0,"weight":1}]}`))
+	f.Add([]byte(`{"count":4,"mean":1e308,"m2":1e308,"min":-1.7e308,"max":1.7e308,"compression":10,"centroids":[{"mean":-1.7e308,"weight":2},{"mean":1.7e308,"weight":2}]}`))
+	f.Add([]byte(`{"count":2,"mean":5,"m2":0,"min":0,"max":2,"compression":200,"centroids":[{"mean":100,"weight":1}]}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var sk ColumnSketch
+		if err := json.Unmarshal(raw, &sk); err != nil {
+			t.Skip()
+		}
+		cs := sk.Stats()
+
+		// Re-serialize and restore again: the second generation must not
+		// panic either (serialize → merge → deserialize is the shard
+		// coordinator's steady-state loop). Re-marshal MAY fail — a sketch
+		// whose restored state overflowed to ±Inf has no JSON form — but
+		// never panic.
+		merged := MergeSketches([]ColumnSketch{sk, cs.Sketch()})
+		if raw2, err := json.Marshal(cs.Sketch()); err == nil {
+			var sk2 ColumnSketch
+			if err := json.Unmarshal(raw2, &sk2); err != nil {
+				t.Fatalf("re-unmarshal of our own serialization: %v", err)
+			}
+			merged = MergeSketches([]ColumnSketch{sk, sk2})
+		}
+
+		clean := NewColumnStats()
+		clean.AddAll([]float64{-3, -1, 0, 1, 3})
+		clean.Merge(cs)
+
+		for _, c := range []*ColumnStats{cs, merged, clean} {
+			if c == nil {
+				continue
+			}
+			c.Expect()
+			c.StdDev()
+			c.CI95()
+			// The digest's own repaired envelope: Quantile(0)/Quantile(1)
+			// read the (re-clamped) min and max. When that envelope is
+			// finite, no interior quantile may escape it — a corrupt sketch
+			// must not invent values outside the centroid envelope.
+			lo, errLo := c.Quantile(0)
+			hi, errHi := c.Quantile(1)
+			bounded := errLo == nil && errHi == nil &&
+				!math.IsNaN(lo) && !math.IsNaN(hi) &&
+				!math.IsInf(lo, 0) && !math.IsInf(hi, 0) && lo <= hi
+			for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+				v, err := c.Quantile(q)
+				if err != nil {
+					continue
+				}
+				if bounded && (math.IsNaN(v) || v < lo || v > hi) {
+					t.Fatalf("quantile %g = %v escapes [%v, %v] (sketch %s)", q, v, lo, hi, raw)
+				}
+			}
+		}
+	})
+}

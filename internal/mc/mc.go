@@ -61,6 +61,20 @@ type Options struct {
 	// VG-Functions; determinism of (seed base, site, world) seeds makes the
 	// cached vectors bit-identical to fresh simulation.
 	ShardInputs *storage.Store
+	// SketchOnly makes sharded evaluations return ONLY merged per-column
+	// sketches (Welford moments + t-digest) — PointResult.Columns stays nil
+	// — so remote shard responses are O(compression) instead of O(worlds).
+	// Consumers read Expect/StdDev/quantiles/CI95 from the sketches within
+	// the t-digest error bound. Requires a shardable plan; non-shardable
+	// plans fall back to the full single-range path.
+	SketchOnly bool
+	// ShardWeights, when non-nil with a remote Runner, supplies one
+	// positive weight per shard slot just before each point's split; shard
+	// ranges are sized proportionally (SplitWorldsWeighted). The
+	// coordinator uses per-worker latency EWMAs / advertised capacities so
+	// slow workers get small ranges. Invalid weights fall back to the
+	// equal split.
+	ShardWeights func() []float64
 }
 
 // DefaultSeedBase is the seed base used when Options.SeedBase is zero:
@@ -295,6 +309,22 @@ func (ev *Evaluator) ordRange(lo, hi int) []int64 {
 	return ev.ord[lo:hi]
 }
 
+// Reconfigure retargets the evaluator at a new (worlds, seed base, sketch
+// mode) triple without discarding its warmed state — the compiled plan,
+// catalog, pooled shard envs and grown ordinal vector all carry over. This
+// is what makes a per-fingerprint evaluator freelist worthwhile on a shard
+// worker: consecutive requests for the same scenario differ only in these
+// render parameters, and rebuilding an Evaluator per request repays the
+// whole warm-up every shard. Zero worlds/seedBase take the defaults. Not
+// safe to call concurrently with an evaluation.
+func (ev *Evaluator) Reconfigure(worlds int, seedBase uint64, sketchOnly bool) {
+	o := ev.opts
+	o.Worlds = worlds
+	o.SeedBase = seedBase
+	o.SketchOnly = sketchOnly
+	ev.opts = o.WithDefaults()
+}
+
 // Catalog exposes the evaluator's catalog so callers can install static
 // side tables the scenario query joins against.
 func (ev *Evaluator) Catalog() *sqlengine.Catalog { return ev.catalog }
@@ -369,7 +399,7 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if (ev.opts.Shards > 1 || ev.opts.Runner != nil) && ev.scn.Plan().Shardable() && ev.opts.Worlds > 1 {
+	if (ev.opts.Shards > 1 || ev.opts.Runner != nil || ev.opts.SketchOnly) && ev.scn.Plan().Shardable() && ev.opts.Worlds > 1 {
 		return ev.evaluateSharded(ctx, pt)
 	}
 	// The point span groups this point's stage spans under the render's

@@ -17,6 +17,7 @@ package mc
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 
@@ -65,6 +66,52 @@ func SplitWorlds(n, k int) []WorldRange {
 	return out
 }
 
+// SplitWorldsWeighted splits [0, n) into contiguous non-empty ranges in
+// order, one per weight, sized proportionally to the weights — the
+// worker-aware analog of SplitWorlds: a coordinator sizes each worker's
+// shard by its observed throughput or advertised capacity. Invalid input
+// (no weights, a non-finite, NaN or non-positive weight, or a zero sum)
+// falls back to the equal split. When n < len(weights) only the first n
+// ranges exist (each of one world), exactly like SplitWorlds.
+func SplitWorldsWeighted(n int, weights []float64) []WorldRange {
+	if n <= 0 {
+		return nil
+	}
+	var sum float64
+	for _, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return SplitWorlds(n, len(weights))
+		}
+		sum += w
+	}
+	if len(weights) == 0 || sum <= 0 || math.IsInf(sum, 0) {
+		return SplitWorlds(n, len(weights))
+	}
+	k := len(weights)
+	if k > n {
+		k = n
+	}
+	out := make([]WorldRange, 0, k)
+	lo := 0
+	var cum float64
+	for i := 0; i < k; i++ {
+		cum += weights[i]
+		hi := int(math.Round(float64(n) * cum / sum))
+		// Every range must be non-empty and the remaining ranges must each
+		// get at least one world, no matter how skewed the weights are.
+		if min := lo + 1; hi < min {
+			hi = min
+		}
+		if max := n - (k - 1 - i); hi > max {
+			hi = max
+		}
+		out = append(out, WorldRange{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	out[k-1].Hi = n
+	return out
+}
+
 // ShardTask describes one shard evaluation: the parameter point, the
 // render's total world count and seed base (any worker re-derives the exact
 // per-world samples from these), and the assigned world range.
@@ -73,6 +120,14 @@ type ShardTask struct {
 	Worlds   int
 	SeedBase uint64
 	Range    WorldRange
+	// Index is the shard's position within the render's split. A remote
+	// runner uses it for worker affinity: shard i was sized by worker i's
+	// weight, so routing it there first keeps weighted splits meaningful.
+	Index int
+	// SketchOnly asks the shard for merged per-column sketches WITHOUT the
+	// per-world sample vectors — O(compression) response payload instead of
+	// O(worlds).
+	SketchOnly bool
 }
 
 // ShardOutput is one shard's partial render: per-column sample vectors for
@@ -268,8 +323,10 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 	xsp.End()
 
 	result := &ShardOutput{
-		Columns:  make(map[string][]float64, len(ev.scn.OutputCols)),
 		Sketches: make(map[string]aggregate.ColumnSketch, len(ev.scn.OutputCols)),
+	}
+	if !task.SketchOnly {
+		result.Columns = make(map[string][]float64, len(ev.scn.OutputCols))
 	}
 	for _, colName := range ev.scn.OutputCols {
 		col, err := out.Column(colName)
@@ -283,7 +340,9 @@ func (ev *Evaluator) runShardLocal(ctx context.Context, task ShardTask, siteSamp
 		if err != nil {
 			return nil, fmt.Errorf("mc: output column %q: %w", colName, err)
 		}
-		result.Columns[colName] = fs
+		if !task.SketchOnly {
+			result.Columns[colName] = fs
+		}
 		cs := aggregate.NewColumnStats()
 		cs.AddAll(fs)
 		result.Sketches[colName] = cs.Sketch()
@@ -332,6 +391,40 @@ func stitchShards(outs []*ShardOutput) (map[string][]float64, map[string]*aggreg
 		}
 	}
 	return columns, sketches, nil
+}
+
+// stitchSketches is stitchShards for sketch-only shards: no sample vectors
+// came back, so column presence and the categorical-mix check run over the
+// sketch maps (a shard's sketch Count plays the role of its row count) and
+// the merge is pure sketch merging — O(shards · compression) total.
+func stitchSketches(outs []*ShardOutput) (map[string]*aggregate.ColumnStats, error) {
+	names := make(map[string]bool)
+	total := make(map[string]int64)
+	inAll := make(map[string]int)
+	for _, out := range outs {
+		for col, sk := range out.Sketches {
+			names[col] = true
+			total[col] += sk.Count
+			inAll[col]++
+		}
+	}
+	sketches := make(map[string]*aggregate.ColumnStats, len(names))
+	for col := range names {
+		if inAll[col] < len(outs) {
+			if total[col] > 0 {
+				return nil, fmt.Errorf("mc: column %q is categorical in some shards but numeric in others", col)
+			}
+			continue // categorical: every shard with rows skipped it
+		}
+		parts := make([]aggregate.ColumnSketch, 0, len(outs))
+		for _, out := range outs {
+			parts = append(parts, out.Sketches[col])
+		}
+		if merged := aggregate.MergeSketches(parts); merged != nil {
+			sketches[col] = merged
+		}
+	}
+	return sketches, nil
 }
 
 // evaluateSharded is EvaluatePoint's sharded path: split, fan out, stitch.
@@ -388,10 +481,24 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 		}
 	}
 
+	// Worker-aware sizing: when the caller supplies per-worker weights
+	// (latency EWMAs, advertised capacities), shards are sized
+	// proportionally so a slow worker gets a small range instead of
+	// stalling the stitch. Weights only make sense for remote fan-out —
+	// local shards all run on the same cores.
 	ranges := SplitWorlds(n, ev.opts.Shards)
+	if remote && ev.opts.ShardWeights != nil {
+		if ws := ev.opts.ShardWeights(); len(ws) > 0 {
+			ranges = SplitWorldsWeighted(n, ws)
+		}
+	}
+	sketchOnly := ev.opts.SketchOnly
 	ev.ordRange(0, n) // pre-grow so shard goroutines only read
 	fsp := psp.Child("shard-fanout")
 	fsp.SetInt("shards", int64(len(ranges)))
+	if sketchOnly {
+		fsp.SetInt("sketch_only", 1)
+	}
 	outs := make([]*ShardOutput, len(ranges))
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
@@ -399,7 +506,14 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			task := ShardTask{Point: pt, Worlds: n, SeedBase: ev.opts.SeedBase, Range: ranges[i]}
+			task := ShardTask{
+				Point:      pt,
+				Worlds:     n,
+				SeedBase:   ev.opts.SeedBase,
+				Range:      ranges[i],
+				Index:      i,
+				SketchOnly: sketchOnly,
+			}
 			// Each shard gets its own child span, carried via ctx so the
 			// local path's stage spans (and a remote worker's grafted
 			// subtree) land under it.
@@ -434,6 +548,17 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 		}
 	}
 	msp := psp.Child("sketch-merge")
+	if sketchOnly {
+		sketches, err := stitchSketches(outs)
+		msp.End()
+		if err != nil {
+			return nil, err
+		}
+		if len(sketches) > 0 {
+			res.Sketches = sketches
+		}
+		return res, nil
+	}
 	columns, sketches, err := stitchShards(outs)
 	msp.End()
 	if err != nil {
@@ -485,10 +610,12 @@ func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard Wo
 		go func(i int) {
 			defer wg.Done()
 			task := ShardTask{
-				Point:    pt,
-				Worlds:   ev.opts.Worlds,
-				SeedBase: ev.opts.SeedBase,
-				Range:    WorldRange{Lo: shard.Lo + sub[i].Lo, Hi: shard.Lo + sub[i].Hi},
+				Point:      pt,
+				Worlds:     ev.opts.Worlds,
+				SeedBase:   ev.opts.SeedBase,
+				Range:      WorldRange{Lo: shard.Lo + sub[i].Lo, Hi: shard.Lo + sub[i].Hi},
+				Index:      i,
+				SketchOnly: ev.opts.SketchOnly,
 			}
 			ssp := sp.Child("shard")
 			defer ssp.End()
@@ -504,6 +631,18 @@ func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard Wo
 		}
 	}
 	msp := sp.Child("sketch-merge")
+	if ev.opts.SketchOnly {
+		sketches, err := stitchSketches(outs)
+		msp.End()
+		if err != nil {
+			return nil, err
+		}
+		out := &ShardOutput{Sketches: make(map[string]aggregate.ColumnSketch, len(sketches))}
+		for col, cs := range sketches {
+			out.Sketches[col] = cs.Sketch()
+		}
+		return out, nil
+	}
 	columns, sketches, err := stitchShards(outs)
 	msp.End()
 	if err != nil {

@@ -270,14 +270,12 @@ func (s *Session) renderWith(ctx context.Context, opts mc.Options) (*Graph, erro
 		}
 		g.X = append(g.X, x)
 		classify(res, &g.Stats)
-		stats := aggregate.NewPointStats(numericColumns(res))
-		for col, samples := range res.Columns {
-			if err := stats.AddSamples(col, samples); err != nil {
-				return nil, err
-			}
+		lookup, err := columnStats(res)
+		if err != nil {
+			return nil, err
 		}
 		for i := range g.Series {
-			col, ok := stats.Column(g.Series[i].Column)
+			col, ok := lookup(g.Series[i].Column)
 			if !ok {
 				return nil, fmt.Errorf("online: missing column %q", g.Series[i].Column)
 			}
@@ -423,6 +421,27 @@ func numericColumns(res *mc.PointResult) []string {
 		out = append(out, col)
 	}
 	return out
+}
+
+// columnStats returns a per-column aggregate lookup for one point result:
+// sample vectors are folded into fresh stats when present; on sketch-only
+// renders (mc.Options.SketchOnly — wire protocol v2's compressed response
+// mode) the merged sketches are read directly, so the graph's moments are
+// exact and its quantile series carry the t-digest error bound.
+func columnStats(res *mc.PointResult) (func(string) (*aggregate.ColumnStats, bool), error) {
+	if len(res.Columns) == 0 && len(res.Sketches) > 0 {
+		return func(col string) (*aggregate.ColumnStats, bool) {
+			cs, ok := res.Sketches[col]
+			return cs, ok
+		}, nil
+	}
+	stats := aggregate.NewPointStats(numericColumns(res))
+	for col, samples := range res.Columns {
+		if err := stats.AddSamples(col, samples); err != nil {
+			return nil, err
+		}
+	}
+	return stats.Column, nil
 }
 
 func clonePoint(p guide.Point) guide.Point {

@@ -89,6 +89,20 @@ type metrics struct {
 	shardRetries        atomic.Int64
 	shardWorkerFailures atomic.Int64
 
+	// Wire protocol v2: slim (fingerprint-only) vs full-payload requests,
+	// cache-miss re-sends and version downgrades (coordinator side), plus
+	// the worker-side miss count and sketch-only renders, and raw wire
+	// bytes both ways.
+	shardSlimRequests     atomic.Int64
+	shardFullRequests     atomic.Int64
+	shardCacheMissResends atomic.Int64
+	shardProtoDowngrades  atomic.Int64
+	shardCooldowns        atomic.Int64
+	shardCacheMisses      atomic.Int64
+	shardSketchOnlyServed atomic.Int64
+	shardRequestBytes     atomic.Int64
+	shardResponseBytes    atomic.Int64
+
 	renderLatency *histogram
 	// stageSeconds is one histogram per pipeline stage name, fed from the
 	// span trees of every render. The stage set is fixed at construction,
@@ -166,6 +180,17 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	counter("fpserver_shard_fanouts_total", "Shard evaluations fanned out to workers (coordinator role).", m.shardFanouts.Load())
 	counter("fpserver_shard_retries_total", "Shard requests retried on another worker after a failure.", m.shardRetries.Load())
 	counter("fpserver_shard_worker_failures_total", "Shards every worker failed (evaluated locally instead).", m.shardWorkerFailures.Load())
+
+	// Wire protocol v2.
+	counter("fpserver_shard_slim_requests_total", "Fingerprint-only shard requests sent (steady state, no script payload).", m.shardSlimRequests.Load())
+	counter("fpserver_shard_full_requests_total", "Full-payload shard requests sent (first contact, cache-miss re-send or v1 worker).", m.shardFullRequests.Load())
+	counter("fpserver_shard_cache_miss_resends_total", "Full re-sends after a worker answered 409 scenario_not_cached.", m.shardCacheMissResends.Load())
+	counter("fpserver_shard_proto_downgrades_total", "Workers downgraded to v1 full payloads after rejecting a fingerprint-only request.", m.shardProtoDowngrades.Load())
+	counter("fpserver_shard_worker_cooldowns_total", "Workers put in the unhealthy cool-down after a transport error or 5xx.", m.shardCooldowns.Load())
+	counter("fpserver_shard_scenario_cache_misses_total", "Fingerprint-only requests answered 409 because the scenario was not cached (worker role).", m.shardCacheMisses.Load())
+	counter("fpserver_shard_sketch_only_renders_total", "Shard renders answered with merged sketches instead of sample vectors (worker role).", m.shardSketchOnlyServed.Load())
+	counter("fpserver_shard_request_bytes_total", "Bytes of shard request bodies sent to workers.", m.shardRequestBytes.Load())
+	counter("fpserver_shard_response_bytes_total", "Bytes of shard response bodies received from workers.", m.shardResponseBytes.Load())
 	fmt.Fprintf(w, "# HELP fpserver_render_seconds Render latency histogram.\n# TYPE fpserver_render_seconds histogram\n")
 	m.renderLatency.write(w, "fpserver_render_seconds", "")
 

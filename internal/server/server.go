@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"path/filepath"
+	"runtime"
 	rpprof "runtime/pprof"
 	"strconv"
 	"sync"
@@ -105,6 +106,13 @@ type Config struct {
 	// metrics and optional pprof): the fpserver -worker role. Scenario
 	// registration, sessions and snapshots are disabled.
 	WorkerMode bool
+	// ShardTimeout bounds one coordinator→worker shard request (default
+	// 2m; <0 disables the client timeout).
+	ShardTimeout time.Duration
+	// WorkerCooldown is how long a worker that failed a shard request with
+	// a transport error or 5xx is skipped in favor of its peers (default
+	// 5s; <0 disables the cool-down).
+	WorkerCooldown time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 	// Log receives structured log records (currently the slow-render
@@ -141,6 +149,16 @@ func (c Config) withDefaults() Config {
 	if c.SlowRenderThreshold == 0 {
 		c.SlowRenderThreshold = time.Second
 	}
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = defaultShardTimeout
+	} else if c.ShardTimeout < 0 {
+		c.ShardTimeout = 0
+	}
+	if c.WorkerCooldown == 0 {
+		c.WorkerCooldown = defaultWorkerCooldown
+	} else if c.WorkerCooldown < 0 {
+		c.WorkerCooldown = 0
+	}
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 32
 	}
@@ -159,9 +177,13 @@ type Server struct {
 	mux       *http.ServeMux
 
 	// shardCache caches worker-side compiled scenarios by fingerprint;
-	// shardClient is the coordinator-side HTTP client for shard fan-out.
-	shardCache  *shardScenarios
-	shardClient *http.Client
+	// shardClient is the coordinator-side HTTP client for shard fan-out;
+	// workerStates is the coordinator's per-worker protocol book-keeping
+	// (warm fingerprints, health cool-down, latency EWMA, capacity),
+	// shared by every scenario's worker pool.
+	shardCache   *shardScenarios
+	shardClient  *http.Client
+	workerStates []*workerState
 	// shardInputs caches self-simulated shard input vectors across shard
 	// renders, spilling out-of-core; nil without Config.SpillDir.
 	shardInputs *fp.ShardInputCache
@@ -180,16 +202,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:         cfg,
-		registry:    NewRegistry(),
-		sessions:    NewManager(cfg.MaxSessions, cfg.SessionTTL),
-		metrics:     newMetrics(),
-		traces:      newTraceRing(cfg.TraceBuffer),
-		mux:         http.NewServeMux(),
-		shardCache:  newShardScenarios(),
-		shardClient: &http.Client{Timeout: defaultShardTimeout},
-		stop:        make(chan struct{}),
+		cfg:        cfg,
+		registry:   NewRegistry(),
+		sessions:   NewManager(cfg.MaxSessions, cfg.SessionTTL),
+		metrics:    newMetrics(),
+		traces:     newTraceRing(cfg.TraceBuffer),
+		mux:        http.NewServeMux(),
+		shardCache: newShardScenarios(),
+		stop:       make(chan struct{}),
 	}
+	s.shardClient = &http.Client{Timeout: cfg.ShardTimeout}
+	s.workerStates = newWorkerStates(cfg.Workers)
 	if cfg.SnapshotDir != "" && !cfg.WorkerMode {
 		store, err := NewSnapshotStore(cfg.SnapshotDir)
 		if err != nil {
@@ -262,6 +285,15 @@ func (s *Server) startLoops() {
 					}
 				}
 			}
+		}()
+	}
+	if len(s.workerStates) > 0 {
+		// Seed shard-sizing weights from the workers' advertised core
+		// counts before any latency observations exist.
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			s.probeWorkerCapacities()
 		}()
 	}
 	if s.snapshots != nil && s.cfg.SnapshotInterval > 0 {
@@ -362,6 +394,11 @@ type openSessionRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Params are initial slider positions.
 	Params map[string]any `json:"params,omitempty"`
+	// SketchOnly makes the session's sharded renders exchange merged
+	// per-column sketches instead of per-world sample vectors (wire
+	// protocol v2's compressed response mode). Moments are exact,
+	// quantiles carry the t-digest error bound.
+	SketchOnly bool `json:"sketch_only,omitempty"`
 }
 
 type sessionJSON struct {
@@ -394,6 +431,9 @@ type renderResponse struct {
 type evaluateRequest struct {
 	Points []map[string]any `json:"points"`
 	Worlds int              `json:"worlds,omitempty"`
+	// SketchOnly makes sharded evaluations exchange merged per-column
+	// sketches instead of per-world sample vectors.
+	SketchOnly bool `json:"sketch_only,omitempty"`
 }
 
 // ---- handlers ----
@@ -539,6 +579,9 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	// world range out across them (shardable scenarios only; others keep
 	// evaluating locally inside the executor).
 	opts = append(opts, s.shardEvalOptions(entry)...)
+	if req.SketchOnly {
+		opts = append(opts, fp.WithSketchOnly())
+	}
 	inner, err := entry.Scenario.OpenSession(opts...)
 	if err != nil {
 		entry.release()
@@ -765,6 +808,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	batchOpts := []fp.EvalOption{fp.WithWorlds(worlds), fp.WithReuseCache(entry.Cache)}
 	batchOpts = append(batchOpts, s.shardEvalOptions(entry)...)
+	if req.SketchOnly {
+		batchOpts = append(batchOpts, fp.WithSketchOnly())
+	}
 	start := time.Now()
 	tr := obs.New("evaluate", obs.NewID())
 	var res *fp.BatchResult
@@ -796,6 +842,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": int64(time.Since(s.metrics.start).Seconds()),
 		"scenarios":      s.registry.Len(),
 		"sessions":       s.sessions.Len(),
+		// Shard-serving advertisement: protocol version and core count,
+		// read by coordinators to seed worker-aware shard sizing.
+		"shard_proto":    fp.ShardProtocolVersion,
+		"shard_capacity": runtime.GOMAXPROCS(0),
 	})
 }
 

@@ -3,22 +3,34 @@
 // A render's Monte Carlo world range is embarrassingly parallel and every
 // sample derives from a per-(site, world) seed, so any fpserver holding the
 // same VG registry can evaluate a world range [lo, hi) of any scenario
-// bit-identically. Two roles cooperate:
+// bit-identically. Two roles cooperate over wire protocol v2:
 //
-//   - WORKER (fpserver -worker): serves POST /shard/render. The request
-//     carries the scenario script + side tables (cached by fingerprint
-//     after the first shard), the parameter point, the total world count
-//     and seed base, and the world range. The worker self-simulates the
-//     range, executes the compiled plan, and returns the partial output
-//     columns in world order plus mergeable per-column sketches.
+//   - WORKER (fpserver -worker): serves POST /shard/render. A steady-state
+//     v2 request carries only the scenario FINGERPRINT plus the parameter
+//     point, total world count, seed base and world range — no script, no
+//     side tables. The worker resolves the fingerprint in its compiled-
+//     scenario cache; a miss answers 409 {"code":"scenario_not_cached"},
+//     upon which the coordinator re-sends once with the full payload. Each
+//     cached scenario keeps a freelist of warmed evaluators, so repeat
+//     shards pay only the evaluation. With sketch_only set (body field or
+//     ?sketch_only=1) the response carries merged per-column sketches
+//     instead of per-world sample vectors — O(compression), not O(worlds).
 //
 //   - COORDINATOR (fpserver -workers=url1,url2,...): a workerPool
 //     implements fp.ShardEvaluator; session renders and batch evaluates
-//     fan each point's world range out across the configured workers. A
-//     failed shard request is retried on every other worker in turn; when
-//     all fail, the Monte Carlo executor evaluates that shard locally —
-//     dying workers degrade throughput, never correctness or results.
-//     With no workers configured everything evaluates locally, unchanged.
+//     fan each point's world range out across the configured workers,
+//     sizing each worker's range by its observed throughput (latency EWMA)
+//     or /healthz-advertised capacity. The coordinator tracks, per worker,
+//     which fingerprints are warm (so steady state sends fingerprint-only
+//     requests) and whether the worker speaks v2 (a v1 worker rejecting a
+//     fingerprint-only request with 400 downgrades it to full payloads).
+//     A worker failing with a transport error or 5xx enters an unhealthy
+//     cool-down and is only retried after it expires (or when every worker
+//     is cooling down). A failed shard request is retried on the remaining
+//     workers in turn; when all fail, the Monte Carlo executor evaluates
+//     that shard locally — dying workers degrade throughput, never
+//     correctness or results. With no workers configured everything
+//     evaluates locally, unchanged.
 package server
 
 import (
@@ -26,12 +38,13 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	fp "fuzzyprophet"
@@ -41,20 +54,44 @@ import (
 // Trace propagation headers: the coordinator stamps each shard request
 // with the render ID and a trace flag; the worker returns its span tree in
 // shardResponse.Trace and the coordinator grafts it under the requesting
-// shard span — one stitched tree per render across processes.
+// shard span — one stitched tree per render across processes. The worker
+// also advertises its protocol version and core count on every shard
+// response.
 const (
 	headerRenderID = "X-FP-Render-ID"
 	headerTrace    = "X-FP-Trace"
+	headerProto    = "X-FP-Shard-Proto"
+	headerCapacity = "X-FP-Shard-Capacity"
+)
+
+// Error codes carried in the "code" field of shard error bodies, so
+// coordinators distinguish protocol states from plain failures without
+// parsing prose.
+const (
+	codeScenarioNotCached   = "scenario_not_cached"
+	codeUnsupportedProtocol = "unsupported_protocol"
 )
 
 // shardRequest is the wire form of one shard evaluation.
+//
+// Protocol v2 (Proto == 2): the steady-state request carries Fingerprint
+// but neither SQL nor Tables; the worker resolves the scenario from its
+// cache and answers 409/scenario_not_cached when it can't, triggering a
+// one-shot full re-send. Version 1 (Proto 0 or 1) always carries SQL; a v1
+// worker ignores the v2-only fields, so a full v2 request is also a valid
+// v1 request.
 type shardRequest struct {
+	// Proto is the wire protocol version the coordinator speaks (0 and 1
+	// mean v1). Workers reject versions above theirs with 400
+	// unsupported_protocol.
+	Proto int `json:"proto,omitempty"`
 	// SQL is the scenario script; Tables its deterministic side tables.
-	SQL    string     `json:"sql"`
+	// Omitted on steady-state v2 requests.
+	SQL    string     `json:"sql,omitempty"`
 	Tables []tableDef `json:"tables,omitempty"`
-	// Fingerprint, when set, must match the compiled scenario's content
-	// identity — it guards against coordinator/worker model drift and keys
-	// the worker's scenario cache.
+	// Fingerprint identifies the compiled scenario's content — it keys the
+	// worker's scenario cache and guards against coordinator/worker model
+	// drift when a full payload is compiled.
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Point holds the parameter point; Worlds the render's TOTAL world
 	// count; Seed the seed base (0 = the default).
@@ -64,12 +101,15 @@ type shardRequest struct {
 	// Lo/Hi is the assigned world range [Lo, Hi) within [0, Worlds).
 	Lo int `json:"lo"`
 	Hi int `json:"hi"`
+	// SketchOnly asks for merged per-column sketches WITHOUT the per-world
+	// sample vectors (equivalent to the ?sketch_only=1 query parameter).
+	SketchOnly bool `json:"sketch_only,omitempty"`
 }
 
 // shardResponse mirrors fp.ShardResult on the wire.
 type shardResponse struct {
 	Rows     int                        `json:"rows"`
-	Columns  map[string][]float64       `json:"columns"`
+	Columns  map[string][]float64       `json:"columns,omitempty"`
 	Sketches map[string]fp.ColumnSketch `json:"sketches,omitempty"`
 	// Trace is the worker's span tree for this shard, present only when
 	// the request carried the X-FP-Trace header.
@@ -82,7 +122,8 @@ const shardScenarioCacheMax = 64
 // shardScenarios is the worker-side compiled-scenario cache, keyed by
 // fingerprint (LRU beyond shardScenarioCacheMax). Compiling per shard
 // request would dwarf small shards; after the first shard of a scenario,
-// workers pay only the evaluation.
+// workers pay only the evaluation — and each entry's evaluator freelist
+// (fp.ShardWorker) carries warmed execution state across requests.
 type shardScenarios struct {
 	mu    sync.Mutex
 	byFP  map[string]*list.Element // fingerprint → element holding *shardScenarioEntry
@@ -90,26 +131,45 @@ type shardScenarios struct {
 }
 
 type shardScenarioEntry struct {
-	fp  string
-	scn *fp.Scenario
+	fp     string
+	scn    *fp.Scenario
+	worker *fp.ShardWorker
 }
 
 func newShardScenarios() *shardScenarios {
 	return &shardScenarios{byFP: make(map[string]*list.Element), order: list.New()}
 }
 
+// lookup returns the cached entry for a fingerprint without compiling —
+// the v2 steady-state path. A false return means the coordinator must
+// re-send the full payload.
+func (c *shardScenarios) lookup(fingerprint string) (*shardScenarioEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fingerprint]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*shardScenarioEntry), true
+}
+
+// flush drops every cached scenario (test hook for cache-miss storms).
+func (c *shardScenarios) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byFP = make(map[string]*list.Element)
+	c.order = list.New()
+}
+
 // get returns the cached compiled scenario for the request, compiling (and
-// verifying the fingerprint of) a fresh one on miss.
-func (c *shardScenarios) get(sys *fp.System, req *shardRequest) (*fp.Scenario, error) {
+// verifying the fingerprint of) a fresh one on miss. mkWorker builds the
+// entry's evaluator freelist from the compiled scenario.
+func (c *shardScenarios) get(sys *fp.System, req *shardRequest, mkWorker func(*fp.Scenario) (*fp.ShardWorker, error)) (*shardScenarioEntry, error) {
 	if req.Fingerprint != "" {
-		c.mu.Lock()
-		if el, ok := c.byFP[req.Fingerprint]; ok {
-			c.order.MoveToFront(el)
-			scn := el.Value.(*shardScenarioEntry).scn
-			c.mu.Unlock()
-			return scn, nil
+		if e, ok := c.lookup(req.Fingerprint); ok {
+			return e, nil
 		}
-		c.mu.Unlock()
 	}
 	scn, err := sys.Compile(req.SQL)
 	if err != nil {
@@ -131,44 +191,30 @@ func (c *shardScenarios) get(sys *fp.System, req *shardRequest) (*fp.Scenario, e
 	if req.Fingerprint != "" && got != req.Fingerprint {
 		return nil, fmt.Errorf("scenario fingerprint mismatch: coordinator sent %.12s, worker compiled %.12s (model registries differ?)", req.Fingerprint, got)
 	}
+	worker, err := mkWorker(scn)
+	if err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byFP[got]; ok {
 		c.order.MoveToFront(el)
-		return el.Value.(*shardScenarioEntry).scn, nil
+		return el.Value.(*shardScenarioEntry), nil
 	}
-	c.byFP[got] = c.order.PushFront(&shardScenarioEntry{fp: got, scn: scn})
+	entry := &shardScenarioEntry{fp: got, scn: scn, worker: worker}
+	c.byFP[got] = c.order.PushFront(entry)
 	for c.order.Len() > shardScenarioCacheMax {
 		el := c.order.Back()
 		delete(c.byFP, el.Value.(*shardScenarioEntry).fp)
 		c.order.Remove(el)
 	}
-	return scn, nil
+	return entry, nil
 }
 
-// handleShardRender serves one shard evaluation (worker role).
-func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
-	var req shardRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	if req.SQL == "" {
-		s.error(w, http.StatusBadRequest, fmt.Errorf("missing \"sql\""))
-		return
-	}
-	if req.Worlds <= 0 || req.Lo < 0 || req.Hi > req.Worlds || req.Lo >= req.Hi {
-		s.error(w, http.StatusBadRequest, fmt.Errorf("bad shard range [%d,%d) of %d worlds", req.Lo, req.Hi, req.Worlds))
-		return
-	}
-	scn, err := s.shardCache.get(s.cfg.System, &req)
-	if err != nil {
-		s.error(w, http.StatusBadRequest, err)
-		return
-	}
-	point := make(map[string]any, len(req.Point))
-	for k, v := range req.Point {
-		point[k] = canonicalNumber(v)
-	}
+// newShardWorkerFor builds the per-scenario evaluator freelist a worker
+// serves shard requests from: sub-sharded across this machine's cores,
+// with the spillable shard-input cache when configured.
+func (s *Server) newShardWorkerFor(scn *fp.Scenario) (*fp.ShardWorker, error) {
 	opts := []fp.EvalOption{
 		// Sub-shard across this worker's cores so one request saturates it.
 		fp.WithShards(runtime.GOMAXPROCS(0)),
@@ -177,6 +223,60 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 		// Serve repeated (site, args, seed, range) input vectors from the
 		// spillable cache instead of re-invoking VG-Functions per world.
 		opts = append(opts, fp.WithShardInputCache(s.shardInputs))
+	}
+	return scn.NewShardWorker(opts...)
+}
+
+// protocolError writes a JSON error body with a machine-readable code, so
+// coordinators branch on protocol states without parsing prose.
+func (s *Server) protocolError(w http.ResponseWriter, status int, code string, err error) {
+	s.json(w, status, map[string]any{"error": err.Error(), "code": code})
+}
+
+// handleShardRender serves one shard evaluation (worker role).
+func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
+	var req shardRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	w.Header().Set(headerProto, strconv.Itoa(fp.ShardProtocolVersion))
+	w.Header().Set(headerCapacity, strconv.Itoa(runtime.GOMAXPROCS(0)))
+	if req.Proto > fp.ShardProtocolVersion {
+		s.protocolError(w, http.StatusBadRequest, codeUnsupportedProtocol,
+			fmt.Errorf("unsupported shard protocol %d (this worker speaks <= %d)", req.Proto, fp.ShardProtocolVersion))
+		return
+	}
+	if req.Worlds <= 0 || req.Lo < 0 || req.Hi > req.Worlds || req.Lo >= req.Hi {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("bad shard range [%d,%d) of %d worlds", req.Lo, req.Hi, req.Worlds))
+		return
+	}
+	var entry *shardScenarioEntry
+	if req.SQL == "" {
+		if req.Fingerprint == "" {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("missing \"sql\""))
+			return
+		}
+		// v2 steady state: fingerprint-only resolution. A miss is the
+		// protocol's distinguishable cache-miss answer, not a failure: the
+		// coordinator re-sends once with the full payload.
+		var ok bool
+		if entry, ok = s.shardCache.lookup(req.Fingerprint); !ok {
+			s.metrics.shardCacheMisses.Add(1)
+			s.protocolError(w, http.StatusConflict, codeScenarioNotCached,
+				fmt.Errorf("scenario %.12s not cached on this worker; re-send with the full payload", req.Fingerprint))
+			return
+		}
+	} else {
+		var err error
+		if entry, err = s.shardCache.get(s.cfg.System, &req, s.newShardWorkerFor); err != nil {
+			s.error(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	sketchOnly := req.SketchOnly || r.URL.Query().Get("sketch_only") == "1"
+	point := make(map[string]any, len(req.Point))
+	for k, v := range req.Point {
+		point[k] = canonicalNumber(v)
 	}
 	ctx := r.Context()
 	var tr *obs.Trace
@@ -187,14 +287,20 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 		ctx = obs.With(ctx, tr.Root())
 		tr.Root().SetInt("lo", int64(req.Lo))
 		tr.Root().SetInt("hi", int64(req.Hi))
+		if sketchOnly {
+			tr.Root().SetInt("sketch_only", 1)
+		}
 	}
-	res, err := scn.EvaluateShard(ctx, point, req.Worlds, req.Seed,
-		fp.WorldShard{Lo: req.Lo, Hi: req.Hi}, opts...)
+	res, err := entry.worker.EvaluateShard(ctx, point, req.Worlds, req.Seed,
+		fp.WorldShard{Lo: req.Lo, Hi: req.Hi}, sketchOnly)
 	if err != nil {
 		s.renderError(w, err)
 		return
 	}
 	s.metrics.shardRendersServed.Add(1)
+	if sketchOnly {
+		s.metrics.shardSketchOnlyServed.Add(1)
+	}
 	resp := shardResponse{Rows: res.Rows, Columns: res.Columns, Sketches: res.Sketches}
 	if tr != nil {
 		tr.End()
@@ -206,67 +312,347 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 	s.json(w, http.StatusOK, resp)
 }
 
-// workerPool fans shard evaluations out to a fixed set of worker base
-// URLs, implementing fp.ShardEvaluator for one scenario entry. Worker
-// selection round-robins per shard; a failed request is retried on every
-// other worker before reporting failure (upon which the Monte Carlo
-// executor evaluates the shard locally).
+// ---- coordinator side ----
+
+// ewmaAlpha weighs the newest per-world latency observation in a worker's
+// moving average.
+const ewmaAlpha = 0.3
+
+// workerState is the coordinator's per-worker book-keeping, shared by every
+// scenario's workerPool so warm sets, health and throughput estimates
+// survive across renders and scenarios.
+type workerState struct {
+	url string
+
+	mu sync.Mutex
+	// warm records which scenario fingerprints this worker has confirmed
+	// cached, making fingerprint-only (slim) requests safe.
+	warm map[string]bool
+	// v1 marks a worker that rejected a fingerprint-only request outright
+	// (version skew): it gets full payloads from then on.
+	v1 bool
+	// ewmaNsPerWorld is the exponentially weighted per-world latency; 0
+	// until the first successful shard.
+	ewmaNsPerWorld float64
+	// capacity is the worker's /healthz-advertised core count (0 unknown).
+	capacity float64
+	// unhealthyUntil puts the worker in cool-down after a transport error
+	// or 5xx: it is only retried after the deadline (or when every worker
+	// is cooling down).
+	unhealthyUntil time.Time
+}
+
+func newWorkerStates(urls []string) []*workerState {
+	out := make([]*workerState, len(urls))
+	for i, u := range urls {
+		out[i] = &workerState{url: u, warm: make(map[string]bool)}
+	}
+	return out
+}
+
+func (ws *workerState) isWarm(fingerprint string) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return !ws.v1 && ws.warm[fingerprint]
+}
+
+func (ws *workerState) setWarm(fingerprint string, warm bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if warm {
+		ws.warm[fingerprint] = true
+	} else {
+		delete(ws.warm, fingerprint)
+	}
+}
+
+func (ws *workerState) supportsV2() bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return !ws.v1
+}
+
+func (ws *workerState) downgrade() {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.v1 = true
+	ws.warm = make(map[string]bool)
+}
+
+func (ws *workerState) healthy(now time.Time) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return !now.Before(ws.unhealthyUntil)
+}
+
+func (ws *workerState) markUnhealthy(cooldown time.Duration) {
+	if cooldown <= 0 {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.unhealthyUntil = time.Now().Add(cooldown)
+}
+
+func (ws *workerState) markHealthy() {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.unhealthyUntil = time.Time{}
+}
+
+func (ws *workerState) setCapacity(cores float64) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.capacity = cores
+}
+
+// observe folds one successful shard's per-world latency into the EWMA.
+func (ws *workerState) observe(worlds int, dur time.Duration) {
+	if worlds <= 0 || dur <= 0 {
+		return
+	}
+	nsPerWorld := float64(dur.Nanoseconds()) / float64(worlds)
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.ewmaNsPerWorld == 0 {
+		ws.ewmaNsPerWorld = nsPerWorld
+		return
+	}
+	ws.ewmaNsPerWorld += ewmaAlpha * (nsPerWorld - ws.ewmaNsPerWorld)
+}
+
+// snapshot returns (ewmaNsPerWorld, capacity) under the lock.
+func (ws *workerState) snapshot() (float64, float64) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.ewmaNsPerWorld, ws.capacity
+}
+
+// shardHTTPError is a non-200 worker answer, carrying the machine-readable
+// protocol code when the body had one.
+type shardHTTPError struct {
+	url    string
+	status int
+	code   string
+	msg    string
+}
+
+func (e *shardHTTPError) Error() string {
+	return fmt.Sprintf("worker %s: status %d: %s", e.url, e.status, e.msg)
+}
+
+// workerPool fans shard evaluations out to the configured workers,
+// implementing fp.ShardEvaluator for one scenario entry over wire protocol
+// v2. Worker selection starts at the shard's index (shard i was sized by
+// worker i's weight), preferring workers outside their unhealthy
+// cool-down; a failed request is retried on every other candidate before
+// reporting failure (upon which the Monte Carlo executor evaluates the
+// shard locally).
 type workerPool struct {
-	urls    []string
-	client  *http.Client
-	entry   *ScenarioEntry
-	metrics *metrics
-	logf    func(string, ...any)
-	next    atomic.Uint64
+	states   []*workerState
+	client   *http.Client
+	entry    *ScenarioEntry
+	metrics  *metrics
+	logf     func(string, ...any)
+	cooldown time.Duration
 }
 
 // newWorkerPool builds the fan-out evaluator for one scenario entry.
 func (s *Server) newWorkerPool(entry *ScenarioEntry) *workerPool {
 	return &workerPool{
-		urls:    s.cfg.Workers,
-		client:  s.shardClient,
-		entry:   entry,
-		metrics: s.metrics,
-		logf:    s.cfg.Logf,
+		states:   s.workerStates,
+		client:   s.shardClient,
+		entry:    entry,
+		metrics:  s.metrics,
+		logf:     s.cfg.Logf,
+		cooldown: s.cfg.WorkerCooldown,
 	}
 }
 
-// EvaluateShard implements fp.ShardEvaluator over HTTP.
-func (p *workerPool) EvaluateShard(ctx context.Context, point map[string]any, worlds int, seed uint64, shard fp.WorldShard) (*fp.ShardResult, error) {
-	body, err := json.Marshal(shardRequest{
-		SQL:         p.entry.Source,
-		Tables:      p.entry.Tables,
+// weights returns the per-worker shard-sizing weights: inverse per-world
+// latency when every worker has an EWMA, advertised capacities when every
+// worker advertised one, nil (= equal split) otherwise. Mixing the two
+// scales would compare incomparable units.
+func (p *workerPool) weights() []float64 {
+	ewmas := make([]float64, len(p.states))
+	caps := make([]float64, len(p.states))
+	allEwma, allCaps := true, true
+	for i, ws := range p.states {
+		e, c := ws.snapshot()
+		ewmas[i], caps[i] = e, c
+		if e <= 0 {
+			allEwma = false
+		}
+		if c <= 0 {
+			allCaps = false
+		}
+	}
+	switch {
+	case allEwma:
+		out := make([]float64, len(ewmas))
+		for i, e := range ewmas {
+			out[i] = 1 / e
+		}
+		return out
+	case allCaps:
+		return caps
+	default:
+		return nil
+	}
+}
+
+// order returns the workers to try for a shard, starting at its index and
+// rotating, with workers in unhealthy cool-down moved to the back — they
+// are only reached when every healthy worker has failed.
+func (p *workerPool) order(index int) []*workerState {
+	n := len(p.states)
+	start := 0
+	if n > 0 && index > 0 {
+		start = index % n
+	}
+	now := time.Now()
+	healthy := make([]*workerState, 0, n)
+	var cooling []*workerState
+	for k := 0; k < n; k++ {
+		ws := p.states[(start+k)%n]
+		if ws.healthy(now) {
+			healthy = append(healthy, ws)
+		} else {
+			cooling = append(cooling, ws)
+		}
+	}
+	return append(healthy, cooling...)
+}
+
+// EvaluateShard implements fp.ShardEvaluator over HTTP (protocol v2).
+func (p *workerPool) EvaluateShard(ctx context.Context, req fp.ShardRequest) (*fp.ShardResult, error) {
+	wire := shardRequest{
+		Proto:       fp.ShardProtocolVersion,
 		Fingerprint: p.entry.Fingerprint,
-		Point:       point,
-		Worlds:      worlds,
-		Seed:        seed,
-		Lo:          shard.Lo,
-		Hi:          shard.Hi,
-	})
+		Point:       req.Point,
+		Worlds:      req.Worlds,
+		Seed:        req.Seed,
+		Lo:          req.Shard.Lo,
+		Hi:          req.Shard.Hi,
+		SketchOnly:  req.SketchOnly,
+	}
+	slim, err := json.Marshal(wire)
 	if err != nil {
 		return nil, err
 	}
-	start := int(p.next.Add(1)-1) % len(p.urls)
+	// The full payload doubles as the v1 form: a v1 worker ignores the
+	// fields it doesn't know.
+	wire.SQL = p.entry.Source
+	wire.Tables = p.entry.Tables
+	full, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+
 	var lastErr error
-	for k := 0; k < len(p.urls); k++ {
+	candidates := p.order(req.Shard.Index)
+	for i, ws := range candidates {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		url := p.urls[(start+k)%len(p.urls)]
-		res, err := p.post(ctx, url, body)
+		res, err := p.tryWorker(ctx, ws, req, slim, full)
 		if err == nil {
 			p.metrics.shardFanouts.Add(1)
 			return res, nil
 		}
 		lastErr = err
-		if k+1 < len(p.urls) {
+		if i < len(candidates)-1 {
 			p.metrics.shardRetries.Add(1)
-			p.logf("shard [%d,%d): worker %s failed (%v), retrying on next", shard.Lo, shard.Hi, url, err)
+			p.logf("shard [%d,%d): worker %s failed (%v), trying next", req.Shard.Lo, req.Shard.Hi, ws.url, err)
 		}
 	}
 	p.metrics.shardWorkerFailures.Add(1)
-	p.logf("shard [%d,%d): all %d worker(s) failed, evaluating locally: %v", shard.Lo, shard.Hi, len(p.urls), lastErr)
+	p.logf("shard [%d,%d): all %d worker(s) failed, evaluating locally: %v", req.Shard.Lo, req.Shard.Hi, len(p.states), lastErr)
 	return nil, lastErr
+}
+
+// tryWorker runs one shard against one worker: slim (fingerprint-only)
+// when the worker is known v2 and warm for this scenario, with a one-shot
+// full re-send on 409/scenario_not_cached, and a permanent downgrade to
+// full payloads when a slim request comes back 400 (a v1 worker).
+func (p *workerPool) tryWorker(ctx context.Context, ws *workerState, req fp.ShardRequest, slim, full []byte) (*fp.ShardResult, error) {
+	sp := obs.SpanFrom(ctx)
+	fingerprint := p.entry.Fingerprint
+	useSlim := ws.isWarm(fingerprint)
+	body := full
+	if useSlim {
+		body = slim
+		p.metrics.shardSlimRequests.Add(1)
+	} else {
+		p.metrics.shardFullRequests.Add(1)
+	}
+	start := time.Now()
+	res, err := p.post(ctx, ws.url, body)
+	if err == nil {
+		p.recordSuccess(ws, req, start)
+		if !useSlim {
+			ws.setWarm(fingerprint, true)
+		}
+		if sp != nil {
+			if useSlim {
+				sp.SetStr("wire", "slim")
+			} else {
+				sp.SetStr("wire", "full")
+			}
+		}
+		return res, nil
+	}
+	var he *shardHTTPError
+	if useSlim && errors.As(err, &he) {
+		switch {
+		case he.status == http.StatusConflict && he.code == codeScenarioNotCached:
+			// The worker lost (or never had) the scenario: one-shot full
+			// re-send, then remember it as warm again.
+			ws.setWarm(fingerprint, false)
+			p.metrics.shardCacheMissResends.Add(1)
+			p.metrics.shardFullRequests.Add(1)
+			sp.SetInt("cache_miss_resend", 1)
+			start = time.Now()
+			if res, err = p.post(ctx, ws.url, full); err == nil {
+				p.recordSuccess(ws, req, start)
+				ws.setWarm(fingerprint, true)
+				sp.SetStr("wire", "full-resend")
+				return res, nil
+			}
+		case he.status == http.StatusBadRequest:
+			// Version skew: a v1 worker has no fingerprint-only path and
+			// rejects the slim request as missing its script. Downgrade the
+			// worker to full payloads permanently and re-send.
+			ws.downgrade()
+			p.metrics.shardProtoDowngrades.Add(1)
+			p.metrics.shardFullRequests.Add(1)
+			sp.SetInt("proto_downgrade", 1)
+			start = time.Now()
+			if res, err = p.post(ctx, ws.url, full); err == nil {
+				p.recordSuccess(ws, req, start)
+				sp.SetStr("wire", "full-downgrade")
+				return res, nil
+			}
+		}
+	}
+	// A transport error or server-side failure cools the worker down so the
+	// next shards prefer its peers; 4xx answers (bad input, fingerprint
+	// mismatch) mean the worker is alive and would fail again identically.
+	if ctx.Err() == nil && p.cooldown > 0 {
+		var he2 *shardHTTPError
+		if !errors.As(err, &he2) || he2.status >= 500 {
+			ws.markUnhealthy(p.cooldown)
+			p.metrics.shardCooldowns.Add(1)
+		}
+	}
+	return nil, err
+}
+
+// recordSuccess folds a successful shard into the worker's health and
+// throughput state and the byte counters.
+func (p *workerPool) recordSuccess(ws *workerState, req fp.ShardRequest, start time.Time) {
+	ws.markHealthy()
+	ws.observe(req.Shard.Hi-req.Shard.Lo, time.Since(start))
 }
 
 // post performs one shard request against one worker.
@@ -283,17 +669,34 @@ func (p *workerPool) post(ctx context.Context, base string, body []byte) (*fp.Sh
 			req.Header.Set(headerRenderID, id)
 		}
 	}
+	p.metrics.shardRequestBytes.Add(int64(len(body)))
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("worker %s: status %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		he := &shardHTTPError{url: base, status: resp.StatusCode, msg: string(bytes.TrimSpace(raw))}
+		var eb struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if json.Unmarshal(raw, &eb) == nil {
+			he.code = eb.Code
+			if eb.Error != "" {
+				he.msg = eb.Error
+			}
+		}
+		return nil, he
 	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: reading response: %w", base, err)
+	}
+	p.metrics.shardResponseBytes.Add(int64(len(raw)))
 	var sr shardResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	if err := json.Unmarshal(raw, &sr); err != nil {
 		return nil, fmt.Errorf("worker %s: decoding response: %w", base, err)
 	}
 	if sr.Trace != nil {
@@ -303,18 +706,57 @@ func (p *workerPool) post(ctx context.Context, base string, body []byte) (*fp.Sh
 }
 
 // shardEvalOptions returns the fan-out options for evaluations of entry
-// when workers are configured (nil otherwise): one shard per worker,
-// evaluated through the entry's worker pool.
+// when workers are configured (nil otherwise): one shard per worker, sized
+// by the pool's worker weights, evaluated through the entry's worker pool.
 func (s *Server) shardEvalOptions(entry *ScenarioEntry) []fp.EvalOption {
 	if len(s.cfg.Workers) == 0 {
 		return nil
 	}
+	pool := s.newWorkerPool(entry)
 	return []fp.EvalOption{
 		fp.WithShards(len(s.cfg.Workers)),
-		fp.WithShardEvaluator(s.newWorkerPool(entry)),
+		fp.WithShardEvaluator(pool),
+		fp.WithShardWeights(pool.weights),
+	}
+}
+
+// probeWorkerCapacities asks each worker's /healthz once for its
+// advertised core count, seeding shard-sizing weights before any latency
+// EWMA exists. Failures are benign: sizing falls back to the equal split.
+func (s *Server) probeWorkerCapacities() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		select {
+		case <-s.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	for _, ws := range s.workerStates {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ws.url+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := s.shardClient.Do(req)
+		if err != nil {
+			continue
+		}
+		var body struct {
+			ShardCapacity float64 `json:"shard_capacity"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+		resp.Body.Close()
+		if err == nil && body.ShardCapacity > 0 {
+			ws.setCapacity(body.ShardCapacity)
+		}
 	}
 }
 
 // defaultShardTimeout bounds one shard request; the per-request context
 // still cancels earlier when the client goes away.
 const defaultShardTimeout = 2 * time.Minute
+
+// defaultWorkerCooldown is how long a worker that failed with a transport
+// error or 5xx is skipped in favor of its peers.
+const defaultWorkerCooldown = 5 * time.Second

@@ -67,6 +67,9 @@ func TestTracedShardedRenderStitchesWorkerTrees(t *testing.T) {
 	if want := 2 * seen["point"]; seen["point"] == 0 || len(workerRoots) != want {
 		t.Fatalf("stitched tree has %d worker-shard subtrees over %d points, want %d", len(workerRoots), seen["point"], want)
 	}
+	// Shard boundaries are throughput-weighted, so exact ranges vary per
+	// point; every point must still split into (at least) two distinct
+	// ranges, one per worker.
 	los := map[any]bool{}
 	for _, wn := range workerRoots {
 		los[wn.Attrs["lo"]] = true
@@ -76,8 +79,8 @@ func TestTracedShardedRenderStitchesWorkerTrees(t *testing.T) {
 			t.Errorf("worker subtree (lo=%v) lacks worker-side stages; got %v", wn.Attrs["lo"], sub)
 		}
 	}
-	if len(los) != 2 {
-		t.Errorf("worker subtrees cover %d distinct world ranges, want 2", len(los))
+	if len(los) < 2 {
+		t.Errorf("worker subtrees cover %d distinct world ranges, want >= 2", len(los))
 	}
 	// Both worker processes served shards of this render.
 	for i, wsrv := range []*Server{w1srv, w2srv} {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format fixtures")
+
+// goldenFP is a fixed fake scenario fingerprint for wire fixtures.
+const goldenFP = "8c1f37a0d9b45e627c3a1b09e8d47f5a8c1f37a0d9b45e627c3a1b09e8d47f5a"
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "wire", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(got)) {
+		t.Errorf("wire format drifted from %s:\n got: %s\nwant: %s", path, got, bytes.TrimSpace(want))
+	}
+}
+
+// TestWireGoldenFixtures pins the v2 wire format: the steady-state
+// fingerprint-only request, the full-payload re-send, the sketch-only
+// variant, and the worker's distinguishable cache-miss answer. A diff here
+// means the wire protocol changed — bump fp.ShardProtocolVersion and
+// update the coordinator's compatibility path before updating fixtures.
+func TestWireGoldenFixtures(t *testing.T) {
+	point := map[string]any{"budget": 12.0, "week": 3.0}
+
+	slim := shardRequest{
+		Proto:       2,
+		Fingerprint: goldenFP,
+		Point:       point,
+		Worlds:      100000,
+		Seed:        20110612,
+		Lo:          25000,
+		Hi:          50000,
+	}
+	raw, err := json.Marshal(slim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "request_v2_slim.json", raw)
+
+	sketch := slim
+	sketch.SketchOnly = true
+	raw, err = json.Marshal(sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "request_v2_sketch_only.json", raw)
+
+	full := slim
+	full.SQL = "CREATE SCENARIO demo AS SELECT Gaussian(100, 15) AS demand"
+	full.Tables = []tableDef{{
+		Name:    "regions",
+		Columns: []string{"region", "share"},
+		Rows:    [][]any{{"us-east", 0.4}, {"europe", 0.6}},
+	}}
+	raw, err = json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "request_v2_full.json", raw)
+
+	// The 409 cache-miss body, produced by a real worker.
+	_, ts := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	resp, err := http.Post(ts.URL+"/shard/render", "application/json",
+		bytes.NewReader(mustMarshal(t, slim)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("uncached fingerprint = %d, want 409", resp.StatusCode)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "response_409_scenario_not_cached.json", bytes.TrimSpace(body.Bytes()))
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -60,8 +60,15 @@ func NewTDigest(compression float64) *TDigest {
 	}
 }
 
-// Add folds one observation into the digest.
+// Add folds one observation into the digest. NaN observations are
+// ignored: a NaN has no rank, so folding it in could only poison the
+// centroid means (quantiles over a vector with NaNs are computed over its
+// non-NaN values; the Welford moments alongside still propagate NaN, so a
+// poisoned column is visible in the mean).
 func (t *TDigest) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	if x < t.min {
 		t.min = x
 	}
@@ -170,9 +177,13 @@ func (t *TDigest) mergeSorted(incoming []Centroid) {
 	for _, c := range merged[1:] {
 		q := (before + cur.Weight + c.Weight) / total
 		if t.kScale(q)-kLeft <= 1 {
-			// Weighted mean keeps the combined centroid exact.
+			// Weighted mean keeps the combined centroid exact. The delta is
+			// skipped for equal means so two infinite centroids of the same
+			// sign combine to that infinity instead of Inf-Inf = NaN.
 			w := cur.Weight + c.Weight
-			cur.Mean += (c.Mean - cur.Mean) * c.Weight / w
+			if c.Mean != cur.Mean {
+				cur.Mean += (c.Mean - cur.Mean) * c.Weight / w
+			}
 			cur.Weight = w
 			continue
 		}
@@ -265,14 +276,34 @@ func (t *TDigest) Centroids() []Centroid {
 // centroid list (mean-sorted or not), observed extremes and compression.
 // The inverse of Centroids/Min/Max/Compression, used by the HTTP shard
 // protocol to ship partial sketches between workers and the coordinator.
+//
+// Wire state is untrusted: centroids with a NaN mean or a non-positive,
+// NaN or infinite weight are dropped (they cannot correspond to any
+// observation sequence), and min/max are re-clamped against the surviving
+// centroid means so a hostile or torn sketch can never push quantile
+// readouts outside the centroid envelope.
 func TDigestFromCentroids(compression float64, centroids []Centroid, min, max float64) *TDigest {
 	t := NewTDigest(compression)
-	if len(centroids) == 0 {
+	cs := make([]Centroid, 0, len(centroids))
+	for _, c := range centroids {
+		if math.IsNaN(c.Mean) || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) || c.Weight <= 0 {
+			continue
+		}
+		cs = append(cs, c)
+	}
+	if len(cs) == 0 {
 		return t
 	}
-	cs := append([]Centroid(nil), centroids...)
 	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Mean < cs[j].Mean })
 	t.mergeSorted(cs)
 	t.min, t.max = min, max
+	// A centroid mean is an average of observations, so min <= smallest
+	// mean and max >= largest mean must hold; repair state that violates it.
+	if lo := t.centroids[0].Mean; math.IsNaN(t.min) || t.min > lo {
+		t.min = lo
+	}
+	if hi := t.centroids[len(t.centroids)-1].Mean; math.IsNaN(t.max) || t.max < hi {
+		t.max = hi
+	}
 	return t
 }

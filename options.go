@@ -29,6 +29,8 @@ type evalConfig struct {
 	groupBudget  int
 	shards       int
 	shardEval    ShardEvaluator
+	sketchOnly   bool
+	shardWeights func() []float64
 	// shared, when set by WithReuseCache, is used instead of a private
 	// reuse engine.
 	shared *mc.Reuse
@@ -135,6 +137,28 @@ func WithShardEvaluator(se ShardEvaluator) EvalOption {
 	return func(c *evalConfig) { c.shardEval = se }
 }
 
+// WithSketchOnly makes sharded evaluations return ONLY merged per-column
+// sketches (Welford moments + t-digest centroids) instead of per-world
+// sample vectors, so each remote shard response is O(compression) bytes
+// instead of O(worlds) — wire protocol v2's compressed response mode.
+// Summaries read off the sketches: moments (mean, stddev, CI95) are exact,
+// quantiles (median, P95) carry the t-digest error bound. Requires a
+// shardable scenario plan; other plans silently evaluate single-range with
+// full vectors.
+func WithSketchOnly() EvalOption {
+	return func(c *evalConfig) { c.sketchOnly = true }
+}
+
+// WithShardWeights supplies per-shard weights, queried just before each
+// point's world-range split: shard i's range is sized proportionally to
+// weights()[i] (worker-aware sizing — fpserver's coordinator feeds
+// per-worker latency EWMAs and advertised capacities so slow workers get
+// small ranges). Only consulted with a shard evaluator set; nil, empty or
+// invalid weights fall back to the equal split.
+func WithShardWeights(weights func() []float64) EvalOption {
+	return func(c *evalConfig) { c.shardWeights = weights }
+}
+
 // Config tunes evaluation through a single struct whose zero values mean
 // "default".
 //
@@ -223,9 +247,16 @@ func (c evalConfig) storeOptions() storage.Options {
 }
 
 func (c evalConfig) mcOptions() (mc.Options, error) {
-	opts := mc.Options{Worlds: c.worlds, SeedBase: c.seedBase, Workers: c.workers, Shards: c.shards}
+	opts := mc.Options{
+		Worlds:     c.worlds,
+		SeedBase:   c.seedBase,
+		Workers:    c.workers,
+		Shards:     c.shards,
+		SketchOnly: c.sketchOnly,
+	}
 	if c.shardEval != nil {
 		opts.Runner = shardRunnerFor(c.shardEval)
+		opts.ShardWeights = c.shardWeights
 	}
 	if c.shardInputs != nil {
 		opts.ShardInputs = c.shardInputs.store
@@ -248,8 +279,13 @@ func (c evalConfig) mcOptions() (mc.Options, error) {
 // internal runner signature.
 func shardRunnerFor(se ShardEvaluator) mc.ShardRunner {
 	return func(ctx context.Context, task mc.ShardTask) (*mc.ShardOutput, error) {
-		res, err := se.EvaluateShard(ctx, fromPoint(task.Point), task.Worlds, task.SeedBase,
-			WorldShard{Lo: task.Range.Lo, Hi: task.Range.Hi})
+		res, err := se.EvaluateShard(ctx, ShardRequest{
+			Point:      fromPoint(task.Point),
+			Worlds:     task.Worlds,
+			Seed:       task.SeedBase,
+			Shard:      WorldShard{Lo: task.Range.Lo, Hi: task.Range.Hi, Index: task.Index},
+			SketchOnly: task.SketchOnly,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,92 @@
+package fuzzyprophet
+
+import (
+	"context"
+	"sync"
+
+	"fuzzyprophet/internal/mc"
+)
+
+// ShardWorker serves shard evaluations for ONE scenario with a freelist of
+// warmed evaluators — the worker half of wire protocol v2's per-fingerprint
+// evaluator pool. Scenario.EvaluateShard builds a fresh Monte Carlo
+// evaluator per call, repaying the worlds-table and shard-env warm-up on
+// every request; a ShardWorker checks an evaluator out of its pool,
+// retargets it at the request's (worlds, seed, sketch mode) via a cheap
+// reconfigure, and returns it after the render, so steady-state shard
+// serving allocates nothing per request beyond the response itself.
+//
+// A ShardWorker is safe for concurrent use: concurrent requests each check
+// out their own evaluator (the pool grows to peak concurrency and is
+// reused thereafter). The options fixed at construction (worker
+// parallelism, in-process sub-shards, shard-input cache) apply to every
+// request; reuse is always disabled, as in Scenario.EvaluateShard.
+type ShardWorker struct {
+	scn  *Scenario
+	opts mc.Options
+
+	mu   sync.Mutex
+	free []*mc.Evaluator
+}
+
+// NewShardWorker returns a shard-serving evaluator pool for the scenario.
+// The scenario's query must be shardable for requests to succeed (the
+// check happens per call, matching Scenario.EvaluateShard).
+func (sc *Scenario) NewShardWorker(opts ...EvalOption) (*ShardWorker, error) {
+	cfg := newEvalConfig(opts)
+	cfg.disableReuse = true // shard evaluation never consults reuse
+	mcOpts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
+	mcOpts.Runner = nil // a worker never re-fans out
+	return &ShardWorker{scn: sc, opts: mcOpts}, nil
+}
+
+// EvaluateShard evaluates the worlds in shard (within [0, worlds)) at one
+// parameter point, exactly like Scenario.EvaluateShard but against a
+// pooled evaluator. With sketchOnly set the result carries only merged
+// per-column sketches (Columns nil), the v2 compressed response mode.
+func (w *ShardWorker) EvaluateShard(ctx context.Context, point map[string]any, worlds int, seed uint64, shard WorldShard, sketchOnly bool) (*ShardResult, error) {
+	pt, err := w.scn.toDeclaredPoint(point)
+	if err != nil {
+		return nil, err
+	}
+	ev := w.checkout()
+	ev.Reconfigure(worlds, seed, sketchOnly)
+	out, err := ev.EvaluateShard(ctx, pt, mc.WorldRange{Lo: shard.Lo, Hi: shard.Hi})
+	w.checkin(ev)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShardResult{Columns: out.Columns, Sketches: out.Sketches}
+	for _, fs := range out.Columns {
+		res.Rows = len(fs)
+		break
+	}
+	if res.Rows == 0 && len(out.Columns) == 0 {
+		for _, sk := range out.Sketches {
+			res.Rows = int(sk.Count)
+			break
+		}
+	}
+	return res, nil
+}
+
+func (w *ShardWorker) checkout() *mc.Evaluator {
+	w.mu.Lock()
+	if n := len(w.free); n > 0 {
+		ev := w.free[n-1]
+		w.free = w.free[:n-1]
+		w.mu.Unlock()
+		return ev
+	}
+	w.mu.Unlock()
+	return mc.NewEvaluator(w.scn.scn, w.opts)
+}
+
+func (w *ShardWorker) checkin(ev *mc.Evaluator) {
+	w.mu.Lock()
+	w.free = append(w.free, ev)
+	w.mu.Unlock()
+}
