@@ -27,6 +27,9 @@
 //	       full-payload vs fingerprint-only requests and per-world vs
 //	       sketch-only responses; writes BENCH_wire.json and asserts the
 //	       sketch-only response shrink exceeds 10x at -wireworlds worlds
+//	resilience hedged vs unhedged evaluate tails with a straggling worker,
+//	       hedge win rate, and the load-shed rate under a concurrency cap;
+//	       writes BENCH_resilience.json
 package main
 
 import (
@@ -42,7 +45,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|trace|wire|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig3|fig4|e1|e2|e3|e4|e5|engine|shard|storage|trace|wire|resilience|all")
 		worlds       = flag.Int("worlds", 300, "Monte Carlo worlds per point")
 		step         = flag.Int("step", 8, "purchase-date grid step for sweep experiments")
 		engineWorlds = flag.Int("engineworlds", 1000, "worlds for the engine render benchmark")
@@ -53,6 +56,7 @@ func main() {
 		storageOut   = flag.String("storageout", "BENCH_storage.json", "output path for the storage benchmark JSON")
 		wireWorlds   = flag.Int("wireworlds", 100000, "worlds for the wire-protocol benchmark")
 		wireOut      = flag.String("wireout", "BENCH_wire.json", "output path for the wire-protocol benchmark JSON")
+		resilOut     = flag.String("resilienceout", "BENCH_resilience.json", "output path for the resilience benchmark JSON")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -90,8 +94,11 @@ func main() {
 		"wire": func(ctx context.Context, w, s int) error {
 			return runWireBench(ctx, *wireWorlds, *wireOut)
 		},
+		"resilience": func(ctx context.Context, w, s int) error {
+			return runResilienceBench(ctx, *resilOut)
+		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage", "trace", "wire"}
+	order := []string{"fig2", "fig3", "fig4", "e1", "e2", "e3", "e4", "e5", "engine", "shard", "storage", "trace", "wire", "resilience"}
 
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -1,0 +1,364 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fuzzyprophet/internal/server"
+	"fuzzyprophet/internal/server/protocoltest"
+	"fuzzyprophet/internal/sqlparser"
+)
+
+// The resilience experiment: what the resilience layer buys under
+// stragglers and overload.
+//
+// Part 1 (hedging): a coordinator fans a one-point evaluation out to two
+// workers, one of which sits behind a protocoltest proxy that HANGS a
+// seeded fraction of shard exchanges — a worker that is alive but never
+// answers. Unhedged, the only escape is the per-attempt shard timeout, so
+// every straggler trial pays it in full; hedged, a duplicate fires on the
+// healthy worker after a fixed delay and the tail collapses. Both modes
+// run the same seeded straggler schedule, with circuit breakers disabled
+// so routing stays constant and the measurement isolates hedging. The
+// hedge win rate is scraped from the coordinator's /metrics.
+//
+// Part 2 (load shedding): a local coordinator capped at a small
+// -max-concurrent-renders takes a burst of concurrent budgeted
+// evaluations; requests that cannot get a slot before their deadline-aware
+// queue wait lapses are shed with 429 instead of piling up. The shed rate
+// is reported alongside fpserver_renders_shed_total.
+
+// resilienceBenchReport is the BENCH_resilience.json schema.
+type resilienceBenchReport struct {
+	Benchmark string `json:"benchmark"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Scenario  string `json:"scenario"`
+	Worlds    int    `json:"worlds"`
+	Trials    int    `json:"trials"`
+	// StragglerP is the seeded probability a shard exchange through the
+	// slow worker hangs until abandoned.
+	StragglerP float64 `json:"straggler_p"`
+	// ShardTimeoutMs is the per-attempt timeout — the unhedged worst case
+	// per straggler.
+	ShardTimeoutMs float64 `json:"shard_timeout_ms"`
+	// HedgeMode is "adaptive-p95": the hedged runs use the production
+	// default where the delay tracks the P95 of recent shard latencies.
+	HedgeMode string `json:"hedge_mode"`
+
+	UnhedgedP50Ms float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99Ms float64 `json:"unhedged_p99_ms"`
+	HedgedP50Ms   float64 `json:"hedged_p50_ms"`
+	HedgedP99Ms   float64 `json:"hedged_p99_ms"`
+	// P99Speedup is unhedged P99 / hedged P99 — the tail the hedge buys
+	// back.
+	P99Speedup float64 `json:"p99_speedup"`
+
+	Hedges       int64   `json:"hedges"`
+	HedgeWins    int64   `json:"hedge_wins"`
+	HedgeWinRate float64 `json:"hedge_win_rate"`
+
+	// Load-shedding burst: Offered concurrent renders against
+	// MaxConcurrent slots, each with a QueueBudgetMs deadline.
+	MaxConcurrent int `json:"max_concurrent"`
+	Offered       int `json:"offered"`
+	Completed     int `json:"completed"`
+	Shed          int `json:"shed"`
+	// DeadlineExpired counts requests admitted too late: their budget
+	// expired mid-render (504) instead of being shed up front (429).
+	DeadlineExpired int     `json:"deadline_expired"`
+	ShedRate        float64 `json:"shed_rate"`
+}
+
+// scrapeCounter pulls one counter/gauge value out of a Prometheus text
+// exposition.
+func scrapeCounter(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseFloat(fields[1], 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// percentileMs returns the p-th percentile (0-100) of the sorted samples,
+// in milliseconds.
+func percentileMs(samples []time.Duration, p int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := slices.Clone(samples)
+	slices.Sort(sorted)
+	idx := (len(sorted) - 1) * p / 100
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+// runResilienceBench is experiment "resilience".
+func runResilienceBench(ctx context.Context, outPath string) error {
+	const (
+		scenarioName = "capacityplanning"
+		worlds       = 1000
+		trials       = 60
+		stragglerP   = 0.25
+		shardTimeout = 250 * time.Millisecond
+		chaosSeed    = 20260808
+		// warmups seeds the adaptive hedge's latency window (2 shard samples
+		// per evaluate; the P95 needs 16) before chaos switches on.
+		warmups = 12
+	)
+	section(fmt.Sprintf("RESILIENCE: hedged vs unhedged tails under %d%% stragglers, plus load shedding (%s)",
+		int(stragglerP*100), scenarioName))
+
+	report := resilienceBenchReport{
+		Benchmark:      "resilience",
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		Scenario:       scenarioName,
+		Worlds:         worlds,
+		Trials:         trials,
+		StragglerP:     stragglerP,
+		ShardTimeoutMs: float64(shardTimeout.Microseconds()) / 1000,
+		HedgeMode:      "adaptive-p95",
+		MaxConcurrent:  2,
+		Offered:        32,
+	}
+
+	// measure runs `trials` one-point evaluations through a fresh
+	// coordinator whose second worker hangs stragglerP of exchanges, and
+	// returns the per-trial latencies plus the hedge counters.
+	measure := func(hedge time.Duration) ([]time.Duration, int64, int64, error) {
+		sysW1, err := newWireSystem()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sysW2, err := newWireSystem()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sysC, err := newWireSystem()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		w1, err := server.New(server.Config{System: sysW1, WorkerMode: true})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer w1.Close()
+		w1ts := httptest.NewServer(w1)
+		defer w1ts.Close()
+		w2, err := server.New(server.Config{System: sysW2, WorkerMode: true})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer w2.Close()
+		w2ts := httptest.NewServer(w2)
+		defer w2ts.Close()
+		proxy := protocoltest.New(w2ts.URL)
+		defer proxy.Close()
+
+		coord, err := server.New(server.Config{
+			System:         sysC,
+			Workers:        []string{w1ts.URL, proxy.URL()},
+			DefaultWorlds:  worlds,
+			ShardTimeout:   shardTimeout,
+			HedgeDelay:     hedge,
+			WorkerCooldown: -1, // breakers off: keep routing constant, isolate hedging
+			RetryBackoff:   time.Millisecond,
+		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer coord.Close()
+		cts := httptest.NewServer(coord)
+		defer cts.Close()
+
+		var scn struct {
+			ID     string `json:"id"`
+			Params []struct {
+				Name   string `json:"name"`
+				Values []any  `json:"values"`
+			} `json:"params"`
+		}
+		reg := map[string]any{"sql": sqlparser.ExampleScenarios()[scenarioName]}
+		if err := wireCall(ctx, "POST", cts.URL+"/scenarios", reg, &scn); err != nil {
+			return nil, 0, 0, err
+		}
+		pt := map[string]any{}
+		for _, p := range scn.Params {
+			pt[p.Name] = p.Values[0]
+		}
+		req := map[string]any{"points": []map[string]any{pt}, "worlds": worlds}
+		evalURL := cts.URL + "/scenarios/" + scn.ID + "/evaluate"
+
+		// Warm up fault-free: the one-time full-payload re-send, scenario
+		// compilation, and enough shard-latency samples for the adaptive
+		// hedge's P95 all happen here, not inside a timed trial.
+		for i := 0; i < warmups; i++ {
+			if err := wireCall(ctx, "POST", evalURL, req, nil); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		proxy.SetChaos(chaosSeed, 0, stragglerP, 0)
+
+		var latencies []time.Duration
+		for i := 0; i < trials; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, 0, err
+			}
+			start := time.Now()
+			if err := wireCall(ctx, "POST", evalURL, req, nil); err != nil {
+				return nil, 0, 0, err
+			}
+			latencies = append(latencies, time.Since(start))
+		}
+		hedges, err := scrapeCounter(cts.URL, "fpserver_shard_hedges_total")
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		wins, err := scrapeCounter(cts.URL, "fpserver_shard_hedge_wins_total")
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return latencies, int64(hedges), int64(wins), nil
+	}
+
+	unhedged, _, _, err := measure(-1)
+	if err != nil {
+		return err
+	}
+	hedged, hedges, wins, err := measure(0) // 0 = adaptive P95
+	if err != nil {
+		return err
+	}
+	report.UnhedgedP50Ms = percentileMs(unhedged, 50)
+	report.UnhedgedP99Ms = percentileMs(unhedged, 99)
+	report.HedgedP50Ms = percentileMs(hedged, 50)
+	report.HedgedP99Ms = percentileMs(hedged, 99)
+	if report.HedgedP99Ms > 0 {
+		report.P99Speedup = report.UnhedgedP99Ms / report.HedgedP99Ms
+	}
+	report.Hedges, report.HedgeWins = hedges, wins
+	if hedges > 0 {
+		report.HedgeWinRate = float64(wins) / float64(hedges)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "", "unhedged", "hedged")
+	fmt.Printf("%-28s %10.1fms %10.1fms\n", "evaluate p50", report.UnhedgedP50Ms, report.HedgedP50Ms)
+	fmt.Printf("%-28s %10.1fms %10.1fms\n", "evaluate p99", report.UnhedgedP99Ms, report.HedgedP99Ms)
+	fmt.Printf("p99 speedup: %.1fx; hedges: %d, wins: %d (%.0f%% win rate)\n",
+		report.P99Speedup, report.Hedges, report.HedgeWins, report.HedgeWinRate*100)
+
+	// ---- load shedding under a concurrency cap ----
+
+	sysL, err := newWireSystem()
+	if err != nil {
+		return err
+	}
+	capped, err := server.New(server.Config{
+		System:               sysL,
+		DefaultWorlds:        worlds,
+		MaxConcurrentRenders: report.MaxConcurrent,
+	})
+	if err != nil {
+		return err
+	}
+	defer capped.Close()
+	lts := httptest.NewServer(capped)
+	defer lts.Close()
+	var scn struct {
+		ID     string `json:"id"`
+		Params []struct {
+			Name   string `json:"name"`
+			Values []any  `json:"values"`
+		} `json:"params"`
+	}
+	reg := map[string]any{"sql": sqlparser.ExampleScenarios()[scenarioName]}
+	if err := wireCall(ctx, "POST", lts.URL+"/scenarios", reg, &scn); err != nil {
+		return err
+	}
+	pt := map[string]any{}
+	for _, p := range scn.Params {
+		pt[p.Name] = p.Values[0]
+	}
+	// Offer far more concurrent renders than 2 slots can clear within the
+	// 300ms budgets. Each request evaluates a DIFFERENT grid point — with
+	// one shared point, fingerprint reuse makes repeats nearly free and
+	// nothing holds a slot long enough to shed.
+	calURL := lts.URL + "/scenarios/" + scn.ID + "/evaluate"
+	if err := wireCall(ctx, "POST", calURL,
+		map[string]any{"points": []map[string]any{pt}, "worlds": worlds}, nil); err != nil {
+		return err
+	}
+	burstPoint := func(i int) map[string]any {
+		out := map[string]any{}
+		for _, p := range scn.Params {
+			out[p.Name] = p.Values[i%len(p.Values)]
+			i /= len(p.Values)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[int]int{}
+	for i := 0; i < report.Offered; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			burstReq := map[string]any{"points": []map[string]any{burstPoint(i)}, "worlds": worlds}
+			code := http.StatusInternalServerError
+			err := wireCall(ctx, "POST", lts.URL+"/scenarios/"+scn.ID+"/evaluate?timeout=300ms", burstReq, nil)
+			if err == nil {
+				code = http.StatusOK
+			} else if s := err.Error(); strings.Contains(s, ": 429:") {
+				code = http.StatusTooManyRequests
+			} else if strings.Contains(s, ": 504:") {
+				code = http.StatusGatewayTimeout
+			}
+			mu.Lock()
+			codes[code]++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	report.Completed = codes[http.StatusOK]
+	report.Shed = codes[http.StatusTooManyRequests]
+	report.DeadlineExpired = codes[http.StatusGatewayTimeout]
+	report.ShedRate = float64(report.Shed) / float64(report.Offered)
+	fmt.Printf("shedding: %d offered at cap %d -> %d completed, %d shed 429 (%.0f%%), %d deadline 504, %d other\n",
+		report.Offered, report.MaxConcurrent, report.Completed, report.Shed, report.ShedRate*100,
+		report.DeadlineExpired, report.Offered-report.Completed-report.Shed-report.DeadlineExpired)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (p99 speedup under stragglers: %.1fx)\n", outPath, report.P99Speedup)
+	return nil
+}

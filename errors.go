@@ -1,6 +1,10 @@
 package fuzzyprophet
 
-import "fmt"
+import (
+	"fmt"
+
+	"fuzzyprophet/internal/mc"
+)
 
 // CompileError reports a scenario script that failed to compile. When the
 // failure comes from the lexer or parser, Line and Col carry the 1-based
@@ -59,3 +63,13 @@ func (e *DeterminismError) Error() string {
 
 // Unwrap returns the underlying probe error.
 func (e *DeterminismError) Unwrap() error { return e.err }
+
+// PanicError reports a panic recovered inside the Monte Carlo executor's
+// simulation or shard goroutines — a panicking VG-Function or a kernel bug
+// fails its own evaluation with this error instead of crashing the
+// process. Servers map it to an internal error for the one affected
+// request while in-flight renders on other goroutines continue untouched:
+//
+//	var pe *fuzzyprophet.PanicError
+//	if errors.As(err, &pe) { log.Printf("%v\n%s", pe.Value, pe.Stack) }
+type PanicError = mc.PanicError

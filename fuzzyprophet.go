@@ -260,6 +260,10 @@ type ColumnSummary struct {
 	Median float64 `json:"median"`
 	P95    float64 `json:"p95"`
 	CI95   float64 `json:"ci95"`
+	// Note carries a confidence caveat on degraded results — the summary
+	// describes only the worlds completed before the deadline cut, so N is
+	// smaller and CI95 wider than requested. Empty on full results.
+	Note string `json:"note,omitempty"`
 }
 
 // Evaluate runs the scenario once at a single parameter point and returns
@@ -294,6 +298,13 @@ type BatchPoint struct {
 	// SiteOutcome records, per VG call site, how its samples were obtained
 	// ("computed", "cached", "identity", "affine").
 	SiteOutcome map[string]string `json:"site_outcome,omitempty"`
+	// Degraded marks a partial point: the deadline expired before the full
+	// world budget and the summaries cover only WorldsCompleted worlds
+	// (WithAllowDegraded). Each summary carries a confidence Note.
+	Degraded bool `json:"degraded,omitempty"`
+	// WorldsCompleted is the number of worlds behind a degraded point's
+	// summaries; zero when Degraded is false.
+	WorldsCompleted int `json:"worlds_completed,omitempty"`
 }
 
 // BatchResult is the outcome of EvaluateBatch.
@@ -306,6 +317,10 @@ type BatchResult struct {
 	ReuseCounts map[string]int `json:"reuse_counts,omitempty"`
 	// Elapsed is the wall-clock duration of the batch.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Degraded is true when any point is degraded or the batch was cut
+	// short by the deadline under WithAllowDegraded — Points then holds
+	// fewer entries than the input.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // EvaluateBatch evaluates many parameter points through one shared reuse
@@ -337,16 +352,28 @@ func (sc *Scenario) EvaluateBatch(ctx context.Context, points []map[string]any, 
 	for i, pt := range pts {
 		res, err := ev.EvaluatePoint(ctx, pt)
 		if err != nil {
+			// Deadline mid-batch under WithAllowDegraded: the points already
+			// evaluated are complete answers — return them flagged degraded
+			// rather than discarding the whole batch.
+			if mcOpts.AllowDegraded && ctx.Err() != nil && len(out.Points) > 0 {
+				out.Degraded = true
+				break
+			}
 			return nil, err
 		}
 		outcome := make(map[string]string, len(res.SiteOutcome))
 		for site, kind := range res.SiteOutcome {
 			outcome[site] = kind.String()
 		}
+		if res.Degraded {
+			out.Degraded = true
+		}
 		out.Points = append(out.Points, BatchPoint{
-			Point:       points[i],
-			Summaries:   summarize(res),
-			SiteOutcome: outcome,
+			Point:           points[i],
+			Summaries:       summarize(res),
+			SiteOutcome:     outcome,
+			Degraded:        res.Degraded,
+			WorldsCompleted: res.WorldsCompleted,
 		})
 	}
 	if mcOpts.Reuse != nil {
@@ -374,6 +401,7 @@ func summarize(res *mc.PointResult) map[string]ColumnSummary {
 				Median: cs.Median(),
 				P95:    cs.P95(),
 				CI95:   cs.CI95(),
+				Note:   degradedNote(res),
 			}
 		}
 		return out
@@ -394,6 +422,15 @@ func summarize(res *mc.PointResult) map[string]ColumnSummary {
 		}
 	}
 	return out
+}
+
+// degradedNote renders the per-column confidence caveat carried by a
+// degraded result's summaries; "" for full results.
+func degradedNote(res *mc.PointResult) string {
+	if !res.Degraded {
+		return ""
+	}
+	return fmt.Sprintf("degraded: estimated from %d of %d worlds (moments exact over the completed worlds; quantiles within the t-digest bound; confidence intervals wider than requested)", res.WorldsCompleted, res.Worlds)
 }
 
 // WorldShard is a half-open Monte Carlo world range [Lo, Hi) within a
@@ -596,6 +633,14 @@ type RenderStats struct {
 	Remapped   int           `json:"remapped"`
 	Unchanged  int           `json:"unchanged"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
+	// Degraded marks a frame rendered under a deadline that cut the world
+	// budget (or the point sweep) short with WithAllowDegraded: every point
+	// is present-and-exact or present-and-sketch-estimated, but at least
+	// one covers fewer worlds than requested.
+	Degraded bool `json:"degraded,omitempty"`
+	// WorldsCompleted is the smallest completed world count across the
+	// frame's degraded points; zero when Degraded is false.
+	WorldsCompleted int `json:"worlds_completed,omitempty"`
 }
 
 // RecomputedFraction is the fraction of X positions that needed fresh
@@ -738,11 +783,13 @@ func convertGraph(g *online.Graph) *Graph {
 		Axis: g.Axis,
 		X:    append([]float64(nil), g.X...),
 		Stats: RenderStats{
-			Points:     g.Stats.Points,
-			Recomputed: g.Stats.Recomputed,
-			Remapped:   g.Stats.Remapped,
-			Unchanged:  g.Stats.Unchanged,
-			Elapsed:    g.Stats.Elapsed,
+			Points:          g.Stats.Points,
+			Recomputed:      g.Stats.Recomputed,
+			Remapped:        g.Stats.Remapped,
+			Unchanged:       g.Stats.Unchanged,
+			Elapsed:         g.Stats.Elapsed,
+			Degraded:        g.Stats.Degraded,
+			WorldsCompleted: g.Stats.WorldsCompleted,
 		},
 	}
 	for _, srs := range g.Series {

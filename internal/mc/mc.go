@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"fuzzyprophet/internal/aggregate"
@@ -75,6 +76,16 @@ type Options struct {
 	// slow workers get small ranges. Invalid weights fall back to the
 	// equal split.
 	ShardWeights func() []float64
+	// AllowDegraded permits a sharded evaluation cut short by its context
+	// deadline to return a partial result instead of the context error:
+	// the sketches of every shard that completed before the cut are merged
+	// and the result carries Degraded=true with WorldsCompleted < Worlds.
+	// Columns stays nil on a degraded result (missing world ranges cannot
+	// be stitched), so consumers read the sketches. Degradation granularity
+	// is one shard; if no shard completed, the context error is returned as
+	// usual, and a shard that failed with a recovered panic always fails
+	// the point (deterministic bugs must surface, not degrade).
+	AllowDegraded bool
 }
 
 // DefaultSeedBase is the seed base used when Options.SeedBase is zero:
@@ -364,6 +375,14 @@ type PointResult struct {
 	// t-digest) when the point was evaluated in shards; nil on the
 	// single-range path, where aggregation folds the full vectors directly.
 	Sketches map[string]*aggregate.ColumnStats
+	// Degraded marks a partial result: the context deadline expired before
+	// the full world budget and Options.AllowDegraded harvested the shards
+	// completed so far. Columns is nil and Sketches cover only
+	// WorldsCompleted of the requested Worlds.
+	Degraded bool
+	// WorldsCompleted is the number of worlds whose samples contributed to
+	// a degraded result's sketches; zero when Degraded is false.
+	WorldsCompleted int
 }
 
 // FreshSites returns how many sites required fresh VG simulation.
@@ -382,6 +401,35 @@ func (p *PointResult) FreshSites() int {
 // the full world loop.
 const batchWorlds = 64
 
+// PanicError reports a panic recovered inside the executor's simulation or
+// shard goroutines. A panicking VG-Function (or a bug in a plan kernel)
+// fails its own evaluation with this error instead of crashing the process
+// — the point of recovery is that one bad render must not take down the
+// in-flight renders sharing the server.
+type PanicError struct {
+	// Stage names where the panic was caught ("simulate", "shard").
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mc: panic in %s: %v", e.Stage, e.Value)
+}
+
+// recoverToError converts a panic in scope into a *PanicError assigned to
+// *dst (unless *dst is already set). Use as: defer recoverToError(&err, "stage").
+func recoverToError(dst *error, stage string) {
+	if r := recover(); r != nil {
+		perr := &PanicError{Stage: stage, Value: r, Stack: debug.Stack()}
+		if *dst == nil {
+			*dst = perr
+		}
+	}
+}
+
 // EvaluatePoint runs the full pipeline for one parameter point. The context
 // is checked between sites and once per world-batch during simulation, so
 // cancellation aborts a long evaluation promptly; the first error returned
@@ -399,7 +447,7 @@ func (ev *Evaluator) EvaluatePoint(ctx context.Context, pt guide.Point) (*PointR
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if (ev.opts.Shards > 1 || ev.opts.Runner != nil || ev.opts.SketchOnly) && ev.scn.Plan().Shardable() && ev.opts.Worlds > 1 {
+	if (ev.opts.Shards > 1 || ev.opts.Runner != nil || ev.opts.SketchOnly || ev.opts.AllowDegraded) && ev.scn.Plan().Shardable() && ev.opts.Worlds > 1 {
 		return ev.evaluateSharded(ctx, pt)
 	}
 	// The point span groups this point's stage spans under the render's
@@ -608,7 +656,9 @@ func (ev *Evaluator) simulate(ctx context.Context, site *scenario.Site, args []v
 	if workers > n {
 		workers = n
 	}
-	run := func(lo, hi int) error {
+	run := func(lo, hi int) (err error) {
+		// A panicking VG-Function fails this simulation, not the process.
+		defer recoverToError(&err, "simulate")
 		for i := lo; i < hi; i++ {
 			if (i-lo)%batchWorlds == 0 {
 				if err := ctx.Err(); err != nil {

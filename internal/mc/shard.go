@@ -16,6 +16,7 @@ package mc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -506,6 +507,9 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panic in a shard (bad VG, kernel bug) fails this shard only;
+			// wg.Done is registered first so it runs after the recovery.
+			defer recoverToError(&errs[i], "shard")
 			task := ShardTask{
 				Point:      pt,
 				Worlds:     n,
@@ -544,6 +548,12 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 	fsp.End()
 	for _, err := range errs {
 		if err != nil {
+			// Deadline mid-fan-out: with AllowDegraded, the shards that DID
+			// complete are still a statistically honest (if wider-CI) answer
+			// — merge their sketches instead of failing the render.
+			if ev.opts.AllowDegraded && ctx.Err() != nil && ev.harvestDegraded(res, ranges, outs, errs, psp) {
+				return res, nil
+			}
 			return nil, err
 		}
 	}
@@ -569,6 +579,44 @@ func (ev *Evaluator) evaluateSharded(ctx context.Context, pt guide.Point) (*Poin
 		res.Sketches = sketches
 	}
 	return res, nil
+}
+
+// harvestDegraded turns a deadline-cut fan-out into a partial result: the
+// sketches of every completed shard are merged and res is flagged
+// Degraded with the completed world count. Returns false — leaving res
+// untouched — when nothing completed, when any shard failed with a panic
+// (deterministic bugs must surface, not degrade), or when the completed
+// sketches cannot be merged. Errors racing the deadline (cancelled
+// transports, cut simulations) are subsumed by the degraded result.
+func (ev *Evaluator) harvestDegraded(res *PointResult, ranges []WorldRange, outs []*ShardOutput, errs []error, psp *obs.Span) bool {
+	var done []*ShardOutput
+	completed := 0
+	for i, out := range outs {
+		var perr *PanicError
+		if errs[i] != nil && errors.As(errs[i], &perr) {
+			return false
+		}
+		if out == nil || errs[i] != nil {
+			continue
+		}
+		done = append(done, out)
+		completed += ranges[i].Len()
+	}
+	if completed == 0 {
+		return false
+	}
+	msp := psp.Child("sketch-merge")
+	sketches, err := stitchSketches(done)
+	msp.End()
+	if err != nil || len(sketches) == 0 {
+		return false
+	}
+	psp.SetInt("degraded", 1)
+	psp.SetInt("worlds_completed", int64(completed))
+	res.Sketches = sketches
+	res.Degraded = true
+	res.WorldsCompleted = completed
+	return true
 }
 
 // EvaluateShard evaluates ONLY the worlds in shard (within [0,
@@ -609,6 +657,7 @@ func (ev *Evaluator) EvaluateShard(ctx context.Context, pt guide.Point, shard Wo
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer recoverToError(&errs[i], "shard")
 			task := ShardTask{
 				Point:      pt,
 				Worlds:     ev.opts.Worlds,

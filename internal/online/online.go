@@ -166,6 +166,17 @@ type RenderStats struct {
 	Unchanged int
 	// Elapsed is the wall-clock render time.
 	Elapsed time.Duration
+	// Degraded marks a frame cut short by the context deadline under
+	// mc.Options.AllowDegraded: at least one point's summary covers fewer
+	// worlds than requested, or the X sweep stopped before the last
+	// position. Degraded frames are honest but lower-confidence; callers
+	// should re-render rather than cache them.
+	Degraded bool
+	// WorldsCompleted is the smallest world count backing any rendered
+	// point of a degraded frame (the requested world budget when only the
+	// sweep, not the per-point budget, was cut). Zero when Degraded is
+	// false.
+	WorldsCompleted int
 }
 
 // RecomputedFraction is the fraction of the graph that needed fresh
@@ -256,8 +267,16 @@ func (s *Session) renderWith(ctx context.Context, opts mc.Options) (*Graph, erro
 			SecondAxis: styleHasY2(item.Style),
 		})
 	}
+	minWorlds := opts.Worlds
 	for _, pt := range points {
 		if err := ctx.Err(); err != nil {
+			// Deadline mid-sweep: with AllowDegraded, the positions already
+			// rendered form a valid (shorter) frame — return it flagged
+			// degraded instead of discarding the work.
+			if opts.AllowDegraded && len(g.X) > 0 {
+				g.Stats.Degraded = true
+				break
+			}
 			return nil, err
 		}
 		x, err := pt[s.axis].AsFloat()
@@ -266,7 +285,17 @@ func (s *Session) renderWith(ctx context.Context, opts mc.Options) (*Graph, erro
 		}
 		res, err := ev.EvaluatePoint(ctx, pt)
 		if err != nil {
+			if opts.AllowDegraded && ctx.Err() != nil && len(g.X) > 0 {
+				g.Stats.Degraded = true
+				break
+			}
 			return nil, err
+		}
+		if res.Degraded {
+			g.Stats.Degraded = true
+			if res.WorldsCompleted < minWorlds {
+				minWorlds = res.WorldsCompleted
+			}
 		}
 		g.X = append(g.X, x)
 		classify(res, &g.Stats)
@@ -286,13 +315,16 @@ func (s *Session) renderWith(ctx context.Context, opts mc.Options) (*Graph, erro
 			g.Series[i].Points = append(g.Series[i].Points, SeriesPoint{X: x, Y: y, CI95: col.CI95()})
 		}
 	}
-	g.Stats.Points = len(points)
+	g.Stats.Points = len(g.X)
+	if g.Stats.Degraded {
+		g.Stats.WorldsCompleted = minWorlds
+	}
 	g.Stats.Elapsed = time.Since(start)
 	s.markExplored(core.PointKey(pins), 'R')
 	s.mu.Lock()
 	s.stats.Renders++
 	s.stats.RenderElapsed += g.Stats.Elapsed
-	s.stats.PointsRendered += int64(len(points))
+	s.stats.PointsRendered += int64(len(g.X))
 	s.mu.Unlock()
 	return g, nil
 }

@@ -88,6 +88,16 @@ type metrics struct {
 	shardFanouts        atomic.Int64
 	shardRetries        atomic.Int64
 	shardWorkerFailures atomic.Int64
+	shardHedges         atomic.Int64
+	shardHedgeWins      atomic.Int64
+
+	// Resilience layer: panic isolation, deadline budgets, admission
+	// control and degraded responses.
+	panics            atomic.Int64
+	deadlinesExceeded atomic.Int64
+	clientDisconnects atomic.Int64
+	rendersShed       atomic.Int64
+	degradedRenders   atomic.Int64
 
 	// Wire protocol v2: slim (fingerprint-only) vs full-payload requests,
 	// cache-miss re-sends and version downgrades (coordinator side), plus
@@ -180,13 +190,32 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	counter("fpserver_shard_fanouts_total", "Shard evaluations fanned out to workers (coordinator role).", m.shardFanouts.Load())
 	counter("fpserver_shard_retries_total", "Shard requests retried on another worker after a failure.", m.shardRetries.Load())
 	counter("fpserver_shard_worker_failures_total", "Shards every worker failed (evaluated locally instead).", m.shardWorkerFailures.Load())
+	counter("fpserver_shard_hedges_total", "Duplicate shard requests launched after the hedge delay.", m.shardHedges.Load())
+	counter("fpserver_shard_hedge_wins_total", "Shards whose hedged duplicate finished first.", m.shardHedgeWins.Load())
+
+	// Resilience layer.
+	counter("fpserver_panics_total", "Panics recovered in handlers or evaluation goroutines.", m.panics.Load())
+	counter("fpserver_deadline_exceeded_total", "Requests that exhausted their server-side deadline budget.", m.deadlinesExceeded.Load())
+	counter("fpserver_client_disconnects_total", "Requests abandoned by the client before completion (499).", m.clientDisconnects.Load())
+	counter("fpserver_renders_shed_total", "Renders shed by admission control (429).", m.rendersShed.Load())
+	counter("fpserver_degraded_renders_total", "Responses served degraded (partial worlds) under the deadline budget.", m.degradedRenders.Load())
+	inflight, queued := s.gate.stats()
+	gauge("fpserver_renders_inflight", "Renders currently admitted and running.", inflight)
+	gauge("fpserver_render_queue_depth", "Renders queued for an admission slot.", queued)
+	if len(s.workerStates) > 0 {
+		fmt.Fprintf(w, "# HELP fpserver_breaker_state Per-worker circuit breaker state (0 closed, 1 half-open, 2 open).\n# TYPE fpserver_breaker_state gauge\n")
+		now := time.Now()
+		for _, ws := range s.workerStates {
+			fmt.Fprintf(w, "fpserver_breaker_state{worker=%q} %d\n", ws.url, ws.br.state(now))
+		}
+	}
 
 	// Wire protocol v2.
 	counter("fpserver_shard_slim_requests_total", "Fingerprint-only shard requests sent (steady state, no script payload).", m.shardSlimRequests.Load())
 	counter("fpserver_shard_full_requests_total", "Full-payload shard requests sent (first contact, cache-miss re-send or v1 worker).", m.shardFullRequests.Load())
 	counter("fpserver_shard_cache_miss_resends_total", "Full re-sends after a worker answered 409 scenario_not_cached.", m.shardCacheMissResends.Load())
 	counter("fpserver_shard_proto_downgrades_total", "Workers downgraded to v1 full payloads after rejecting a fingerprint-only request.", m.shardProtoDowngrades.Load())
-	counter("fpserver_shard_worker_cooldowns_total", "Workers put in the unhealthy cool-down after a transport error or 5xx.", m.shardCooldowns.Load())
+	counter("fpserver_shard_worker_cooldowns_total", "Worker circuit breakers opened (or re-opened) after a transport error or 5xx.", m.shardCooldowns.Load())
 	counter("fpserver_shard_scenario_cache_misses_total", "Fingerprint-only requests answered 409 because the scenario was not cached (worker role).", m.shardCacheMisses.Load())
 	counter("fpserver_shard_sketch_only_renders_total", "Shard renders answered with merged sketches instead of sample vectors (worker role).", m.shardSketchOnlyServed.Load())
 	counter("fpserver_shard_request_bytes_total", "Bytes of shard request bodies sent to workers.", m.shardRequestBytes.Load())

@@ -11,14 +11,18 @@
 // itself (steady-state requests carry no script payload).
 //
 // Everything is deterministic: faults fire on the proxied request flow,
-// never on timers or randomness, so a test that sets a fault window of one
-// knows exactly which exchange was hit.
+// never on timers or free-running randomness, so a test that sets a fault
+// window of one knows exactly which exchange was hit. The chaos mode
+// (SetChaos) draws per-exchange faults from a seeded PRNG — randomized
+// schedules of kills, hangs and slow-downs that replay identically for a
+// given seed.
 package protocoltest
 
 import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -51,6 +55,11 @@ const (
 	// requests (no "sql" in the body) are rejected with 400 as a v1 worker
 	// would; full payloads pass through.
 	VersionSkew
+	// Hang holds the request open without answering until the client gives
+	// up (its context ends), then aborts the connection — a worker that is
+	// alive at the TCP level but never makes progress. The coordinator only
+	// escapes via its own deadline or a hedged duplicate.
+	Hang
 )
 
 func (f Fault) String() string {
@@ -69,6 +78,8 @@ func (f Fault) String() string {
 		return "duplicate"
 	case VersionSkew:
 		return "version-skew"
+	case Hang:
+		return "hang"
 	default:
 		return "unknown"
 	}
@@ -113,6 +124,32 @@ type Proxy struct {
 	window    int // remaining faulted exchanges; -1 = until changed
 	delay     time.Duration
 	exchanges []Exchange
+	// chaos, when non-nil, draws a fault per shard exchange from a seeded
+	// PRNG instead of the fixed fault/window schedule.
+	chaos *chaosSchedule
+}
+
+// chaosSchedule is the seeded randomized fault source for chaos tests:
+// each shard exchange independently Drops, Hangs or Delays with the
+// configured probabilities. The PRNG is consulted in exchange arrival
+// order under the proxy lock, so one seed replays one schedule.
+type chaosSchedule struct {
+	rng                  *rand.Rand
+	pDrop, pHang, pDelay float64
+}
+
+func (c *chaosSchedule) draw() Fault {
+	u := c.rng.Float64()
+	switch {
+	case u < c.pDrop:
+		return Drop
+	case u < c.pDrop+c.pHang:
+		return Hang
+	case u < c.pDrop+c.pHang+c.pDelay:
+		return Delay
+	default:
+		return None
+	}
 }
 
 // New starts a proxy in front of the worker at target (a base URL like
@@ -157,6 +194,21 @@ func (p *Proxy) SetDelay(d time.Duration) {
 	p.delay = d
 }
 
+// SetChaos switches the proxy to a seeded randomized fault schedule: each
+// shard exchange independently aborts (Drop), never answers (Hang) or is
+// delayed, with the given probabilities. The same seed replays the same
+// schedule. Probabilities must sum to <= 1; the remainder passes through.
+// SetChaos(0, 0, 0, 0) with any seed effectively disables chaos; Reset
+// also clears it.
+func (p *Proxy) SetChaos(seed uint64, pDrop, pHang, pDelay float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.chaos = &chaosSchedule{
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		pDrop: pDrop, pHang: pHang, pDelay: pDelay,
+	}
+}
+
 // Exchanges returns a copy of every recorded exchange, in arrival order.
 func (p *Proxy) Exchanges() []Exchange {
 	p.mu.Lock()
@@ -177,18 +229,24 @@ func (p *Proxy) ShardExchanges() []Exchange {
 	return out
 }
 
-// Reset clears the recorded exchanges and the fault state.
+// Reset clears the recorded exchanges, the fault state and any chaos
+// schedule.
 func (p *Proxy) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.exchanges = nil
 	p.fault, p.window = None, -1
+	p.chaos = nil
 }
 
-// takeFault consumes one slot of the current fault window.
+// takeFault consumes one slot of the current fault window (or one chaos
+// draw).
 func (p *Proxy) takeFault() (Fault, time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.chaos != nil {
+		return p.chaos.draw(), p.delay
+	}
 	f := p.fault
 	if f == None {
 		return None, 0
@@ -234,6 +292,12 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	switch fault {
 	case Drop:
 		p.record(ex)
+		panic(http.ErrAbortHandler)
+	case Hang:
+		// Never answer: wait for the client to abandon the request (deadline
+		// or hedge win), then abort without a response.
+		p.record(ex)
+		<-r.Context().Done()
 		panic(http.ErrAbortHandler)
 	case Delay:
 		time.Sleep(delay)

@@ -1,0 +1,377 @@
+package server
+
+// Resilience primitives for the serving path: request deadline budgets,
+// per-worker circuit breakers, an adaptive hedge-delay tracker, and the
+// render admission gate. The shard fan-out (shard.go) consumes the breaker
+// and latency tracker; the HTTP handlers (server.go) consume the budget
+// helper and the gate. Everything here is deliberately dependency-free and
+// lock-scoped per instance so it composes with the lock-free metrics.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"slices"
+	"sync"
+	"time"
+)
+
+// ---- request deadline budgets ----
+
+// defaultRequestTimeout is the server-side deadline applied to every
+// request when Config.RequestTimeout is unset.
+const defaultRequestTimeout = time.Minute
+
+// defaultRetryBackoff is the base of the jittered exponential backoff
+// between shard retry attempts when Config.RetryBackoff is unset.
+const defaultRetryBackoff = 10 * time.Millisecond
+
+// budgetExceededError is the context cancellation cause when the SERVER's
+// deadline budget — not the client's own context — expired. renderError
+// uses it to answer 504 with the budget that was in force, distinguishing
+// "the server gave up" from "the client went away" (499).
+type budgetExceededError struct{ budget time.Duration }
+
+func (e *budgetExceededError) Error() string {
+	return fmt.Sprintf("server: request exceeded its %s deadline budget", e.budget)
+}
+
+// withBudget wraps the request context with the server-side deadline:
+// Config.RequestTimeout by default, shortened — never extended — by a
+// per-request ?timeout= override (a Go duration, e.g. ?timeout=500ms).
+// Reports false after writing a 400 when the override is malformed.
+func (s *Server) withBudget(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	budget := s.cfg.RequestTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive duration like \"2s\"", v))
+			return nil, nil, false
+		}
+		if budget <= 0 || d < budget {
+			budget = d
+		}
+	}
+	if budget <= 0 {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeoutCause(r.Context(), budget, &budgetExceededError{budget})
+	return ctx, cancel, true
+}
+
+// ---- circuit breaker ----
+
+// Breaker states, exported to /metrics as fpserver_breaker_state.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breaker is a per-worker circuit breaker generalizing the old binary
+// cool-down: closed → (threshold consecutive failures) → open for a
+// jittered window that doubles on every failed half-open probe, capped.
+// State is derived from (failures, openUntil, now) rather than stored, so
+// open→half-open needs no timer goroutine: once the window passes, the
+// breaker reads half-open and the next attempt is the probe.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to open (>= 1)
+	base      time.Duration // first open window; <= 0 disables opening
+	maxOpen   time.Duration // backoff cap on the open window
+
+	failures  int
+	openSpan  time.Duration // current un-jittered open window
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, base time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, base: base, maxOpen: 16 * base}
+}
+
+// state reports the breaker's position at now.
+func (b *breaker) state(now time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(now)
+}
+
+func (b *breaker) stateLocked(now time.Time) int {
+	if b.failures < b.threshold || b.base <= 0 {
+		return breakerClosed
+	}
+	if now.Before(b.openUntil) {
+		return breakerOpen
+	}
+	return breakerHalfOpen
+}
+
+// allow reports whether an attempt should be routed to this worker: true
+// while closed, and true once the open window has lapsed (the attempt is
+// then the half-open probe). Callers may still force an attempt on an open
+// breaker as a last resort; correctness never depends on the breaker.
+func (b *breaker) allow(now time.Time) bool {
+	return b.state(now) != breakerOpen
+}
+
+// onSuccess closes the breaker and resets the backoff.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.failures = 0
+	b.openSpan = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// onFailure records a qualifying failure (transport error or 5xx) and
+// reports whether it opened (or re-opened) the breaker. A failure while
+// half-open is a failed probe: the open window doubles, up to the cap.
+func (b *breaker) onFailure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasHalfOpen := b.stateLocked(now) == breakerHalfOpen
+	b.failures++
+	if b.failures < b.threshold || b.base <= 0 {
+		return false
+	}
+	switch {
+	case b.openSpan == 0:
+		b.openSpan = b.base
+	case wasHalfOpen:
+		b.openSpan *= 2
+		if b.maxOpen > 0 && b.openSpan > b.maxOpen {
+			b.openSpan = b.maxOpen
+		}
+	}
+	b.openUntil = now.Add(jitter(b.openSpan))
+	return true
+}
+
+// jitter spreads d over [0.9d, 1.1d) so a fleet of breakers (or retry
+// backoffs) opened by one event does not re-probe in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.9 + 0.2*rand.Float64()))
+}
+
+// ---- hedge-delay tracking ----
+
+// latencyRingSize bounds the shard-latency sample window the adaptive
+// hedge delay is computed over.
+const latencyRingSize = 256
+
+// minHedgeSamples is how many shard latencies must be observed before the
+// adaptive P95 enables hedging.
+const minHedgeSamples = 16
+
+// minHedgeDelay floors the adaptive hedge delay so microsecond-scale P95s
+// (tiny test renders) don't hedge every request reflexively.
+const minHedgeDelay = 5 * time.Millisecond
+
+// latencyTracker keeps a ring of recent successful shard latencies and
+// serves their exact P95 — the hedge fires when a shard request has been
+// outstanding longer than 95% of recent ones completed in, the classic
+// tail-latency trade of a little duplicate work for a bounded tail.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring [latencyRingSize]time.Duration
+	n    int // total observations (ring index = n % size)
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.n%latencyRingSize] = d
+	t.n++
+	t.mu.Unlock()
+}
+
+// p95 returns the 95th percentile of the recorded window and whether
+// enough samples exist for it to be meaningful.
+func (t *latencyTracker) p95() (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < minHedgeSamples {
+		return 0, false
+	}
+	k := t.n
+	if k > latencyRingSize {
+		k = latencyRingSize
+	}
+	window := make([]time.Duration, k)
+	copy(window, t.ring[:k])
+	slices.Sort(window)
+	return window[(k-1)*95/100], true
+}
+
+// ---- admission gate ----
+
+// errDraining rejects work arriving after Close began: 503 + Retry-After.
+var errDraining = errors.New("server: shutting down")
+
+// errOverloaded sheds work the gate could not admit before its queue wait
+// (bounded by the request's own deadline) expired: 429 + Retry-After.
+var errOverloaded = errors.New("server: render capacity saturated, retry later")
+
+// defaultQueueWait bounds how long an unbudgeted request queues for a
+// render slot before being shed.
+const defaultQueueWait = time.Second
+
+// admission is the render admission gate: a semaphore bounding concurrent
+// renders (nil = unbounded), a deadline-aware queue in front of it, and
+// draining state for graceful shutdown. Every admitted request is tracked
+// so drain() can wait for in-flight work.
+type admission struct {
+	sem chan struct{} // nil when unbounded
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	draining bool
+
+	queueDepth int64 // guarded by mu only for read consistency in metrics
+}
+
+func newAdmission(maxConcurrent int) *admission {
+	g := &admission{}
+	g.cond = sync.NewCond(&g.mu)
+	if maxConcurrent > 0 {
+		g.sem = make(chan struct{}, maxConcurrent)
+	}
+	return g
+}
+
+// acquire admits one render. It returns nil and reserves a slot, or:
+// errDraining (shutdown), errOverloaded (no slot before the deadline-aware
+// queue wait lapsed — shed), or the context's own cancellation (client
+// disconnect while queued). Pair every nil return with release().
+func (g *admission) acquire(ctx context.Context) error {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return errDraining
+	}
+	g.inflight++
+	g.mu.Unlock()
+	if g.sem == nil {
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// Queue for a slot, but never past the request's own deadline: work
+	// admitted with no budget left would only be killed by the deadline —
+	// shedding now lets the client retry elsewhere immediately.
+	wait := defaultQueueWait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		g.exit()
+		return errOverloaded
+	}
+	g.mu.Lock()
+	g.queueDepth++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queueDepth--
+		g.mu.Unlock()
+	}()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		g.exit()
+		if errors.Is(context.Cause(ctx), context.Canceled) {
+			return ctx.Err() // client went away while queued
+		}
+		return errOverloaded // budget burned in the queue: shed
+	case <-timer.C:
+		g.exit()
+		return errOverloaded
+	}
+}
+
+// release returns an admitted render's slot.
+func (g *admission) release() {
+	if g.sem != nil {
+		<-g.sem
+	}
+	g.exit()
+}
+
+// exit decrements the in-flight count and wakes drain().
+func (g *admission) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 && g.draining {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// isDraining reports whether drain() has begun.
+func (g *admission) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// stats returns (inflight, queued) for /metrics.
+func (g *admission) stats() (int64, int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return int64(g.inflight), g.queueDepth
+}
+
+// drain flips the gate to draining — every subsequent acquire fails with
+// errDraining (503 + Retry-After) — and blocks until in-flight renders
+// finish. Renders carry deadline budgets, so the wait is bounded unless
+// the operator disabled RequestTimeout.
+func (g *admission) drain() {
+	g.mu.Lock()
+	g.draining = true
+	for g.inflight > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// ---- panic isolation ----
+
+// recoverWriter tracks whether the handler already wrote a status line, so
+// the panic middleware knows a 500 can still be sent. It forwards Flush
+// for the SSE path.
+type recoverWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (rw *recoverWriter) WriteHeader(code int) {
+	rw.wrote = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recoverWriter) Write(b []byte) (int, error) {
+	rw.wrote = true
+	return rw.ResponseWriter.Write(b)
+}
+
+func (rw *recoverWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,551 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	fp "fuzzyprophet"
+	"fuzzyprophet/internal/server/protocoltest"
+	"fuzzyprophet/internal/sqlparser"
+)
+
+// ---- chaos matrix ----
+
+// chaosConfig tunes a coordinator for fast fault recovery in tests: short
+// per-attempt timeouts bound hung shards, a small fixed hedge delay races
+// a duplicate early, and retries back off only briefly.
+func chaosConfig(c *Config) {
+	c.ShardTimeout = 300 * time.Millisecond
+	c.HedgeDelay = 25 * time.Millisecond
+	c.RetryBackoff = time.Millisecond
+	c.WorkerCooldown = 50 * time.Millisecond
+}
+
+// TestChaosMatrixBitIdentical runs every bundled example scenario through
+// a two-worker fan-out where BOTH workers sit behind seeded chaos proxies
+// randomly killing, hanging and slowing shard exchanges, and asserts each
+// batch result is bit-identical to the single-node evaluation and never
+// degraded: deadlines, hedges, breakers, retries and local fallback
+// protect correctness, not just availability.
+func TestChaosMatrixBitIdentical(t *testing.T) {
+	seed := uint64(20260808)
+	for name, sql := range sqlparser.ExampleScenarios() {
+		t.Run(name, func(t *testing.T) {
+			_, local := newTestServer(t, func(c *Config) { c.System = newExampleSystem(t) })
+			scnLocal := registerExample(t, local.URL, name, sql)
+			points := examplePoints(scnLocal)
+			want := evaluatePoints(t, local.URL, scnLocal.ID, evaluateRequest{Points: points, Worlds: 48})
+
+			var proxies []*protocoltest.Proxy
+			var urls []string
+			for i := 0; i < 2; i++ {
+				_, worker := newTestServer(t, func(c *Config) {
+					c.System = newExampleSystem(t)
+					c.WorkerMode = true
+				})
+				proxy := protocoltest.New(worker.URL)
+				t.Cleanup(proxy.Close)
+				proxy.SetDelay(10 * time.Millisecond)
+				proxy.SetChaos(seed+uint64(i), 0.15, 0.10, 0.15)
+				proxies = append(proxies, proxy)
+				urls = append(urls, proxy.URL())
+			}
+			coordSrv, coord := newTestServer(t, func(c *Config) {
+				c.System = newExampleSystem(t)
+				c.Workers = urls
+				chaosConfig(c)
+			})
+
+			scn := registerExample(t, coord.URL, name, sql)
+			got := evaluatePoints(t, coord.URL, scn.ID, evaluateRequest{Points: points, Worlds: 48})
+
+			if got.Degraded {
+				t.Fatal("chaos run reported degraded without allow_degraded")
+			}
+			if len(got.Points) != len(want.Points) {
+				t.Fatalf("%d points, want %d", len(got.Points), len(want.Points))
+			}
+			for i := range want.Points {
+				if got.Points[i].Degraded {
+					t.Errorf("point %d flagged degraded without allow_degraded", i)
+				}
+				if !reflect.DeepEqual(want.Points[i].Summaries, got.Points[i].Summaries) {
+					t.Errorf("point %d diverged under chaos:\nlocal:  %+v\nfanned: %+v",
+						i, want.Points[i].Summaries, got.Points[i].Summaries)
+				}
+			}
+			if n := coordSrv.metrics.renderErrors.Load(); n != 0 {
+				t.Errorf("%d render errors under chaos", n)
+			}
+			exchanges := 0
+			for _, p := range proxies {
+				exchanges += len(p.ShardExchanges())
+			}
+			if exchanges == 0 {
+				t.Error("chaos proxies saw no shard exchanges")
+			}
+		})
+	}
+}
+
+// ---- hedged shards ----
+
+// TestHedgeRescuesHungShard: with one worker hung, the hedge timer fires a
+// duplicate on the healthy worker and the render completes bit-identically
+// — without waiting out the shard timeout and without degrading.
+func TestHedgeRescuesHungShard(t *testing.T) {
+	_, local := newTestServer(t, nil)
+	scnLocal := registerScenario(t, local.URL)
+	one := []map[string]any{testPoints[0]}
+	want := evaluatePoints(t, local.URL, scnLocal.ID, evaluateRequest{Points: one, Worlds: 64})
+
+	_, good := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	_, hung := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	proxy := protocoltest.New(hung.URL)
+	t.Cleanup(proxy.Close)
+	proxy.SetFault(protocoltest.Hang)
+
+	coordSrv, coord := newTestServer(t, func(c *Config) {
+		c.Workers = []string{good.URL, proxy.URL()}
+		c.HedgeDelay = 10 * time.Millisecond
+	})
+	scn := registerScenario(t, coord.URL)
+	got := evaluatePoints(t, coord.URL, scn.ID, evaluateRequest{Points: one, Worlds: 64})
+
+	if !reflect.DeepEqual(want.Points[0].Summaries, got.Points[0].Summaries) {
+		t.Errorf("hedged result diverged:\nlocal:  %+v\nhedged: %+v",
+			want.Points[0].Summaries, got.Points[0].Summaries)
+	}
+	if got.Degraded {
+		t.Error("hedged render reported degraded")
+	}
+	if n := coordSrv.metrics.shardHedges.Load(); n < 1 {
+		t.Errorf("hedge counter = %d, want >= 1", n)
+	}
+	if n := coordSrv.metrics.shardHedgeWins.Load(); n < 1 {
+		t.Errorf("hedge win counter = %d, want >= 1", n)
+	}
+}
+
+// ---- degraded renders ----
+
+// TestDegradedEvaluate: with hedging off and one worker hung, an
+// allow_degraded batch under a short ?timeout= budget returns the shards
+// that completed — flagged degraded, with a partial world count and a
+// per-column confidence note — instead of a 504.
+func TestDegradedEvaluate(t *testing.T) {
+	_, good := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	_, hung := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	proxy := protocoltest.New(hung.URL)
+	t.Cleanup(proxy.Close)
+	proxy.SetFault(protocoltest.Hang)
+
+	_, coord := newTestServer(t, func(c *Config) {
+		c.Workers = []string{good.URL, proxy.URL()}
+		c.HedgeDelay = -1 // a hedge would rescue the shard; force the cut
+	})
+	scn := registerScenario(t, coord.URL)
+
+	const worlds = 64
+	var res fp.BatchResult
+	code := call(t, "POST", coord.URL+"/scenarios/"+scn.ID+"/evaluate?timeout=600ms",
+		evaluateRequest{Points: testPoints, Worlds: worlds, AllowDegraded: true}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("degraded evaluate = %d, want 200", code)
+	}
+	if !res.Degraded {
+		t.Fatal("batch not flagged degraded")
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("degraded batch carried no points")
+	}
+	pt := res.Points[0]
+	if !pt.Degraded {
+		t.Error("point not flagged degraded")
+	}
+	if pt.WorldsCompleted <= 0 || pt.WorldsCompleted >= worlds {
+		t.Errorf("worlds_completed = %d, want in (0, %d)", pt.WorldsCompleted, worlds)
+	}
+	if len(pt.Summaries) == 0 {
+		t.Fatal("degraded point carried no summaries")
+	}
+	for col, s := range pt.Summaries {
+		if !strings.Contains(s.Note, "degraded") {
+			t.Errorf("column %s: note = %q, want a degraded confidence note", col, s.Note)
+		}
+		if s.N != int64(pt.WorldsCompleted) {
+			t.Errorf("column %s: N = %d, want the %d completed worlds", col, s.N, pt.WorldsCompleted)
+		}
+	}
+}
+
+// TestDegradedRenderNotCached: a session opted into allow_degraded serves
+// a partial frame under a short budget — and the single-flight cache does
+// NOT retain it: the next render at the same params re-renders at full
+// fidelity.
+func TestDegradedRenderNotCached(t *testing.T) {
+	_, good := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	_, hung := newTestServer(t, func(c *Config) { c.WorkerMode = true })
+	proxy := protocoltest.New(hung.URL)
+	t.Cleanup(proxy.Close)
+	proxy.SetFaultWindow(protocoltest.Hang, 1)
+
+	_, coord := newTestServer(t, func(c *Config) {
+		c.Workers = []string{good.URL, proxy.URL()}
+		c.HedgeDelay = -1
+	})
+	scn := registerScenario(t, coord.URL)
+	sess := openSession(t, coord.URL, scn.ID, openSessionRequest{AllowDegraded: true})
+
+	var degraded renderResponse
+	if code := call(t, "GET", coord.URL+"/sessions/"+sess.ID+"/render?timeout=600ms", nil, &degraded); code != http.StatusOK {
+		t.Fatalf("degraded render = %d, want 200", code)
+	}
+	if !degraded.Degraded || !degraded.Graph.Stats.Degraded {
+		t.Fatalf("render not flagged degraded: %+v", degraded.Graph.Stats)
+	}
+	if degraded.WorldsCompleted <= 0 {
+		t.Errorf("worlds_completed = %d, want > 0", degraded.WorldsCompleted)
+	}
+	if len(degraded.Graph.X) == 0 {
+		t.Error("degraded frame carried no points")
+	}
+
+	// The hang was consumed; a fresh render must be full-fidelity — the
+	// degraded frame must not have been cached by single-flight.
+	var full renderResponse
+	if code := call(t, "GET", coord.URL+"/sessions/"+sess.ID+"/render", nil, &full); code != http.StatusOK {
+		t.Fatalf("follow-up render = %d, want 200", code)
+	}
+	if full.Degraded || full.Graph.Stats.Degraded {
+		t.Error("follow-up render inherited the degraded frame; partial frames must not be cached")
+	}
+	if full.Coalesced {
+		t.Error("follow-up render was served from cache; degraded frames must not be cached")
+	}
+	if len(full.Graph.X) <= len(degraded.Graph.X) {
+		t.Errorf("full frame has %d points, degraded had %d; want more", len(full.Graph.X), len(degraded.Graph.X))
+	}
+}
+
+// ---- deadline budgets ----
+
+// TestBudgetOverride: ?timeout= must be a positive duration (400
+// otherwise), and an impossible budget yields a structured 504 carrying
+// the budget that was in force.
+func TestBudgetOverride(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	scn := registerScenario(t, ts.URL)
+
+	var body map[string]any
+	if code := call(t, "POST", ts.URL+"/scenarios/"+scn.ID+"/evaluate?timeout=banana",
+		evaluateRequest{Points: testPoints[:1]}, &body); code != http.StatusBadRequest {
+		t.Errorf("bad timeout = %d, want 400", code)
+	}
+
+	body = nil
+	code := call(t, "POST", ts.URL+"/scenarios/"+scn.ID+"/evaluate?timeout=1ns",
+		evaluateRequest{Points: testPoints[:1]}, &body)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("1ns budget = %d, want 504", code)
+	}
+	if body["code"] != "deadline_exceeded" {
+		t.Errorf("code = %v, want deadline_exceeded", body["code"])
+	}
+	if body["budget"] != "1ns" {
+		t.Errorf("budget = %v, want 1ns", body["budget"])
+	}
+}
+
+// ---- blocking VG harness (admission + draining tests) ----
+
+// blockSystem registers BlockModel: a VG whose first invocation signals
+// started and then blocks — with every later invocation — until release is
+// closed, letting tests hold a render mid-flight deterministically.
+func blockSystem(t *testing.T) (sys *fp.System, started chan struct{}, release chan struct{}) {
+	t.Helper()
+	sys, err := fp.New(fp.WithDemoModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	err = sys.RegisterVG("BlockModel", 1, func(seed uint64, args []float64) (float64, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return args[0], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, started, release
+}
+
+const blockScenario = `
+DECLARE PARAMETER @x AS SET (1, 2);
+SELECT BlockModel(@x) AS y INTO results;
+GRAPH OVER @x EXPECT y WITH bold red;
+`
+
+// TestGracefulShutdownDraining: Close() lets an in-flight render finish
+// (200) while new requests are refused with 503 + Retry-After, and
+// health/metrics stay reachable for orchestrators throughout.
+func TestGracefulShutdownDraining(t *testing.T) {
+	sys, started, release := blockSystem(t)
+	srv, ts := newTestServer(t, func(c *Config) { c.System = sys })
+
+	var scn scenarioJSON
+	if code := call(t, "POST", ts.URL+"/scenarios", registerRequest{SQL: blockScenario}, &scn); code != http.StatusCreated {
+		t.Fatalf("register = %d", code)
+	}
+	sess := openSession(t, ts.URL, scn.ID, openSessionRequest{Worlds: 8})
+
+	renderCode := make(chan int, 1)
+	go func() {
+		var resp renderResponse
+		renderCode <- call(t, "GET", ts.URL+"/sessions/"+sess.ID+"/render", nil, &resp)
+	}()
+	<-started // the render is inside the simulation now
+
+	closeDone := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closeDone)
+	}()
+	waitFor(t, time.Second, srv.gate.isDraining)
+
+	// New work is refused while draining...
+	resp, err := http.Get(ts.URL + "/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("request while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carried no Retry-After")
+	}
+	// ...but liveness stays up.
+	if hr, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Errorf("healthz while draining = %d, want 200", hr.StatusCode)
+		}
+	}
+
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a render was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if code := <-renderCode; code != http.StatusOK {
+		t.Errorf("in-flight render = %d, want 200 (drain must let it finish)", code)
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the in-flight render finished")
+	}
+}
+
+// TestAdmissionShed: with MaxConcurrentRenders=1 and the slot held by a
+// blocked render, a second budgeted request queues, times out and is shed
+// with 429 + Retry-After.
+func TestAdmissionShed(t *testing.T) {
+	sys, started, release := blockSystem(t)
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.System = sys
+		c.MaxConcurrentRenders = 1
+	})
+
+	var scn scenarioJSON
+	if code := call(t, "POST", ts.URL+"/scenarios", registerRequest{SQL: blockScenario}, &scn); code != http.StatusCreated {
+		t.Fatalf("register = %d", code)
+	}
+	sess := openSession(t, ts.URL, scn.ID, openSessionRequest{Worlds: 8})
+
+	renderCode := make(chan int, 1)
+	go func() {
+		var resp renderResponse
+		renderCode <- call(t, "GET", ts.URL+"/sessions/"+sess.ID+"/render", nil, &resp)
+	}()
+	<-started
+
+	resp, err := http.Post(ts.URL+"/scenarios/"+scn.ID+"/evaluate?timeout=50ms", "application/json",
+		strings.NewReader(`{"points":[{"x":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("request over capacity = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carried no Retry-After")
+	}
+	if n := srv.metrics.rendersShed.Load(); n != 1 {
+		t.Errorf("shed counter = %d, want 1", n)
+	}
+
+	close(release)
+	if code := <-renderCode; code != http.StatusOK {
+		t.Errorf("slot-holding render = %d, want 200", code)
+	}
+}
+
+// ---- panic isolation ----
+
+const panicScenario = `
+DECLARE PARAMETER @x AS SET (1, 2);
+SELECT PanicModel(@x) AS boom INTO results;
+GRAPH OVER @x EXPECT boom WITH bold red;
+`
+
+// TestEvaluationPanicIsolated: a panicking VG-Function fails its own
+// request with a structured 500 while a concurrent render on the same
+// server completes untouched — and never flags degraded, even with
+// allow_degraded set.
+func TestEvaluationPanicIsolated(t *testing.T) {
+	sys, err := fp.New(fp.WithDemoModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.RegisterVG("PanicModel", 1, func(seed uint64, args []float64) (float64, error) {
+		panic("injected VG panic")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, func(c *Config) { c.System = sys })
+
+	var boom scenarioJSON
+	if code := call(t, "POST", ts.URL+"/scenarios", registerRequest{SQL: panicScenario}, &boom); code != http.StatusCreated {
+		t.Fatalf("register = %d", code)
+	}
+	healthy := registerScenario(t, ts.URL)
+
+	done := make(chan fp.BatchResult, 1)
+	go func() {
+		var res fp.BatchResult
+		call(t, "POST", ts.URL+"/scenarios/"+healthy.ID+"/evaluate",
+			evaluateRequest{Points: testPoints, Worlds: 64}, &res)
+		done <- res
+	}()
+
+	var body map[string]any
+	code := call(t, "POST", ts.URL+"/scenarios/"+boom.ID+"/evaluate",
+		evaluateRequest{Points: []map[string]any{{"x": 1}}, Worlds: 16, AllowDegraded: true}, &body)
+	if code != http.StatusInternalServerError {
+		t.Errorf("panicking evaluation = %d, want 500", code)
+	}
+	if body["code"] != "panic" {
+		t.Errorf("code = %v, want panic", body["code"])
+	}
+	if n := srv.metrics.panics.Load(); n < 1 {
+		t.Errorf("panic counter = %d, want >= 1", n)
+	}
+
+	res := <-done
+	if len(res.Points) != len(testPoints) {
+		t.Errorf("concurrent evaluation returned %d points, want %d — a VG panic must not leak across requests",
+			len(res.Points), len(testPoints))
+	}
+}
+
+// TestHandlerPanicRecovered: the ServeHTTP middleware converts a panicking
+// handler into a structured 500 and the server keeps serving.
+func TestHandlerPanicRecovered(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	srv.mux.HandleFunc("GET /test/boom", func(http.ResponseWriter, *http.Request) {
+		panic("injected handler panic")
+	})
+
+	resp, err := http.Get(ts.URL + "/test/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panicking handler = %d, want 500", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("500 body not JSON: %v", err)
+	}
+	if body["code"] != "panic" {
+		t.Errorf("code = %v, want panic", body["code"])
+	}
+	if n := srv.metrics.panics.Load(); n != 1 {
+		t.Errorf("panic counter = %d, want 1", n)
+	}
+
+	// The server survived: a real request still works.
+	scn := registerScenario(t, ts.URL)
+	evaluatePoints(t, ts.URL, scn.ID, evaluateRequest{Points: testPoints[:1], Worlds: 16})
+}
+
+// ---- breaker unit behavior ----
+
+// TestBreakerHalfOpenBackoff exercises the state machine directly: open on
+// threshold, half-open after the window, re-open with a doubled window on
+// a failed probe, and full reset on success.
+func TestBreakerHalfOpenBackoff(t *testing.T) {
+	b := newBreaker(2, time.Hour)
+	now := time.Now()
+	if b.state(now) != breakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.onFailure(now)
+	if b.state(now) != breakerClosed {
+		t.Fatal("breaker opened below threshold")
+	}
+	if !b.onFailure(now) {
+		t.Fatal("threshold failure did not open")
+	}
+	if b.state(now) != breakerOpen || b.allow(now) {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	// Past the window: half-open, attempts allowed.
+	later := now.Add(2 * time.Hour)
+	if b.state(later) != breakerHalfOpen || !b.allow(later) {
+		t.Fatal("breaker not half-open after the window")
+	}
+	// Failed probe: re-opens with a doubled span.
+	if !b.onFailure(later) {
+		t.Fatal("failed half-open probe did not re-open")
+	}
+	if b.openSpan != 2*time.Hour {
+		t.Errorf("open span after failed probe = %v, want doubled to 2h", b.openSpan)
+	}
+	b.onSuccess()
+	if b.state(later) != breakerClosed || b.openSpan != 0 {
+		t.Error("success did not fully reset the breaker")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"net/http/pprof"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	rpprof "runtime/pprof"
 	"strconv"
 	"sync"
@@ -107,12 +108,39 @@ type Config struct {
 	// registration, sessions and snapshots are disabled.
 	WorkerMode bool
 	// ShardTimeout bounds one coordinator→worker shard request (default
-	// 2m; <0 disables the client timeout).
+	// 2m; <0 disables the client timeout). The effective per-attempt
+	// timeout is the smaller of this and the request's remaining deadline
+	// budget.
 	ShardTimeout time.Duration
-	// WorkerCooldown is how long a worker that failed a shard request with
-	// a transport error or 5xx is skipped in favor of its peers (default
-	// 5s; <0 disables the cool-down).
+	// WorkerCooldown is the circuit breaker's base open window: a worker
+	// whose breaker opens (BreakerThreshold consecutive transport/5xx
+	// failures) is skipped in favor of its peers for a jittered window
+	// that doubles on every failed half-open probe (default 5s; <0
+	// disables the breaker).
 	WorkerCooldown time.Duration
+	// BreakerThreshold is how many consecutive shard failures open a
+	// worker's circuit breaker (default 1, preserving the historical
+	// skip-on-first-failure cool-down).
+	BreakerThreshold int
+	// RequestTimeout is the server-side deadline budget applied to every
+	// render/evaluate request (default 1m; <0 disables). A per-request
+	// ?timeout= query parameter can shorten — never extend — it. The
+	// budget propagates to shard fan-out (per-shard timeouts derive from
+	// the remaining budget) and to workers via the X-FP-Budget-Ms header.
+	RequestTimeout time.Duration
+	// MaxConcurrentRenders bounds renders + batch evaluations running at
+	// once; excess requests queue (deadline-aware, up to 1s) and are then
+	// shed with 429 + Retry-After (default 0 = unbounded).
+	MaxConcurrentRenders int
+	// HedgeDelay controls hedged shard requests: after a shard request has
+	// been outstanding this long, a duplicate is issued to a different
+	// worker and the first result wins. 0 (default) adapts the delay to
+	// the observed shard-latency P95; >0 fixes it; <0 disables hedging.
+	HedgeDelay time.Duration
+	// RetryBackoff is the base for the jittered exponential backoff
+	// between shard retry attempts (default 10ms; <0 disables backoff,
+	// restoring immediate retry).
+	RetryBackoff time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 	// Log receives structured log records (currently the slow-render
@@ -159,6 +187,19 @@ func (c Config) withDefaults() Config {
 	} else if c.WorkerCooldown < 0 {
 		c.WorkerCooldown = 0
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 1
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = defaultRequestTimeout
+	} else if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = defaultRetryBackoff
+	} else if c.RetryBackoff < 0 {
+		c.RetryBackoff = 0
+	}
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 32
 	}
@@ -188,6 +229,12 @@ type Server struct {
 	// renders, spilling out-of-core; nil without Config.SpillDir.
 	shardInputs *fp.ShardInputCache
 
+	// gate is the render admission gate (concurrency bound, load shedding,
+	// shutdown draining); shardLatency feeds the adaptive hedge delay with
+	// successful shard round-trip times.
+	gate         *admission
+	shardLatency *latencyTracker
+
 	stop      chan struct{}
 	loops     sync.WaitGroup
 	closeOnce sync.Once
@@ -211,8 +258,13 @@ func New(cfg Config) (*Server, error) {
 		shardCache: newShardScenarios(),
 		stop:       make(chan struct{}),
 	}
-	s.shardClient = &http.Client{Timeout: cfg.ShardTimeout}
-	s.workerStates = newWorkerStates(cfg.Workers)
+	s.gate = newAdmission(cfg.MaxConcurrentRenders)
+	s.shardLatency = &latencyTracker{}
+	// No client-level timeout: per-attempt deadlines derive from the
+	// smaller of ShardTimeout and the request's remaining budget, applied
+	// via the attempt context in the shard fan-out.
+	s.shardClient = &http.Client{}
+	s.workerStates = newWorkerStates(cfg.Workers, cfg.BreakerThreshold, cfg.WorkerCooldown)
 	if cfg.SnapshotDir != "" && !cfg.WorkerMode {
 		store, err := NewSnapshotStore(cfg.SnapshotDir)
 		if err != nil {
@@ -316,10 +368,16 @@ func (s *Server) startLoops() {
 	}
 }
 
-// Close stops the background loops, drains sessions and writes a final
-// snapshot of every registered scenario's reuse cache.
+// Close drains in-flight renders (new requests get 503 + Retry-After the
+// moment draining begins), stops the background loops, drains sessions and
+// writes a final snapshot of every registered scenario's reuse cache.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		// Flip to draining first and wait for admitted renders: the final
+		// snapshot then captures their reuse-cache contributions, and no
+		// render races the spill-tier teardown below. In-flight work is
+		// bounded by the request deadline budget.
+		s.gate.drain()
 		close(s.stop)
 		s.loops.Wait()
 		s.sessions.CloseAll()
@@ -342,10 +400,36 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// ServeHTTP dispatches to the route table, counting every request.
+// ServeHTTP dispatches to the route table, counting every request. It
+// rejects new work while draining (health and metrics stay reachable for
+// orchestrators) and isolates handler panics: a panicking request answers
+// 500 while every other in-flight request continues untouched.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	if s.gate.isDraining() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	rw := &recoverWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec) // net/http's own "abort this response" signal
+		}
+		s.metrics.panics.Add(1)
+		s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		if !rw.wrote {
+			s.json(rw.ResponseWriter, http.StatusInternalServerError, map[string]any{
+				"error": fmt.Sprintf("internal error: %v", rec),
+				"code":  "panic",
+			})
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
 }
 
 // ---- request/response shapes ----
@@ -399,6 +483,11 @@ type openSessionRequest struct {
 	// protocol v2's compressed response mode). Moments are exact,
 	// quantiles carry the t-digest error bound.
 	SketchOnly bool `json:"sketch_only,omitempty"`
+	// AllowDegraded opts the session's renders into graceful degradation:
+	// when the deadline budget expires mid-render, the response carries
+	// the worlds (and sweep points) completed so far, flagged
+	// "degraded": true with "worlds_completed", instead of a 504.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 type sessionJSON struct {
@@ -426,6 +515,12 @@ type renderResponse struct {
 	// grafted worker subtrees of sharded evaluations.
 	RenderID string    `json:"render_id,omitempty"`
 	Trace    *obs.Node `json:"trace,omitempty"`
+	// Degraded marks a partial frame: the deadline budget expired
+	// mid-render and the session opted in via allow_degraded. The graph
+	// carries the points completed so far; WorldsCompleted is the minimum
+	// world count any returned point was estimated from.
+	Degraded        bool `json:"degraded,omitempty"`
+	WorldsCompleted int  `json:"worlds_completed,omitempty"`
 }
 
 type evaluateRequest struct {
@@ -434,6 +529,10 @@ type evaluateRequest struct {
 	// SketchOnly makes sharded evaluations exchange merged per-column
 	// sketches instead of per-world sample vectors.
 	SketchOnly bool `json:"sketch_only,omitempty"`
+	// AllowDegraded opts the batch into graceful degradation under the
+	// deadline budget: points evaluated before the budget expired are
+	// returned flagged degraded instead of the whole batch failing 504.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // ---- handlers ----
@@ -582,6 +681,9 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	if req.SketchOnly {
 		opts = append(opts, fp.WithSketchOnly())
 	}
+	if req.AllowDegraded {
+		opts = append(opts, fp.WithAllowDegraded())
+	}
 	inner, err := entry.Scenario.OpenSession(opts...)
 	if err != nil {
 		entry.release()
@@ -645,8 +747,18 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
 		return
 	}
+	bctx, cancel, ok := s.withBudget(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	if err := s.gate.acquire(bctx); err != nil {
+		s.admissionError(w, err)
+		return
+	}
+	defer s.gate.release()
 	if r.URL.Query().Has("stream") || r.Header.Get("Accept") == "text/event-stream" {
-		s.renderSSE(w, r, sess)
+		s.renderSSE(w, r.WithContext(bctx), sess)
 		return
 	}
 	start := time.Now()
@@ -660,18 +772,23 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		coalesced bool
 		err       error
 	)
-	rpprof.Do(r.Context(), rpprof.Labels("render_id", tr.ID(), "scenario", sess.Entry.ID), func(ctx context.Context) {
+	rpprof.Do(bctx, rpprof.Labels("render_id", tr.ID(), "scenario", sess.Entry.ID), func(ctx context.Context) {
 		g, coalesced, err = sess.Render(obs.With(ctx, tr.Root()))
 	})
 	if err != nil {
 		s.metrics.renderErrors.Add(1)
-		s.renderError(w, err)
+		s.renderError(w, bctx, err)
 		return
 	}
 	resp := renderResponse{
-		Graph:       g,
-		Coalesced:   coalesced,
-		ReuseCounts: sess.Sess.ReuseCounts(),
+		Graph:           g,
+		Coalesced:       coalesced,
+		ReuseCounts:     sess.Sess.ReuseCounts(),
+		Degraded:        g.Stats.Degraded,
+		WorldsCompleted: g.Stats.WorldsCompleted,
+	}
+	if g.Stats.Degraded {
+		s.metrics.degradedRenders.Add(1)
 	}
 	if coalesced {
 		s.metrics.rendersCoalesced.Add(1)
@@ -742,6 +859,9 @@ func (s *Server) renderSSE(w http.ResponseWriter, r *http.Request, sess *Session
 	dur := time.Since(start)
 	s.metrics.rendersTotal.Add(1)
 	s.metrics.renderLatency.observe(dur.Seconds())
+	if final.Stats.Degraded {
+		s.metrics.degradedRenders.Add(1)
+	}
 	s.observeTrace("render-stream", sess.Entry.ID, sess.ID, tr, dur)
 	emit("done", map[string]any{
 		"render_id":    tr.ID(),
@@ -795,6 +915,16 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer entry.release()
+	bctx, cancel, ok := s.withBudget(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	if err := s.gate.acquire(bctx); err != nil {
+		s.admissionError(w, err)
+		return
+	}
+	defer s.gate.release()
 	worlds := req.Worlds
 	if worlds <= 0 {
 		worlds = s.cfg.DefaultWorlds
@@ -811,16 +941,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if req.SketchOnly {
 		batchOpts = append(batchOpts, fp.WithSketchOnly())
 	}
+	if req.AllowDegraded {
+		batchOpts = append(batchOpts, fp.WithAllowDegraded())
+	}
 	start := time.Now()
 	tr := obs.New("evaluate", obs.NewID())
 	var res *fp.BatchResult
 	var err error
-	rpprof.Do(r.Context(), rpprof.Labels("render_id", tr.ID(), "scenario", entry.ID), func(ctx context.Context) {
+	rpprof.Do(bctx, rpprof.Labels("render_id", tr.ID(), "scenario", entry.ID), func(ctx context.Context) {
 		res, err = entry.Scenario.EvaluateBatch(obs.With(ctx, tr.Root()), points, batchOpts...)
 	})
 	if err != nil {
-		s.renderError(w, err)
+		s.renderError(w, bctx, err)
 		return
+	}
+	if res.Degraded {
+		s.metrics.degradedRenders.Add(1)
 	}
 	s.metrics.evaluatesTotal.Add(1)
 	s.metrics.pointsEvaluated.Add(int64(len(points)))
@@ -941,17 +1077,58 @@ func (s *Server) error(w http.ResponseWriter, status int, err error) {
 }
 
 // renderError maps evaluation failures to statuses: client-caused input
-// errors are 400, client disconnects 499 (nginx convention), everything
-// else 500.
-func (s *Server) renderError(w http.ResponseWriter, err error) {
+// errors are 400; client disconnects 499 (nginx convention, no error-log
+// spam — the client is gone); the server's own deadline budget expiring is
+// a structured 504; recovered evaluation panics are a structured 500 with
+// the stack logged; everything else 500. ctx is the request context the
+// evaluation ran under, consulted to tell the server's budget (via its
+// cancellation cause) from the client's disappearance.
+func (s *Server) renderError(w http.ResponseWriter, ctx context.Context, err error) {
 	var unknown *fp.UnknownParamError
+	var pe *fp.PanicError
 	switch {
 	case errors.As(err, &unknown):
 		s.error(w, http.StatusBadRequest, err)
+	case errors.As(err, &pe):
+		s.metrics.panics.Add(1)
+		s.cfg.Logf("panic in %s: %v\n%s", pe.Stage, pe.Value, pe.Stack)
+		s.json(w, http.StatusInternalServerError, map[string]any{
+			"error": err.Error(),
+			"code":  "panic",
+		})
 	case errors.Is(err, context.Canceled):
+		s.metrics.clientDisconnects.Add(1)
 		s.error(w, 499, err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.error(w, http.StatusGatewayTimeout, err)
+		s.metrics.deadlinesExceeded.Add(1)
+		body := map[string]any{
+			"error": err.Error(),
+			"code":  "deadline_exceeded",
+		}
+		var be *budgetExceededError
+		if ctx != nil && errors.As(context.Cause(ctx), &be) {
+			body["budget"] = be.budget.String()
+		}
+		s.json(w, http.StatusGatewayTimeout, body)
+	default:
+		s.error(w, http.StatusInternalServerError, err)
+	}
+}
+
+// admissionError maps gate rejections: draining → 503, shed → 429 (both
+// with Retry-After), client disconnect while queued → 499.
+func (s *Server) admissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errOverloaded):
+		s.metrics.rendersShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.Canceled):
+		s.metrics.clientDisconnects.Add(1)
+		s.error(w, 499, err)
 	default:
 		s.error(w, http.StatusInternalServerError, err)
 	}

@@ -147,8 +147,11 @@ func (s *Session) Render(ctx context.Context) (*fp.Graph, bool, error) {
 		if s.inflight == call {
 			s.inflight = nil
 		}
-		// A slow leader must not clobber a newer version's cached frame.
-		if err == nil && (s.lastGraph == nil || version >= s.lastVersion) {
+		// A slow leader must not clobber a newer version's cached frame, and
+		// a degraded (deadline-cut) frame is never cached: the next request
+		// at this version should re-render at full fidelity, not inherit the
+		// partial frame forever.
+		if err == nil && !g.Stats.Degraded && (s.lastGraph == nil || version >= s.lastVersion) {
 			s.lastGraph = g
 			s.lastVersion = version
 		}

@@ -24,13 +24,18 @@
 //     which fingerprints are warm (so steady state sends fingerprint-only
 //     requests) and whether the worker speaks v2 (a v1 worker rejecting a
 //     fingerprint-only request with 400 downgrades it to full payloads).
-//     A worker failing with a transport error or 5xx enters an unhealthy
-//     cool-down and is only retried after it expires (or when every worker
-//     is cooling down). A failed shard request is retried on the remaining
-//     workers in turn; when all fail, the Monte Carlo executor evaluates
-//     that shard locally — dying workers degrade throughput, never
-//     correctness or results. With no workers configured everything
-//     evaluates locally, unchanged.
+//     A worker failing with a transport error or 5xx trips its circuit
+//     breaker and is only retried after the (jittered, backoff-doubling)
+//     open window lapses — or when every worker's breaker is open. Slow
+//     shards are hedged: past the hedge delay (the observed P95 by
+//     default) a duplicate request races on a second worker and the first
+//     result wins. A failed shard request is retried on the remaining
+//     workers with jittered exponential backoff; when all fail, the Monte
+//     Carlo executor evaluates that shard locally — dying workers degrade
+//     throughput, never correctness or results. Per-attempt deadlines
+//     derive from the request's remaining deadline budget (capped by
+//     ShardTimeout) and propagate to workers via X-FP-Budget-Ms. With no
+//     workers configured everything evaluates locally, unchanged.
 package server
 
 import (
@@ -62,6 +67,10 @@ const (
 	headerTrace    = "X-FP-Trace"
 	headerProto    = "X-FP-Shard-Proto"
 	headerCapacity = "X-FP-Shard-Capacity"
+	// headerBudget carries the coordinator attempt's remaining deadline
+	// budget in milliseconds; the worker applies it server-side so an
+	// abandoned shard stops burning cores even if the connection lingers.
+	headerBudget = "X-FP-Budget-Ms"
 )
 
 // Error codes carried in the "code" field of shard error bodies, so
@@ -279,6 +288,17 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 		point[k] = canonicalNumber(v)
 	}
 	ctx := r.Context()
+	// Honor the coordinator's propagated deadline budget: the shard aborts
+	// between world batches once the budget is gone, whether or not the
+	// transport connection has been torn down yet.
+	if v := r.Header.Get(headerBudget); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			budget := time.Duration(ms) * time.Millisecond
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeoutCause(ctx, budget, &budgetExceededError{budget})
+			defer cancel()
+		}
+	}
 	var tr *obs.Trace
 	if r.Header.Get(headerTrace) != "" {
 		// The coordinator asked for this shard's span tree: trace under the
@@ -294,7 +314,7 @@ func (s *Server) handleShardRender(w http.ResponseWriter, r *http.Request) {
 	res, err := entry.worker.EvaluateShard(ctx, point, req.Worlds, req.Seed,
 		fp.WorldShard{Lo: req.Lo, Hi: req.Hi}, sketchOnly)
 	if err != nil {
-		s.renderError(w, err)
+		s.renderError(w, ctx, err)
 		return
 	}
 	s.metrics.shardRendersServed.Add(1)
@@ -323,6 +343,10 @@ const ewmaAlpha = 0.3
 // survive across renders and scenarios.
 type workerState struct {
 	url string
+	// br is the worker's circuit breaker: opened by consecutive transport
+	// errors / 5xx answers, it moves the worker to the back of the retry
+	// order until its (jittered, backoff-doubling) open window lapses.
+	br *breaker
 
 	mu sync.Mutex
 	// warm records which scenario fingerprints this worker has confirmed
@@ -336,16 +360,15 @@ type workerState struct {
 	ewmaNsPerWorld float64
 	// capacity is the worker's /healthz-advertised core count (0 unknown).
 	capacity float64
-	// unhealthyUntil puts the worker in cool-down after a transport error
-	// or 5xx: it is only retried after the deadline (or when every worker
-	// is cooling down).
-	unhealthyUntil time.Time
 }
 
-func newWorkerStates(urls []string) []*workerState {
+// newWorkerStates builds the shared per-worker book-keeping; threshold and
+// cooldown parameterize each worker's circuit breaker (cooldown <= 0
+// disables opening, restoring always-try behavior).
+func newWorkerStates(urls []string, threshold int, cooldown time.Duration) []*workerState {
 	out := make([]*workerState, len(urls))
 	for i, u := range urls {
-		out[i] = &workerState{url: u, warm: make(map[string]bool)}
+		out[i] = &workerState{url: u, br: newBreaker(threshold, cooldown), warm: make(map[string]bool)}
 	}
 	return out
 }
@@ -379,25 +402,20 @@ func (ws *workerState) downgrade() {
 	ws.warm = make(map[string]bool)
 }
 
+// healthy reports whether the worker's breaker admits an attempt now
+// (closed, or half-open — the attempt doubles as the probe).
 func (ws *workerState) healthy(now time.Time) bool {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	return !now.Before(ws.unhealthyUntil)
+	return ws.br.allow(now)
 }
 
-func (ws *workerState) markUnhealthy(cooldown time.Duration) {
-	if cooldown <= 0 {
-		return
-	}
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	ws.unhealthyUntil = time.Now().Add(cooldown)
+// markFailed records a qualifying shard failure on the breaker and reports
+// whether it opened (or re-opened).
+func (ws *workerState) markFailed() bool {
+	return ws.br.onFailure(time.Now())
 }
 
 func (ws *workerState) markHealthy() {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	ws.unhealthyUntil = time.Time{}
+	ws.br.onSuccess()
 }
 
 func (ws *workerState) setCapacity(cores float64) {
@@ -444,28 +462,36 @@ func (e *shardHTTPError) Error() string {
 // workerPool fans shard evaluations out to the configured workers,
 // implementing fp.ShardEvaluator for one scenario entry over wire protocol
 // v2. Worker selection starts at the shard's index (shard i was sized by
-// worker i's weight), preferring workers outside their unhealthy
-// cool-down; a failed request is retried on every other candidate before
-// reporting failure (upon which the Monte Carlo executor evaluates the
-// shard locally).
+// worker i's weight), preferring workers whose circuit breaker admits
+// traffic. A slow shard is hedged: after the hedge delay (observed P95 by
+// default) a duplicate request goes to the next candidate and the first
+// result wins. A failed request is retried on every other candidate with
+// jittered exponential backoff before reporting failure (upon which the
+// Monte Carlo executor evaluates the shard locally).
 type workerPool struct {
-	states   []*workerState
-	client   *http.Client
-	entry    *ScenarioEntry
-	metrics  *metrics
-	logf     func(string, ...any)
-	cooldown time.Duration
+	states       []*workerState
+	client       *http.Client
+	entry        *ScenarioEntry
+	metrics      *metrics
+	logf         func(string, ...any)
+	shardTimeout time.Duration // per-attempt cap (0 = request budget only)
+	hedge        time.Duration // 0 adaptive, >0 fixed, <0 disabled
+	retryBackoff time.Duration // base of the jittered exponential backoff
+	latency      *latencyTracker
 }
 
 // newWorkerPool builds the fan-out evaluator for one scenario entry.
 func (s *Server) newWorkerPool(entry *ScenarioEntry) *workerPool {
 	return &workerPool{
-		states:   s.workerStates,
-		client:   s.shardClient,
-		entry:    entry,
-		metrics:  s.metrics,
-		logf:     s.cfg.Logf,
-		cooldown: s.cfg.WorkerCooldown,
+		states:       s.workerStates,
+		client:       s.shardClient,
+		entry:        entry,
+		metrics:      s.metrics,
+		logf:         s.cfg.Logf,
+		shardTimeout: s.cfg.ShardTimeout,
+		hedge:        s.cfg.HedgeDelay,
+		retryBackoff: s.cfg.RetryBackoff,
+		latency:      s.shardLatency,
 	}
 }
 
@@ -549,26 +575,116 @@ func (p *workerPool) EvaluateShard(ctx context.Context, req fp.ShardRequest) (*f
 		return nil, err
 	}
 
-	var lastErr error
 	candidates := p.order(req.Shard.Index)
-	for i, ws := range candidates {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res, err := p.tryWorker(ctx, ws, req, slim, full)
-		if err == nil {
-			p.metrics.shardFanouts.Add(1)
-			return res, nil
-		}
-		lastErr = err
-		if i < len(candidates)-1 {
-			p.metrics.shardRetries.Add(1)
-			p.logf("shard [%d,%d): worker %s failed (%v), trying next", req.Shard.Lo, req.Shard.Hi, ws.url, err)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("no shard workers configured")
+	}
+
+	// Attempts race on a shared channel: the primary, a possible hedge
+	// (launched when the primary is slower than the hedge delay), and
+	// failure-driven retries. The first success wins; acancel aborts every
+	// losing attempt, and late duplicate completions drain into the
+	// buffered channel and are discarded.
+	type attemptResult struct {
+		ws     *workerState
+		res    *fp.ShardResult
+		err    error
+		hedged bool
+	}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	results := make(chan attemptResult, len(candidates))
+	launch := func(ws *workerState, hedged bool) {
+		go func() {
+			res, err := p.tryWorker(actx, ws, req, slim, full)
+			results <- attemptResult{ws: ws, res: res, err: err, hedged: hedged}
+		}()
+	}
+
+	next := 0
+	launch(candidates[next], false)
+	next++
+
+	// One hedge per shard, and only when a second candidate exists.
+	var hedgeC <-chan time.Time
+	if d, ok := p.hedgeDelay(); ok && next < len(candidates) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	inflight := 1
+	backoff := p.retryBackoff
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(candidates) {
+				p.metrics.shardHedges.Add(1)
+				p.logf("shard [%d,%d): hedging on worker %s", req.Shard.Lo, req.Shard.Hi, candidates[next].url)
+				launch(candidates[next], true)
+				next++
+				inflight++
+			}
+		case r := <-results:
+			if r.err == nil {
+				if r.hedged {
+					p.metrics.shardHedgeWins.Add(1)
+				}
+				p.metrics.shardFanouts.Add(1)
+				return r.res, nil
+			}
+			inflight--
+			lastErr = r.err
+			if next < len(candidates) {
+				p.metrics.shardRetries.Add(1)
+				p.logf("shard [%d,%d): worker %s failed (%v), trying next", req.Shard.Lo, req.Shard.Hi, r.ws.url, r.err)
+				if backoff > 0 {
+					t := time.NewTimer(jitter(backoff))
+					select {
+					case <-ctx.Done():
+						t.Stop()
+						return nil, ctx.Err()
+					case <-t.C:
+					}
+					if backoff *= 2; backoff > time.Second {
+						backoff = time.Second
+					}
+				}
+				launch(candidates[next], false)
+				next++
+				inflight++
+			} else if inflight == 0 {
+				p.metrics.shardWorkerFailures.Add(1)
+				p.logf("shard [%d,%d): all %d worker(s) failed, evaluating locally: %v", req.Shard.Lo, req.Shard.Hi, len(p.states), lastErr)
+				return nil, lastErr
+			}
 		}
 	}
-	p.metrics.shardWorkerFailures.Add(1)
-	p.logf("shard [%d,%d): all %d worker(s) failed, evaluating locally: %v", req.Shard.Lo, req.Shard.Hi, len(p.states), lastErr)
-	return nil, lastErr
+}
+
+// hedgeDelay resolves the pool's hedge policy: a fixed configured delay, or
+// — by default — the observed shard-latency P95 once enough samples exist
+// (hedging stays off until then; the first renders have no tail estimate to
+// hedge against). Reports false when hedging is off.
+func (p *workerPool) hedgeDelay() (time.Duration, bool) {
+	switch {
+	case p.hedge < 0:
+		return 0, false
+	case p.hedge > 0:
+		return p.hedge, true
+	}
+	d, ok := p.latency.p95()
+	if !ok {
+		return 0, false
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	return d, true
 }
 
 // tryWorker runs one shard against one worker: slim (fingerprint-only)
@@ -635,33 +751,52 @@ func (p *workerPool) tryWorker(ctx context.Context, ws *workerState, req fp.Shar
 			}
 		}
 	}
-	// A transport error or server-side failure cools the worker down so the
-	// next shards prefer its peers; 4xx answers (bad input, fingerprint
-	// mismatch) mean the worker is alive and would fail again identically.
-	if ctx.Err() == nil && p.cooldown > 0 {
+	// A transport error or server-side failure counts against the worker's
+	// circuit breaker so the next shards prefer its peers; 4xx answers
+	// (bad input, fingerprint mismatch) mean the worker is alive and would
+	// fail again identically.
+	if ctx.Err() == nil {
 		var he2 *shardHTTPError
 		if !errors.As(err, &he2) || he2.status >= 500 {
-			ws.markUnhealthy(p.cooldown)
-			p.metrics.shardCooldowns.Add(1)
+			if ws.markFailed() {
+				p.metrics.shardCooldowns.Add(1)
+			}
 		}
 	}
 	return nil, err
 }
 
-// recordSuccess folds a successful shard into the worker's health and
-// throughput state and the byte counters.
+// recordSuccess folds a successful shard into the worker's breaker and
+// throughput state and the pool's hedge-delay latency window.
 func (p *workerPool) recordSuccess(ws *workerState, req fp.ShardRequest, start time.Time) {
+	dur := time.Since(start)
 	ws.markHealthy()
-	ws.observe(req.Shard.Hi-req.Shard.Lo, time.Since(start))
+	ws.observe(req.Shard.Hi-req.Shard.Lo, dur)
+	if p.latency != nil {
+		p.latency.observe(dur)
+	}
 }
 
-// post performs one shard request against one worker.
+// post performs one shard request against one worker. The attempt deadline
+// is the smaller of the pool's ShardTimeout and the request's remaining
+// budget (already on ctx), and is propagated to the worker as X-FP-Budget-Ms
+// so it aborts server-side too.
 func (p *workerPool) post(ctx context.Context, base string, body []byte) (*fp.ShardResult, error) {
+	if p.shardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.shardTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/shard/render", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.Header.Set(headerBudget, strconv.FormatInt(rem.Milliseconds()+1, 10))
+		}
+	}
 	sp := obs.SpanFrom(ctx)
 	if sp != nil {
 		req.Header.Set(headerTrace, "1")
@@ -723,8 +858,14 @@ func (s *Server) shardEvalOptions(entry *ScenarioEntry) []fp.EvalOption {
 // probeWorkerCapacities asks each worker's /healthz once for its
 // advertised core count, seeding shard-sizing weights before any latency
 // EWMA exists. Failures are benign: sizing falls back to the equal split.
+// The probe window derives from the configured shard timeout (capped at
+// 10s) rather than a hardcoded constant, and Server.Close cancels it.
 func (s *Server) probeWorkerCapacities() {
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	timeout := 10 * time.Second
+	if s.cfg.ShardTimeout > 0 && s.cfg.ShardTimeout < timeout {
+		timeout = s.cfg.ShardTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	go func() {
 		select {

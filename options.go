@@ -17,20 +17,21 @@ type EvalOption func(*evalConfig)
 
 // evalConfig is the resolved option set. Zero fields mean "engine default".
 type evalConfig struct {
-	worlds       int
-	seedBase     uint64
-	workers      int
-	disableReuse bool
-	fpLength     int
-	affineTol    float64
-	storeBudget  int64
-	spillDir     string
-	spillBudget  int64
-	groupBudget  int
-	shards       int
-	shardEval    ShardEvaluator
-	sketchOnly   bool
-	shardWeights func() []float64
+	worlds        int
+	seedBase      uint64
+	workers       int
+	disableReuse  bool
+	fpLength      int
+	affineTol     float64
+	storeBudget   int64
+	spillDir      string
+	spillBudget   int64
+	groupBudget   int
+	shards        int
+	shardEval     ShardEvaluator
+	sketchOnly    bool
+	shardWeights  func() []float64
+	allowDegraded bool
 	// shared, when set by WithReuseCache, is used instead of a private
 	// reuse engine.
 	shared *mc.Reuse
@@ -149,6 +150,19 @@ func WithSketchOnly() EvalOption {
 	return func(c *evalConfig) { c.sketchOnly = true }
 }
 
+// WithAllowDegraded opts a caller into degraded results: an evaluation cut
+// short by its context deadline returns the sketches merged from the world
+// shards completed so far — flagged Degraded with WorldsCompleted — instead
+// of a deadline error. Moments over the completed worlds are exact and
+// quantiles carry the t-digest error bound, but both describe a smaller
+// sample than requested, so confidence intervals are wider. Degradation
+// granularity is one shard: if nothing completed, the deadline error is
+// returned as usual. Callers that would rather fail than show a partial
+// answer simply omit this option (the default).
+func WithAllowDegraded() EvalOption {
+	return func(c *evalConfig) { c.allowDegraded = true }
+}
+
 // WithShardWeights supplies per-shard weights, queried just before each
 // point's world-range split: shard i's range is sized proportionally to
 // weights()[i] (worker-aware sizing — fpserver's coordinator feeds
@@ -248,11 +262,12 @@ func (c evalConfig) storeOptions() storage.Options {
 
 func (c evalConfig) mcOptions() (mc.Options, error) {
 	opts := mc.Options{
-		Worlds:     c.worlds,
-		SeedBase:   c.seedBase,
-		Workers:    c.workers,
-		Shards:     c.shards,
-		SketchOnly: c.sketchOnly,
+		Worlds:        c.worlds,
+		SeedBase:      c.seedBase,
+		Workers:       c.workers,
+		Shards:        c.shards,
+		SketchOnly:    c.sketchOnly,
+		AllowDegraded: c.allowDegraded,
 	}
 	if c.shardEval != nil {
 		opts.Runner = shardRunnerFor(c.shardEval)

@@ -55,10 +55,14 @@ func (w *ShardWorker) EvaluateShard(ctx context.Context, point map[string]any, w
 	ev := w.checkout()
 	ev.Reconfigure(worlds, seed, sketchOnly)
 	out, err := ev.EvaluateShard(ctx, pt, mc.WorldRange{Lo: shard.Lo, Hi: shard.Hi})
-	w.checkin(ev)
 	if err != nil {
+		// Discard the evaluator: after a failure — especially a recovered
+		// panic mid-kernel — its pooled shard envs may hold inconsistent
+		// state, and a fresh evaluator is cheap next to serving wrong
+		// worlds. The freelist refills from successful requests.
 		return nil, err
 	}
+	w.checkin(ev)
 	res := &ShardResult{Columns: out.Columns, Sketches: out.Sketches}
 	for _, fs := range out.Columns {
 		res.Rows = len(fs)
