@@ -1,0 +1,85 @@
+// Command fplint runs the repository's invariant analyzers — the machine-
+// checked form of the determinism, panic-isolation, pooled-buffer, and
+// concurrency contracts documented in docs/STATIC_ANALYSIS.md — over a set
+// of package patterns, vet-style:
+//
+//	go run ./cmd/fplint ./...          # whole repo (what CI runs)
+//	go run ./cmd/fplint -list          # inventory of analyzers
+//	go run ./cmd/fplint -run fpdeterminism ./internal/mc/...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"fuzzyprophet/internal/buildinfo"
+	"fuzzyprophet/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	run := flag.String("run", "", "run only analyzers whose name matches this regexp")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fplint [-list] [-run regexp] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("fplint"))
+		return
+	}
+
+	analyzers := lint.Suite()
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fplint: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+		var keep []*lint.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fplint: %d diagnostic(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

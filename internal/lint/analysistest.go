@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture runner needs; taking the
+// interface keeps "testing" out of the non-test build.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantKey locates one expectation: base filename + line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// RunFixture loads the fixture package at srcRoot/pkgPath, runs analyzer a
+// over it, and checks its diagnostics against the fixture's `// want`
+// comments — the analysistest contract:
+//
+//	time.Now() // want `call to time\.Now`
+//
+// Each want comment holds one or more Go-quoted regular expressions; every
+// diagnostic on that line must match one (and consume it), every want must
+// be matched, and lines without a want comment must stay silent.
+//
+// The analyzer's package scoping is honored: fixtures live under paths like
+// testdata/src/internal/mc/..., so scoped analyzers are exercised through
+// the same path matching the driver uses.
+func RunFixture(t TB, srcRoot, pkgPath string, a *Analyzer) {
+	t.Helper()
+	pkg, err := LoadFixture(srcRoot, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	if !applies(a, pkg.PkgPath) {
+		t.Fatalf("analyzer %s does not apply to fixture package %s (scope %v)", a.Name, pkg.PkgPath, a.Packages)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{file: filepath.Base(pos.Filename), line: pos.Line}
+				res, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", key.file, key.line, err)
+				}
+				wants[key] = append(wants[key], res...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		matched := false
+		rest := wants[key][:0:0]
+		for _, re := range wants[key] {
+			if !matched && re.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, re)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+		}
+	}
+}
+
+// parseWant extracts the sequence of Go-quoted regexps from a want
+// comment's payload.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounterAnalyzer guards against the storage.Store counter bug fixed
+// in PR 2: a struct field updated through sync/atomic in one place and read
+// with a plain load in another is a data race the race detector only
+// catches when both paths happen to run concurrently under test. The rule
+// is absolute: once any access to a field goes through sync/atomic, every
+// access must.
+//
+// (Fields of the typed atomic.* wrapper types are immune by construction —
+// the type system already forbids plain access — which is why the
+// repository migrated to them; this analyzer keeps the call-style mixed
+// pattern from coming back.)
+var AtomicCounterAnalyzer = &Analyzer{
+	Name: "fpatomic",
+	Doc: "struct fields accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere in the package",
+	Run: runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	// Pass 1: fields whose address is taken as a sync/atomic argument.
+	atomicFields := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v := fieldOf(pass.TypesInfo, un.X); v != nil {
+					atomicFields[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must itself sit under a
+	// &field argument of a sync/atomic call.
+	for _, f := range pass.Files {
+		inspectWithParents(f, func(n ast.Node, parents []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldOf(pass.TypesInfo, sel)
+			if v == nil || !atomicFields[v] {
+				return true
+			}
+			if isAtomicOperand(pass.TypesInfo, parents) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed with sync/atomic elsewhere in this package: mixed access is a data race — use sync/atomic here too (or migrate the field to a typed atomic.*)", v.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves expr to the struct field it selects, or nil.
+func fieldOf(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isAtomicOperand reports whether the selector whose ancestor stack is
+// parents is the direct &sel operand of a sync/atomic call argument.
+func isAtomicOperand(info *types.Info, parents []ast.Node) bool {
+	n := len(parents)
+	if n < 2 {
+		return false
+	}
+	un, ok := parents[n-1].(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	call, ok := parents[n-2].(*ast.CallExpr)
+	return ok && isAtomicCall(info, call)
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirstAnalyzer enforces the PR 1 API contract: cancellation flows
+// through explicit context parameters — first in the signature, per Go
+// convention — and is never frozen into a struct, where it would outlive
+// the call that supplied it and silently decouple renders from their
+// callers' deadlines (the resilience layer's budget propagation depends on
+// every layer passing ctx through).
+//
+// It reports exported functions and methods that take a context.Context
+// anywhere but parameter 0, and struct types that declare a
+// context.Context field.
+var CtxFirstAnalyzer = &Analyzer{
+	Name: "fpctxfirst",
+	Doc: "exported functions must take context.Context as their first " +
+		"parameter, and no struct may store one",
+	Run: runCtxFirst,
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				checkCtxPosition(pass, d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isContextType(t) {
+							pass.Reportf(field.Pos(), "struct %s stores a context.Context: contexts are call-scoped — pass ctx as the first parameter instead, or deadlines and cancellation silently detach from the caller", ts.Name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkCtxPosition(pass *Pass, d *ast.FuncDecl) {
+	idx := 0
+	for _, field := range d.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) && idx != 0 {
+			pass.Reportf(field.Pos(), "%s takes context.Context as parameter %d: context goes first so call sites read uniformly and cancellation is never an afterthought", d.Name.Name, idx)
+		}
+		idx += n
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoRecoverAnalyzer enforces the PR 9 panic-isolation contract: a panic in
+// one shard or simulation goroutine fails that shard's work, never the
+// process, and concurrent renders are untouched. That only holds if every
+// goroutine launched in the evaluator and the server converts panics into
+// errors at its own boundary — a single bare `go func()` reintroduces the
+// process-killing panic path.
+//
+// In internal/mc and internal/server, every `go func() {...}()` literal
+// must register a recovering defer before any other work: among the
+// literal's leading statements (declarations, assignments, and defers),
+// one defer must call recover, recoverToError, or recoverToLog — or be a
+// func literal that itself calls recover.
+var GoRecoverAnalyzer = &Analyzer{
+	Name: "fpgorecover",
+	Doc: "every goroutine literal in internal/mc and internal/server must " +
+		"begin with a recovering defer (recoverToError / recoverToLog / recover)",
+	Packages: []string{"internal/mc", "internal/server"},
+	Run:      runGoRecover,
+}
+
+// recoveringNames are the helpers this repository uses to convert panics
+// at goroutine boundaries: mc.recoverToError and server.recoverToError
+// produce *PanicError, server.recoverToLog logs and swallows (for
+// background loops with no error channel).
+var recoveringNames = map[string]bool{
+	"recover":        true,
+	"recoverToError": true,
+	"recoverToLog":   true,
+}
+
+func runGoRecover(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // `go method(...)`: the callee owns its recovery
+			}
+			if !hasLeadingRecoverDefer(lit.Body) {
+				pass.Reportf(g.Pos(), "goroutine must isolate panics at its boundary: begin the literal with `defer recoverToError(...)` (or a recover-calling defer) so a panic fails this work item, not the process")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasLeadingRecoverDefer scans the leading prefix of body consisting of
+// declarations, assignments, and defer statements, and reports whether one
+// of those defers recovers. Statements after the first "real" statement do
+// not count: a defer registered after work has begun does not protect that
+// work.
+func hasLeadingRecoverDefer(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		switch st := st.(type) {
+		case *ast.DeclStmt, *ast.AssignStmt:
+			continue
+		case *ast.DeferStmt:
+			if deferRecovers(st) {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func deferRecovers(d *ast.DeferStmt) bool {
+	switch fn := ast.Unparen(d.Call.Fun).(type) {
+	case *ast.Ident:
+		return recoveringNames[fn.Name]
+	case *ast.SelectorExpr:
+		return recoveringNames[fn.Sel.Name]
+	case *ast.FuncLit:
+		recovers := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+					recovers = true
+				}
+			}
+			return !recovers
+		})
+		return recovers
+	}
+	return false
+}

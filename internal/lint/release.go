@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReleaseAnalyzer guards the pooled-buffer contract behind the compiled
+// plan path's 0 allocs/op: PlanResult columns live in plan-owned pooled
+// buffers recycled by PlanResult.Release (PR 4), and shard workers keep
+// per-fingerprint evaluator freelists checked out per request (PR 8). A
+// value checked out of one of those pools and silently dropped is a leak
+// that erodes the pools until every request allocates again.
+//
+// For each call to a pool-origin function (Execute, ExecCounted, checkout)
+// whose result type has a Release or Close method, the assigned variable
+// must be released (a Release/Close call, possibly deferred), returned, or
+// passed onward (argument, assignment target, composite literal, channel
+// send) somewhere in the enclosing function. Read-only use is not enough.
+var ReleaseAnalyzer = &Analyzer{
+	Name: "fprelease",
+	Doc: "values checked out of plan-result and evaluator pools " +
+		"(Execute/ExecCounted/checkout) must be Released/Closed, returned, or passed on",
+	Run: runRelease,
+}
+
+// originCallNames are the pool checkout points: sqlengine's
+// Plan.Execute/ExecCounted hand out pooled PlanResults; ShardWorker's and
+// the shard env pool's checkout hands out freelisted evaluators.
+var originCallNames = map[string]bool{
+	"Execute":     true,
+	"ExecCounted": true,
+	"checkout":    true,
+}
+
+func runRelease(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Walk declared functions only: closures are scanned as part of
+		// their enclosing declaration (a checkout in a closure and its
+		// release in the same closure — or vice versa — both land in the
+		// one walk), which keeps each finding reported exactly once.
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkReleases(pass, funcNode{name: fd.Name.Name, body: fd.Body, typ: fd.Type, decl: fd})
+			}
+		}
+	}
+	return nil
+}
+
+func checkReleases(pass *Pass, fn funcNode) {
+	// Collect (variable, origin) pairs checked out anywhere in this
+	// declaration, closures included.
+	type checkout struct {
+		obj    *types.Var
+		def    *ast.Ident
+		origin string
+		method string // the Release/Close method the type offers
+	}
+	var outs []checkout
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeObject(pass.TypesInfo, call)
+		if callee == nil || !originCallNames[callee.Name()] {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+			if !ok {
+				if obj, ok = pass.TypesInfo.Uses[id].(*types.Var); !ok {
+					continue
+				}
+			}
+			if m, ok := hasMethod(obj.Type(), "Release", "Close"); ok {
+				outs = append(outs, checkout{obj: obj, def: id, origin: callee.Name(), method: m})
+			}
+		}
+		return true
+	})
+	if len(outs) == 0 {
+		return
+	}
+
+	for _, co := range outs {
+		released := false
+		escaped := false
+		inspectWithParents(fn.body, func(n ast.Node, parents []ast.Node) bool {
+			if released || escaped {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || id == co.def {
+				return true
+			}
+			if pass.TypesInfo.Uses[id] != co.obj {
+				return true
+			}
+			if len(parents) == 0 {
+				return true
+			}
+			switch p := parents[len(parents)-1].(type) {
+			case *ast.SelectorExpr:
+				// v.Release() / v.Close() — including deferred forms.
+				if p.X == id && (p.Sel.Name == "Release" || p.Sel.Name == "Close") {
+					if len(parents) >= 2 {
+						if call, ok := parents[len(parents)-2].(*ast.CallExpr); ok && call.Fun == p {
+							released = true
+						}
+					}
+				}
+			case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+				escaped = true
+			case *ast.CallExpr:
+				// v passed as an argument (not v itself being called).
+				for _, arg := range p.Args {
+					if ast.Unparen(arg) == ast.Expr(id) {
+						escaped = true
+					}
+				}
+			case *ast.AssignStmt:
+				// v on the right-hand side of another assignment: aliased
+				// or stored; the new holder owns the release.
+				for _, rhs := range p.Rhs {
+					if ast.Unparen(rhs) == ast.Expr(id) {
+						escaped = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if p.Op.String() == "&" {
+					escaped = true
+				}
+			}
+			return true
+		})
+		if !released && !escaped {
+			pass.Reportf(co.def.Pos(), "%s checked out of %s is never released: call %s (or defer it), return it, or pass it on — dropped pooled values leak the pool", co.obj.Name(), co.origin, co.method)
+		}
+	}
+}

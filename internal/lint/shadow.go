@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ShadowAnalyzer is the x/tools "shadow" check, narrowed to the shape that
+// risks real bugs: a block-level `x, err := f()` re-declares a
+// function-local variable of the same name and identical type, the block
+// *falls through* (its last statement is not a return/branch/panic), and
+// the first thing the function later does with the outer variable is READ
+// it. Execution can then flow straight from the shadowing declaration to a
+// read of the stale outer value — the classic "handled the inner err,
+// forgot it never propagated" bug.
+//
+// Deliberate idiom stays silent: shadows in terminating blocks
+// (`if cond { v, err := f(); return v, err }`), `if err := f(); ...` and
+// other init-clause declarations (scoped by construction), closure and
+// function parameters (capture-by-value), range variables, shadows of
+// package-level names, shadows of a different type, and inner variables
+// whose outer twin is never used again or is overwritten before its next
+// read (a write cannot observe the stale value).
+var ShadowAnalyzer = &Analyzer{
+	Name: "fpshadow",
+	Doc: "flag block-level re-declarations that shadow a same-typed function-" +
+		"local variable when control falls through to a later use of the outer one",
+	Run: runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	// All use positions per object, once per package, sorted so the first
+	// use after a given position is findable.
+	uses := map[types.Object][]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		uses[obj] = append(uses[obj], id.Pos())
+	}
+	for _, ps := range uses {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+
+	// Positions where an identifier is a plain assignment target: such a
+	// use overwrites the variable rather than reading it.
+	writes := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && st.Tok != token.ADD_ASSIGN &&
+						st.Tok != token.SUB_ASSIGN && st.Tok != token.MUL_ASSIGN &&
+						st.Tok != token.QUO_ASSIGN && st.Tok != token.REM_ASSIGN &&
+						st.Tok != token.AND_ASSIGN && st.Tok != token.OR_ASSIGN &&
+						st.Tok != token.XOR_ASSIGN && st.Tok != token.SHL_ASSIGN &&
+						st.Tok != token.SHR_ASSIGN && st.Tok != token.AND_NOT_ASSIGN {
+						writes[id.Pos()] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if st.Tok == token.ASSIGN {
+					if id, ok := st.Key.(*ast.Ident); ok {
+						writes[id.Pos()] = true
+					}
+					if id, ok := st.Value.(*ast.Ident); ok {
+						writes[id.Pos()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		inspectWithParents(f, func(n ast.Node, parents []ast.Node) bool {
+			if len(parents) == 0 {
+				return true
+			}
+			block, inBlock := parents[len(parents)-1].(*ast.BlockStmt)
+			if !inBlock {
+				return true
+			}
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkShadowedDecl(pass, uses, writes, id, block)
+					}
+				}
+			case *ast.DeclStmt:
+				gd, ok := st.Decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							checkShadowedDecl(pass, uses, writes, id, block)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkShadowedDecl reports id when it newly declares a variable that
+// shadows a live, same-typed variable of an enclosing function scope and
+// its block falls through toward a stale read of the outer variable.
+func checkShadowedDecl(pass *Pass, uses map[types.Object][]token.Pos, writes map[token.Pos]bool, id *ast.Ident, block *ast.BlockStmt) {
+	v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || v.Name() == "_" {
+		return // "_", or a := that re-uses an existing variable
+	}
+	inner := v.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	_, outerObj := inner.Parent().LookupParent(v.Name(), id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == v || outer.IsField() {
+		return
+	}
+	outerScope := outer.Parent()
+	if outerScope == nil || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+		return // package-level or universe shadows are idiomatic
+	}
+	if !types.Identical(v.Type(), outer.Type()) {
+		return // a different type is a deliberate reuse of the name
+	}
+	if terminates(block) {
+		return // the block exits before the outer variable can be read stale
+	}
+	// Find the outer variable's first use after the inner scope ends; only
+	// a READ can observe the stale value (a write overwrites it first).
+	for _, p := range uses[outer] {
+		if p <= inner.End() {
+			continue
+		}
+		if !writes[p] {
+			pass.Reportf(id.Pos(), "declaration of %q shadows a same-typed variable declared at %s, and control falls through to a later read of the outer one: the outer value is not updated here — rename the inner variable or assign with =", v.Name(), pass.Fset.Position(outer.Pos()))
+		}
+		return
+	}
+}
+
+// terminates reports whether a block's execution cannot fall off its end:
+// its last statement returns, branches away, panics, or is an
+// if/else or block whose arms all terminate. (A conservative subset of the
+// spec's terminating statements — loops and switches are treated as
+// falling through.)
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return terminatingStmt(b.List[len(b.List)-1])
+}
+
+func terminatingStmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return terminates(st)
+	case *ast.IfStmt:
+		if st.Else == nil {
+			return false
+		}
+		return terminates(st.Body) && terminatingStmt(st.Else)
+	}
+	return false
+}

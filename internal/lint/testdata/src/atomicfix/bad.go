@@ -1,0 +1,28 @@
+// Package atomicfix is fpatomic's bad fixture: a field updated through
+// sync/atomic in one method and accessed plainly in others.
+package atomicfix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) Read() int64 {
+	return c.hits // want "non-atomic access to field hits"
+}
+
+func (c *counter) Reset() {
+	c.hits = 0 // want "non-atomic access to field hits"
+}
+
+// Bump touches total, which is never accessed atomically: plain-only fields
+// are outside the rule.
+func (c *counter) Bump() {
+	c.total++
+}

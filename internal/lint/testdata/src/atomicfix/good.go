@@ -1,0 +1,20 @@
+package atomicfix
+
+import "sync/atomic"
+
+// gauge accesses val atomically everywhere.
+type gauge struct {
+	val int64
+}
+
+func (g *gauge) Set(v int64) { atomic.StoreInt64(&g.val, v) }
+func (g *gauge) Get() int64  { return atomic.LoadInt64(&g.val) }
+
+// typed uses the typed wrapper, which makes plain access impossible — the
+// repository's preferred form.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) Inc()       { t.n.Add(1) }
+func (t *typed) Get() int64 { return t.n.Load() }

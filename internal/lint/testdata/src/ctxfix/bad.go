@@ -1,0 +1,21 @@
+// Package ctxfix is fpctxfirst's bad fixture: contexts out of position and
+// contexts frozen into structs.
+package ctxfix
+
+import "context"
+
+func Fetch(name string, ctx context.Context) error { // want `Fetch takes context\.Context as parameter 1`
+	return ctx.Err()
+}
+
+func Render(a, b int, ctx context.Context, verbose bool) error { // want `Render takes context\.Context as parameter 2`
+	_ = verbose
+	return ctx.Err()
+}
+
+type Worker struct {
+	ctx context.Context // want `struct Worker stores a context\.Context`
+	n   int
+}
+
+func (w *Worker) N() int { return w.n }

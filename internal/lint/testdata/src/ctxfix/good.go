@@ -1,0 +1,24 @@
+package ctxfix
+
+import "context"
+
+// Run takes ctx first, per convention.
+func Run(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Job passes ctx per call instead of storing it.
+type Job struct{ name string }
+
+// Process is an exported method with ctx first.
+func (j *Job) Process(ctx context.Context) error {
+	_ = j.name
+	return ctx.Err()
+}
+
+// helper is unexported: the position rule covers the exported API surface.
+func helper(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}

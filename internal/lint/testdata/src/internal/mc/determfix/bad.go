@@ -1,0 +1,37 @@
+// Package determfix is fpdeterminism's bad fixture: the path places it
+// under internal/mc, so every construct here sits inside the analyzer's
+// determinism-critical scope and must be flagged.
+package determfix
+
+import (
+	"math/rand" // want "import of math/rand in a determinism-critical package"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `call to time\.Now in a determinism-critical package`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `call to time\.Since in a determinism-critical package`
+}
+
+func Draw() int {
+	return rand.Int()
+}
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to keys in map iteration order"
+	}
+	return keys
+}
+
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point fold into sum in map iteration order"
+	}
+	return sum
+}

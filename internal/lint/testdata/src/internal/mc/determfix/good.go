@@ -1,0 +1,47 @@
+package determfix
+
+import "sort"
+
+// SortedKeys is the Catalog.Names pattern: collecting in map order is fine
+// when the slice is visibly sorted before anyone can observe the order.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IntTotal folds integers, which are associative: any iteration order
+// produces the same bits.
+func IntTotal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SliceSum ranges over a slice, whose order is deterministic.
+func SliceSum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// PerKey folds into a loop-local accumulator: each key's sum is independent
+// of iteration order.
+func PerKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}

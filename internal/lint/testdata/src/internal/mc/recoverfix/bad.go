@@ -1,0 +1,30 @@
+// Package recoverfix is fpgorecover's bad fixture: goroutine literals in an
+// internal/mc-pathed package that do not isolate panics at their boundary.
+package recoverfix
+
+func work() {}
+
+func Bare(done chan struct{}) {
+	go func() { // want "goroutine must isolate panics at its boundary"
+		work()
+		close(done)
+	}()
+}
+
+// LateDefer registers its recovery after work has begun, which protects
+// nothing that came before it.
+func LateDefer(errs chan error) {
+	go func() { // want "goroutine must isolate panics at its boundary"
+		work()
+		var err error
+		defer recoverToError(&err, "late")
+	}()
+}
+
+// NonRecoveringDefer defers cleanup, not recovery.
+func NonRecoveringDefer(done chan struct{}) {
+	go func() { // want "goroutine must isolate panics at its boundary"
+		defer close(done)
+		work()
+	}()
+}

@@ -1,0 +1,45 @@
+package recoverfix
+
+// recoverToError mirrors the real helper's shape: a recovering defer for
+// goroutine boundaries.
+func recoverToError(dst *error, stage string) {
+	if r := recover(); r != nil {
+		_ = r
+		_ = dst
+		_ = stage
+	}
+}
+
+// Helper recovers via the named helper, registered before any work; the
+// declarations and the result-send defer ahead of it are allowed prologue.
+func Helper(errs chan error) {
+	go func() {
+		var err error
+		defer func() { errs <- err }()
+		defer recoverToError(&err, "work")
+		work()
+	}()
+}
+
+// Inline recovers with a literal defer that calls recover directly.
+func Inline() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+type runner struct{}
+
+func (runner) run() {}
+
+// Method launches a named method, which owns its recovery; only literals
+// are checked at the launch site.
+func Method() {
+	var r runner
+	go r.run()
+}

@@ -1,0 +1,13 @@
+package releasefix
+
+// ReadOnly uses the pooled result but never gives it back: the pool drains.
+func ReadOnly(p *Plan) int {
+	res := p.Execute() // want "res checked out of Execute is never released"
+	return len(res.cols)
+}
+
+// DroppedEnv reads a field off the checked-out environment and drops it.
+func DroppedEnv(pl pool) {
+	e := pl.checkout() // want "e checked out of checkout is never released"
+	println(e.n)
+}

@@ -1,0 +1,20 @@
+// Package releasefix models the pooled-value contract fprelease guards: a
+// Plan whose Execute hands out pooled Results, and a pool whose checkout
+// hands out closable environments.
+package releasefix
+
+type Result struct{ cols []float64 }
+
+func (r *Result) Release() {}
+
+type Plan struct{}
+
+func (p *Plan) Execute() *Result { return &Result{} }
+
+type env struct{ n int }
+
+func (env) Close() {}
+
+type pool struct{}
+
+func (pool) checkout() env { return env{} }

@@ -1,0 +1,35 @@
+package releasefix
+
+// Released gives the buffer back explicitly after use.
+func Released(p *Plan) int {
+	res := p.Execute()
+	n := len(res.cols)
+	res.Release()
+	return n
+}
+
+// Deferred releases on every exit path.
+func Deferred(p *Plan) int {
+	res := p.Execute()
+	defer res.Release()
+	return len(res.cols)
+}
+
+// Returned transfers ownership to the caller.
+func Returned(p *Plan) *Result {
+	res := p.Execute()
+	return res
+}
+
+// Handoff passes the value on; the receiver owns the release.
+func Handoff(p *Plan, sink func(*Result)) {
+	res := p.Execute()
+	sink(res)
+}
+
+// Closed applies to Close-style values too.
+func Closed(pl pool) int {
+	e := pl.checkout()
+	defer e.Close()
+	return e.n
+}

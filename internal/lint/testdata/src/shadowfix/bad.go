@@ -1,0 +1,43 @@
+// Package shadowfix is fpshadow's bad fixture: block-level shadows of a
+// same-typed variable where control falls through to a stale read of the
+// outer one.
+package shadowfix
+
+func load() (string, error)           { return "", nil }
+func sanitize(string) (string, error) { return "", nil }
+func parse(string) (int, error)       { return 0, nil }
+func logf(error)                      {}
+
+// ShortDecl is the classic bug: the inner err is handled, but the block
+// falls through and the stale outer err decides the function's result.
+func ShortDecl() error {
+	data, err := load()
+	if data == "" {
+		cleaned, err := sanitize(data) // want `declaration of "err" shadows a same-typed variable`
+		if err != nil {
+			logf(err)
+		}
+		data = cleaned
+	}
+	if err != nil {
+		return err
+	}
+	_ = data
+	return nil
+}
+
+// VarDecl is the same hazard spelled with a var declaration.
+func VarDecl(mode string) (int, error) {
+	n, err := parse(mode)
+	if mode != "" {
+		var err error // want `declaration of "err" shadows a same-typed variable`
+		n, err = parse(mode + "!")
+		if err != nil {
+			n = 0
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

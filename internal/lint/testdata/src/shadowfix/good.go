@@ -1,0 +1,58 @@
+package shadowfix
+
+func fetch() (string, error) { return "", nil }
+func ping() error            { return nil }
+
+// Terminating block: the shadow cannot flow into a stale outer read.
+func Terminating(flag bool) (string, error) {
+	s, err := fetch()
+	if flag {
+		s2, err := fetch()
+		return s2, err
+	}
+	return s, err
+}
+
+// Init-clause declarations are scoped to their statement by construction.
+func InitClause() string {
+	s, err := fetch()
+	if err != nil {
+		return ""
+	}
+	if err := ping(); err != nil {
+		return ""
+	}
+	return s
+}
+
+// Overwritten: the outer variable is reassigned before its next read, so
+// the stale value cannot be observed.
+func Overwritten(flag bool) error {
+	s, err := fetch()
+	if flag {
+		s2, err := fetch()
+		if err != nil {
+			s = s2
+		}
+	}
+	s, err = fetch()
+	if err != nil {
+		return err
+	}
+	_ = s
+	return nil
+}
+
+// OtherType reuses the name for a different type, which is deliberate.
+func OtherType() int {
+	n := 0
+	{
+		n := "local"
+		logf(nil)
+		_ = n
+	}
+	if n > 0 {
+		return n
+	}
+	return 0
+}

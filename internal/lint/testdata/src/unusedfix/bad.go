@@ -1,0 +1,18 @@
+// Package unusedfix is fpunusedresult's bad fixture: pure calls in
+// statement position whose only effect — the result — is discarded.
+package unusedfix
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+func Bad(name string, d time.Duration) error {
+	if name == "" {
+		fmt.Errorf("empty name") // want `result of fmt\.Errorf call is unused`
+	}
+	strings.ToUpper(name) // want `result of strings\.ToUpper call is unused`
+	d.String()            // want `result of \(time\.Duration\)\.String call is unused`
+	return nil
+}

@@ -1,0 +1,21 @@
+package unusedfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type status int
+
+func (s status) String() string { return "status" }
+
+func Good(name string) string {
+	msg := fmt.Sprintf("hello %s", name)
+	fmt.Fprintln(os.Stdout, msg) // effectful: fine in statement position
+	if strings.Contains(name, "x") {
+		return strings.ToLower(name)
+	}
+	status(0).String() // same-package method: outside the cross-package rule
+	return msg
+}

@@ -1,0 +1,32 @@
+package lint
+
+import "go/ast"
+
+// inspectWithParents walks root like ast.Inspect but hands the visitor the
+// stack of ancestor nodes (outermost first, not including n itself).
+// Several checks need one level of context — "is this selector the operand
+// of &, and is that the argument of an atomic call" — that plain Inspect
+// cannot answer.
+func inspectWithParents(root ast.Node, visit func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(n, stack)
+		stack = append(stack, n)
+		if !descend {
+			// Still push/pop symmetrically: Inspect will deliver the nil
+			// pop for this node only if we return true, so mirror that.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// within reports whether pos falls inside node's source span.
+func within(node ast.Node, pos int) bool {
+	return int(node.Pos()) <= pos && pos < int(node.End())
+}

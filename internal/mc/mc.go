@@ -699,9 +699,17 @@ func (ev *Evaluator) simulate(ctx context.Context, site *scenario.Site, args []v
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			if err := run(lo, hi); err != nil {
-				errCh <- err
-			}
+			var err error
+			defer func() {
+				if err != nil {
+					errCh <- err
+				}
+			}()
+			// run recovers VG panics itself, but the boundary defer is what
+			// guarantees a panic anywhere in this goroutine fails the
+			// simulation, not the process (errCh is buffered per worker).
+			defer recoverToError(&err, "simulate")
+			err = run(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

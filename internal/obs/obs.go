@@ -292,3 +292,16 @@ func SpanFrom(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxKey{}).(*Span)
 	return sp
 }
+
+// Now is the observability clock: the one sanctioned wall/monotonic time
+// source for the determinism-critical engine packages (sqlengine, mc, vg,
+// aggregate, stats). Those packages must compute results as pure functions
+// of (scenario, bindings, seed) — fplint's fpdeterminism analyzer forbids
+// them direct time.Now/time.Since calls — but they still stamp spans and
+// operator counters. Routing that timing through obs keeps the contract
+// auditable: obs readings feed traces and metrics, never result columns.
+func Now() time.Time { return time.Now() }
+
+// Since returns the time elapsed since t on the observability clock; see
+// Now for why engine packages use this instead of time.Since.
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -325,6 +325,7 @@ func (s *Server) startLoops() {
 		s.loops.Add(1)
 		go func() {
 			defer s.loops.Done()
+			defer s.recoverToLog("session-sweep loop")
 			t := time.NewTicker(interval)
 			defer t.Stop()
 			for {
@@ -345,6 +346,7 @@ func (s *Server) startLoops() {
 		s.loops.Add(1)
 		go func() {
 			defer s.loops.Done()
+			defer s.recoverToLog("capacity probe")
 			s.probeWorkerCapacities()
 		}()
 	}
@@ -352,6 +354,7 @@ func (s *Server) startLoops() {
 		s.loops.Add(1)
 		go func() {
 			defer s.loops.Done()
+			defer s.recoverToLog("snapshot loop")
 			t := time.NewTicker(s.cfg.SnapshotInterval)
 			defer t.Stop()
 			for {

@@ -596,8 +596,16 @@ func (p *workerPool) EvaluateShard(ctx context.Context, req fp.ShardRequest) (*f
 	results := make(chan attemptResult, len(candidates))
 	launch := func(ws *workerState, hedged bool) {
 		go func() {
-			res, err := p.tryWorker(actx, ws, req, slim, full)
-			results <- attemptResult{ws: ws, res: res, err: err, hedged: hedged}
+			var res *fp.ShardResult
+			var err error
+			// The result send is registered first so it runs after the
+			// recovery: a panicking attempt still reports to the race loop
+			// (as a *PanicError) instead of leaving it waiting forever.
+			defer func() {
+				results <- attemptResult{ws: ws, res: res, err: err, hedged: hedged}
+			}()
+			defer recoverToError(&err, "shard attempt")
+			res, err = p.tryWorker(actx, ws, req, slim, full)
 		}()
 	}
 
@@ -868,6 +876,7 @@ func (s *Server) probeWorkerCapacities() {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	go func() {
+		defer s.recoverToLog("probe canceller")
 		select {
 		case <-s.stop:
 			cancel()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"fuzzyprophet/internal/obs"
 	"fuzzyprophet/internal/sqlparser"
 	"fuzzyprophet/internal/value"
 )
@@ -225,14 +226,14 @@ func (p *Plan) ExecCounted(e *Engine, params map[string]value.Value, c *ExecCoun
 				c.FallbackReason = "row-mode-engine"
 			}
 			c.Grouped = p.grouped
-			t0 = time.Now()
+			t0 = obs.Now()
 		}
 		cres, err := e.ExecSelectColumnar(p.sel, params)
 		if err != nil {
 			return nil, err
 		}
 		if c != nil {
-			c.EvalNS += time.Since(t0).Nanoseconds()
+			c.EvalNS += obs.Since(t0).Nanoseconds()
 			if len(cres.Columns) > 0 {
 				c.RowsOut = int64(cres.Columns[0].Len())
 			}
@@ -483,7 +484,7 @@ func (st *planState) run() (*PlanResult, error) {
 	c := st.counters
 	var t0 time.Time
 	if c != nil {
-		t0 = time.Now()
+		t0 = obs.Now()
 	}
 	if err := st.bindFrom(); err != nil {
 		return nil, err
@@ -491,7 +492,7 @@ func (st *planState) run() (*PlanResult, error) {
 	st.sel, st.n = nil, st.rel.n
 	st.clearGatherCache()
 	if c != nil {
-		now := time.Now()
+		now := obs.Now()
 		c.BindNS += now.Sub(t0).Nanoseconds()
 		c.RowsIn = int64(st.rel.n)
 		c.Grouped = p.grouped
@@ -507,7 +508,7 @@ func (st *planState) run() (*PlanResult, error) {
 		}
 		st.selBuf = truthyKeepInto(cond, st.selBuf[:0])
 		if c != nil {
-			now := time.Now()
+			now := obs.Now()
 			c.WhereNS += now.Sub(t0).Nanoseconds()
 			c.WhereIn = int64(st.n)
 			c.WhereOut = int64(len(st.selBuf))
@@ -520,7 +521,7 @@ func (st *planState) run() (*PlanResult, error) {
 	if p.grouped {
 		res, err := st.runGrouped()
 		if c != nil && err == nil {
-			c.EvalNS += time.Since(t0).Nanoseconds()
+			c.EvalNS += obs.Since(t0).Nanoseconds()
 			if len(res.Columns) > 0 {
 				c.RowsOut = int64(res.Columns[0].Len())
 			}
@@ -538,7 +539,7 @@ func (st *planState) run() (*PlanResult, error) {
 		}
 	}
 	if c != nil {
-		c.EvalNS += time.Since(t0).Nanoseconds()
+		c.EvalNS += obs.Since(t0).Nanoseconds()
 		c.RowsOut = int64(st.n)
 	}
 	st.pres = PlanResult{ColResult: ColResult{Cols: p.colNames, Columns: st.itemCols}, st: st}
